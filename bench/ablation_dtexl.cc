@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Ablation: decompose DTexL's benefit into its four ingredients by
+ * enabling them cumulatively over the baseline —
+ *   baseline -> +CG-square grouping -> +Hilbert order -> +Flip2
+ *   assignment -> +decoupled barriers (= full DTexL)
+ * and also each ingredient alone, reporting L2 accesses and speedup.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+namespace {
+
+struct Step
+{
+    const char *name;
+    GpuConfig (*make)(const BenchOptions &);
+};
+
+GpuConfig
+stepBase(const BenchOptions &opt)
+{
+    return opt.baseline();
+}
+
+GpuConfig
+stepCg(const BenchOptions &opt)
+{
+    GpuConfig cfg = opt.baseline();
+    cfg.grouping = QuadGrouping::CGSquare;
+    return cfg;
+}
+
+GpuConfig
+stepHlb(const BenchOptions &opt)
+{
+    GpuConfig cfg = stepCg(opt);
+    cfg.tileOrder = TileOrder::RectHilbert;
+    return cfg;
+}
+
+GpuConfig
+stepFlp(const BenchOptions &opt)
+{
+    GpuConfig cfg = stepHlb(opt);
+    cfg.assignment = SubtileAssignment::Flip2;
+    return cfg;
+}
+
+GpuConfig
+stepDec(const BenchOptions &opt)
+{
+    GpuConfig cfg = stepFlp(opt);
+    cfg.decoupledBarriers = true;
+    return cfg;
+}
+
+GpuConfig
+onlyDecoupled(const BenchOptions &opt)
+{
+    GpuConfig cfg = opt.baseline();
+    cfg.decoupledBarriers = true;
+    return cfg;
+}
+
+GpuConfig
+onlyHilbert(const BenchOptions &opt)
+{
+    GpuConfig cfg = opt.baseline();
+    cfg.tileOrder = TileOrder::RectHilbert;
+    return cfg;
+}
+
+GpuConfig
+onlyHiZ(const BenchOptions &opt)
+{
+    GpuConfig cfg = opt.baseline();
+    cfg.hierarchicalZ = true;
+    return cfg;
+}
+
+GpuConfig
+dtexlPlusHiZ(const BenchOptions &opt)
+{
+    GpuConfig cfg = stepDec(opt);
+    cfg.hierarchicalZ = true;
+    return cfg;
+}
+
+GpuConfig
+onlyPrefetch(const BenchOptions &opt)
+{
+    GpuConfig cfg = opt.baseline();
+    cfg.texturePrefetch = true;
+    return cfg;
+}
+
+GpuConfig
+dtexlPlusPrefetch(const BenchOptions &opt)
+{
+    GpuConfig cfg = stepDec(opt);
+    cfg.texturePrefetch = true;
+    return cfg;
+}
+
+const Step kCumulative[] = {
+    {"baseline", stepBase},       {"+CG-square", stepCg},
+    {"+Hilbert order", stepHlb},  {"+Flip2 assign", stepFlp},
+    {"+decoupled=DTexL", stepDec},
+};
+
+const Step kIsolated[] = {
+    {"decoupled only", onlyDecoupled},
+    {"Hilbert only", onlyHilbert},
+    {"HiZ only", onlyHiZ},
+    {"DTexL+HiZ", dtexlPlusHiZ},
+    {"prefetch only", onlyPrefetch},
+    {"DTexL+prefetch", dtexlPlusPrefetch},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    printHeader("DTexL ablation: cumulative ingredients "
+                "(geomean over suite)",
+                {"normL2", "speedup"});
+    std::vector<std::vector<double>> l2(std::size(kCumulative) +
+                                        std::size(kIsolated));
+    std::vector<std::vector<double>> sp(l2.size());
+
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        const RunOutput base = runOne(b, opt.baseline());
+        const double base_l2 = static_cast<double>(base.fs.l2Accesses);
+        const double base_cy =
+            static_cast<double>(base.fs.totalCycles);
+        std::size_t idx = 0;
+        for (const Step &s : kCumulative) {
+            const RunOutput r = runOne(b, s.make(opt));
+            l2[idx].push_back(
+                static_cast<double>(r.fs.l2Accesses) / base_l2);
+            sp[idx].push_back(
+                base_cy / static_cast<double>(r.fs.totalCycles));
+            ++idx;
+        }
+        for (const Step &s : kIsolated) {
+            const RunOutput r = runOne(b, s.make(opt));
+            l2[idx].push_back(
+                static_cast<double>(r.fs.l2Accesses) / base_l2);
+            sp[idx].push_back(
+                base_cy / static_cast<double>(r.fs.totalCycles));
+            ++idx;
+        }
+    }
+
+    std::size_t idx = 0;
+    for (const Step &s : kCumulative) {
+        printRow(s.name, {geoMeanRatio(l2[idx]), geoMeanRatio(sp[idx])});
+        ++idx;
+    }
+    std::printf("--- isolated ---\n");
+    for (const Step &s : kIsolated) {
+        printRow(s.name, {geoMeanRatio(l2[idx]), geoMeanRatio(sp[idx])});
+        ++idx;
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: sensitivity of the DTexL result to the machine parameters
+ * DESIGN.md calls out — warps per core (occupancy), inter-stage FIFO
+ * depth (decoupled run-ahead), and L1 texture cache size. Run on a
+ * subset by default (--benchmarks=... to change).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+namespace {
+
+/** Geomean DTexL speedup + L2 decrease over the selected suite. */
+void
+sweepPoint(const BenchOptions &opt, const char *label,
+           void (*tweak)(GpuConfig &, std::uint32_t),
+           std::uint32_t value)
+{
+    std::vector<double> speedups, l2dec;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        GpuConfig base = opt.baseline();
+        tweak(base, value);
+        GpuConfig dt = opt.dtexl();
+        tweak(dt, value);
+        const RunOutput a = runOne(b, base);
+        const RunOutput d = runOne(b, dt);
+        speedups.push_back(static_cast<double>(a.fs.totalCycles) /
+                           static_cast<double>(d.fs.totalCycles));
+        l2dec.push_back(
+            100.0 * (1.0 - static_cast<double>(d.fs.l2Accesses) /
+                               static_cast<double>(a.fs.l2Accesses)));
+    }
+    std::printf("%-10s %6u %12.3f %11.1f\n", label, value,
+                geoMeanRatio(speedups), mean(l2dec));
+}
+
+void
+setWarps(GpuConfig &cfg, std::uint32_t v)
+{
+    cfg.maxWarpsPerCore = v;
+}
+
+void
+setFifo(GpuConfig &cfg, std::uint32_t v)
+{
+    cfg.stageFifoDepth = v;
+}
+
+void
+setL1(GpuConfig &cfg, std::uint32_t kib)
+{
+    cfg.textureCache.sizeBytes = kib * 1024;
+}
+
+void
+setWarpSched(GpuConfig &cfg, std::uint32_t v)
+{
+    cfg.warpScheduler = static_cast<WarpSched>(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(argc, argv);
+    if (opt.aliases.empty())
+        opt.aliases = {"CCS", "TRu", "GTr"};
+
+    std::printf("== Machine ablations: DTexL speedup & L2 decrease vs "
+                "baseline (same machine) ==\n");
+    std::printf("%-10s %6s %12s %11s\n", "knob", "value", "speedup",
+                "L2dec%");
+
+    for (std::uint32_t w : {2u, 4u, 6u, 8u, 16u, 32u})
+        sweepPoint(opt, "warps", setWarps, w);
+    std::printf("\n");
+    for (std::uint32_t d : {8u, 32u, 64u, 128u, 256u})
+        sweepPoint(opt, "fifo", setFifo, d);
+    std::printf("\n");
+    for (std::uint32_t k : {4u, 8u, 16u, 32u})
+        sweepPoint(opt, "l1KiB", setL1, k);
+    std::printf("\n(warp_sched: 0=earliest 1=oldest 2=greedy)\n");
+    for (std::uint32_t w : {0u, 1u, 2u})
+        sweepPoint(opt, "warp_sched", setWarpSched, w);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figures 1 and 2 (motivation): a load-balancing scheduler
+ * (FG-xshift2) versus a texture-locality scheduler (CG-square), both
+ * on the non-decoupled baseline pipeline.
+ *
+ *  - Figure 1: normalized mean deviation of threads (quads) per SC per
+ *    tile, averaged over tiles — locality scheduling is far worse.
+ *  - Figure 2: L2 accesses of the locality scheduler normalized to the
+ *    load-balancing one — locality scheduling roughly halves them.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    GpuConfig lb = opt.baseline();               // FG-xshift2
+    GpuConfig tl = opt.baseline();
+    tl.grouping = QuadGrouping::CGSquare;        // texture locality
+
+    printHeader("Figure 1: mean deviation of threads per SC "
+                "(normalized to Load Balancing)",
+                {"LoadBal", "TexLocal", "ratio"});
+    std::vector<double> dev_ratios, l2_ratios;
+    std::vector<std::vector<double>> l2_rows;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        const RunOutput a = runOne(b, lb);
+        const RunOutput c = runOne(b, tl);
+        const double da = a.fs.tileQuadDeviation.mean();
+        const double dc = c.fs.tileQuadDeviation.mean();
+        const double ratio = da > 0 ? dc / da : 0.0;
+        dev_ratios.push_back(ratio);
+        printRow(b.alias, {da, dc, ratio});
+        l2_ratios.push_back(static_cast<double>(c.fs.l2Accesses) /
+                            static_cast<double>(a.fs.l2Accesses));
+        l2_rows.push_back({static_cast<double>(a.fs.l2Accesses),
+                           static_cast<double>(c.fs.l2Accesses),
+                           l2_ratios.back()});
+    }
+    printRow("geomean", {0.0, 0.0, geoMeanRatio(dev_ratios)});
+
+    printHeader("Figure 2: L2 accesses of TexLocal normalized to "
+                "LoadBal (paper: ~0.5)",
+                {"LB_L2", "TL_L2", "norm"});
+    std::size_t i = 0;
+    for (const BenchmarkParams &b : opt.benchmarks())
+        printRow(b.alias, l2_rows[i++], 3);
+    printRow("geomean", {0.0, 0.0, geoMeanRatio(l2_ratios)});
+    std::printf("\npaper reference: locality scheduler ~0.53x L2 "
+                "accesses, but several-fold worse thread balance\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 13: speedup of CG-square and CG-yrect over FG-xshift2 on the
+ * NON-decoupled pipeline. The paper's point: despite ~47% fewer L2
+ * accesses, the coupled barriers turn the load imbalance into idle
+ * time and the speedup evaporates (~1.0x, some benchmarks below 1).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    printHeader("Figure 13: speedup w.r.t. FG-xshift2 (non-decoupled; "
+                "paper: ~1.0x)",
+                {"CG-square", "CG-yrect"});
+    std::vector<double> sq, yr;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        const RunOutput base = runOne(b, opt.baseline());
+
+        GpuConfig cfg_sq = opt.baseline();
+        cfg_sq.grouping = QuadGrouping::CGSquare;
+        GpuConfig cfg_yr = opt.baseline();
+        cfg_yr.grouping = QuadGrouping::CGYRect;
+
+        const double s_sq =
+            static_cast<double>(base.fs.totalCycles) /
+            static_cast<double>(runOne(b, cfg_sq).fs.totalCycles);
+        const double s_yr =
+            static_cast<double>(base.fs.totalCycles) /
+            static_cast<double>(runOne(b, cfg_yr).fs.totalCycles);
+        sq.push_back(s_sq);
+        yr.push_back(s_yr);
+        printRow(b.alias, {s_sq, s_yr});
+    }
+    printRow("geomean", {geoMeanRatio(sq), geoMeanRatio(yr)});
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figures 14 and 15: violin summaries of per-tile imbalance across
+ * the four SCs, FG-xshift2 vs CG-square (non-decoupled pipeline).
+ *
+ *  - Figure 14: mean deviation in SC execution time per tile (% of the
+ *    mean). Paper: FG averages ~5%; CG is far higher, up to 150% on
+ *    TRu.
+ *  - Figure 15: mean deviation in quads per SC per tile.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+namespace {
+
+void
+printViolin(const char *alias, const char *cfg, const Distribution &d)
+{
+    if (d.count() == 0) {
+        std::printf("%-8s %-10s (no samples)\n", alias, cfg);
+        return;
+    }
+    std::printf("%-8s %-10s min=%6.1f%% p25=%6.1f%% mean=%6.1f%% "
+                "p75=%6.1f%% max=%6.1f%%\n",
+                alias, cfg, d.min() * 100, d.quantile(0.25) * 100,
+                d.mean() * 100, d.quantile(0.75) * 100, d.max() * 100);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    std::printf("== Figure 14: SC execution-time imbalance per tile "
+                "(FG vs CG, paper: FG ~5%% mean, CG up to 150%%) ==\n");
+    std::vector<std::pair<Distribution, Distribution>> quad_devs;
+    std::vector<std::string> aliases;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        GpuConfig fg = opt.baseline();
+        GpuConfig cg = opt.baseline();
+        cg.grouping = QuadGrouping::CGSquare;
+        const RunOutput a = runOne(b, fg);
+        const RunOutput c = runOne(b, cg);
+        printViolin(b.alias.c_str(), "FG-xshift2",
+                    a.fs.tileTimeDeviation);
+        printViolin(b.alias.c_str(), "CG-square",
+                    c.fs.tileTimeDeviation);
+        quad_devs.emplace_back(a.fs.tileQuadDeviation,
+                               c.fs.tileQuadDeviation);
+        aliases.push_back(b.alias);
+    }
+
+    std::printf("\n== Figure 15: quad-distribution imbalance per tile "
+                "==\n");
+    for (std::size_t i = 0; i < quad_devs.size(); ++i) {
+        printViolin(aliases[i].c_str(), "FG-xshift2",
+                    quad_devs[i].first);
+        printViolin(aliases[i].c_str(), "CG-square",
+                    quad_devs[i].second);
+    }
+    return 0;
+}

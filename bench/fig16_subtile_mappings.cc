@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 16: percent decrease in L2 accesses w.r.t. the non-decoupled
+ * FG-xshift2 baseline, for the eight subtile-mapping configurations of
+ * Figure 8 plus the conservative upper bound (one SC with a 4x L1).
+ *
+ * Paper: Zorder-const / HLB-const ~40.7%; HLB-flp1/2/3 ~46.5%;
+ * Sorder-const / Sorder-flp ~46.8%; the mappings close ~80% of the
+ * gap between the baseline and the upper bound.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+namespace {
+
+struct Mapping
+{
+    const char *name;
+    QuadGrouping grouping;
+    TileOrder order;
+    SubtileAssignment assignment;
+};
+
+const Mapping kMappings[] = {
+    {"Zorder-const", QuadGrouping::CGSquare, TileOrder::ZOrder,
+     SubtileAssignment::Constant},
+    {"Zorder-flp1", QuadGrouping::CGSquare, TileOrder::ZOrder,
+     SubtileAssignment::Flip1},
+    {"HLB-const", QuadGrouping::CGSquare, TileOrder::RectHilbert,
+     SubtileAssignment::Constant},
+    {"HLB-flp1", QuadGrouping::CGSquare, TileOrder::RectHilbert,
+     SubtileAssignment::Flip1},
+    {"HLB-flp2", QuadGrouping::CGSquare, TileOrder::RectHilbert,
+     SubtileAssignment::Flip2},
+    {"HLB-flp3", QuadGrouping::CGSquare, TileOrder::RectHilbert,
+     SubtileAssignment::Flip3},
+    {"Sorder-const", QuadGrouping::CGYRect, TileOrder::SOrder,
+     SubtileAssignment::Constant},
+    {"Sorder-flp", QuadGrouping::CGYRect, TileOrder::SOrder,
+     SubtileAssignment::Flip1},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    std::vector<std::vector<double>> decreases(std::size(kMappings));
+    std::vector<double> bound_decrease;
+
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        const RunOutput base = runOne(b, opt.baseline());
+        const double base_l2 = static_cast<double>(base.fs.l2Accesses);
+        for (std::size_t m = 0; m < std::size(kMappings); ++m) {
+            GpuConfig cfg = opt.baseline();
+            cfg.grouping = kMappings[m].grouping;
+            cfg.tileOrder = kMappings[m].order;
+            cfg.assignment = kMappings[m].assignment;
+            const RunOutput r = runOne(b, cfg);
+            decreases[m].push_back(
+                100.0 *
+                (1.0 - static_cast<double>(r.fs.l2Accesses) / base_l2));
+        }
+        const RunOutput ub = runOne(b, opt.upperBound());
+        bound_decrease.push_back(
+            100.0 *
+            (1.0 - static_cast<double>(ub.fs.l2Accesses) / base_l2));
+    }
+
+    printHeader("Figure 16: %decrease in L2 accesses vs non-decoupled "
+                "FG-xshift2",
+                {"avg%", "paper%"});
+    const double paper[] = {40.7, 44.0, 40.7, 46.5, 46.5, 46.5,
+                            46.8, 46.8};
+    double best = 0.0;
+    for (std::size_t m = 0; m < std::size(kMappings); ++m) {
+        const double avg = mean(decreases[m]);
+        best = std::max(best, avg);
+        printRow(kMappings[m].name, {avg, paper[m]}, 1);
+    }
+    const double bound = mean(bound_decrease);
+    printRow("UpperBound", {bound, 50.9}, 1);
+    std::printf("\ngap to upper bound closed: %.0f%% (paper: ~80%%)\n",
+                100.0 * best / bound);
+    return 0;
+}

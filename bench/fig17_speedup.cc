@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 17: speedup w.r.t. the non-decoupled FG-xshift2 baseline for
+ *  (a) DTexL = CG-square + Hilbert order + flp2 + decoupled barriers
+ *      (paper: 1.2x average, ~1.4x on GTr), and
+ *  (b) FG-xshift2 + Z-order with decoupled barriers (paper: 1.09x).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    printHeader("Figure 17: speedup w.r.t. non-decoupled FG-xshift2",
+                {"DTexL", "FG+dec"});
+    std::vector<double> dt, fgd;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        const RunOutput base = runOne(b, opt.baseline());
+
+        const RunOutput d = runOne(b, opt.dtexl());
+        GpuConfig fg_dec = opt.baseline();
+        fg_dec.decoupledBarriers = true;
+        const RunOutput f = runOne(b, fg_dec);
+
+        const double s_d = static_cast<double>(base.fs.totalCycles) /
+                           static_cast<double>(d.fs.totalCycles);
+        const double s_f = static_cast<double>(base.fs.totalCycles) /
+                           static_cast<double>(f.fs.totalCycles);
+        dt.push_back(s_d);
+        fgd.push_back(s_f);
+        printRow(b.alias, {s_d, s_f});
+    }
+    printRow("geomean", {geoMeanRatio(dt), geoMeanRatio(fgd)});
+    std::printf("\npaper reference: DTexL 1.2x average (1.4x GTr), "
+                "FG decoupled 1.09x\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 18: percent decrease in total GPU energy w.r.t. the
+ * non-decoupled FG-xshift2 baseline for DTexL (HLB-flp2, decoupled)
+ * and for FG-xshift2 + decoupled barriers.
+ *
+ * Paper: DTexL -6.3% average (-8.8% CCS, -10.6% GTr); FG+decoupled
+ * -3%.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    printHeader("Figure 18: %decrease in total GPU energy vs baseline",
+                {"DTexL%", "FG+dec%"});
+    std::vector<double> dt, fgd;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        const RunOutput base = runOne(b, opt.baseline());
+        const RunOutput d = runOne(b, opt.dtexl());
+        GpuConfig fg_dec = opt.baseline();
+        fg_dec.decoupledBarriers = true;
+        const RunOutput f = runOne(b, fg_dec);
+
+        const double e_base = base.energy.total();
+        const double dec_d = 100.0 * (1.0 - d.energy.total() / e_base);
+        const double dec_f = 100.0 * (1.0 - f.energy.total() / e_base);
+        dt.push_back(dec_d);
+        fgd.push_back(dec_f);
+        printRow(b.alias, {dec_d, dec_f}, 1);
+    }
+    printRow("average", {mean(dt), mean(fgd)}, 1);
+    std::printf("\npaper reference: DTexL -6.3%% avg, FG+decoupled "
+                "-3%%\n");
+    return 0;
+}

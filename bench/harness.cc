@@ -1,0 +1,180 @@
+#include "harness.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+namespace dtexl {
+namespace bench {
+
+namespace {
+/** Optional CSV sink for printHeader/printRow. */
+FILE *csv_file = nullptr;
+} // namespace
+
+void
+setCsvOutput(const std::string &path)
+{
+    if (csv_file) {
+        std::fclose(csv_file);
+        csv_file = nullptr;
+    }
+    if (!path.empty()) {
+        csv_file = std::fopen(path.c_str(), "a");
+        if (!csv_file)
+            fatal("cannot open CSV file '%s'", path.c_str());
+    }
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--full") {
+            opt.width = 1960;
+            opt.height = 768;
+        } else if (arg.rfind("--scale=", 0) == 0) {
+            const double s = std::atof(arg.c_str() + 8);
+            if (s <= 0.0 || s > 1.0)
+                fatal("--scale must be in (0, 1]");
+            opt.width = static_cast<std::uint32_t>(1960 * s) & ~31u;
+            opt.height = static_cast<std::uint32_t>(768 * s) & ~31u;
+            if (opt.width == 0 || opt.height == 0)
+                fatal("--scale too small");
+        } else if (arg.rfind("--csv=", 0) == 0) {
+            opt.csvPath = arg.substr(6);
+            setCsvOutput(opt.csvPath);
+        } else if (arg.rfind("--benchmarks=", 0) == 0) {
+            std::string list = arg.substr(13);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                opt.aliases.push_back(list.substr(
+                    pos, comma == std::string::npos ? comma
+                                                    : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "options:\n"
+                "  --full              Table II screen (1960x768)\n"
+                "  --scale=F           fraction of the full screen\n"
+                "  --benchmarks=A,B,.. subset of Table I aliases\n"
+                "  --csv=FILE          append tables as CSV\n");
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+const std::vector<BenchmarkParams> &
+BenchOptions::benchmarks() const
+{
+    if (!selected.empty())
+        return selected;
+    if (aliases.empty()) {
+        selected = tableOneBenchmarks();
+    } else {
+        for (const std::string &a : aliases)
+            selected.push_back(benchmarkByAlias(a));
+    }
+    return selected;
+}
+
+GpuConfig
+BenchOptions::baseline() const
+{
+    GpuConfig cfg = makeBaselineConfig();
+    cfg.screenWidth = width;
+    cfg.screenHeight = height;
+    return cfg;
+}
+
+GpuConfig
+BenchOptions::dtexl() const
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = width;
+    cfg.screenHeight = height;
+    return cfg;
+}
+
+GpuConfig
+BenchOptions::upperBound() const
+{
+    GpuConfig cfg = makeUpperBoundConfig();
+    cfg.screenWidth = width;
+    cfg.screenHeight = height;
+    return cfg;
+}
+
+RunOutput
+runOne(const BenchmarkParams &params, const GpuConfig &cfg)
+{
+    // Scene cache: key on alias + screen; configs share the scene.
+    static std::map<std::string, Scene> cache;
+    const std::string key = params.alias + ":" +
+                            std::to_string(cfg.screenWidth) + "x" +
+                            std::to_string(cfg.screenHeight);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, generateScene(params, cfg)).first;
+
+    GpuSimulator gpu(cfg, it->second);
+    RunOutput out;
+    out.fs = gpu.renderFrame();
+    out.energy = EnergyModel{}.compute(cfg, out.fs);
+    return out;
+}
+
+double
+geoMeanRatio(const std::vector<double> &ratios)
+{
+    return geoMean(ratios);
+}
+
+void
+printHeader(const std::string &title,
+            const std::vector<std::string> &columns)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%-10s", "benchmark");
+    for (const std::string &c : columns)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < 10 + 13 * columns.size(); ++i)
+        std::printf("-");
+    std::printf("\n");
+    if (csv_file) {
+        std::fprintf(csv_file, "# %s\nlabel", title.c_str());
+        for (const std::string &c : columns)
+            std::fprintf(csv_file, ",%s", c.c_str());
+        std::fprintf(csv_file, "\n");
+    }
+}
+
+void
+printRow(const std::string &label, const std::vector<double> &cells,
+         int precision)
+{
+    std::printf("%-10s", label.c_str());
+    for (double c : cells)
+        std::printf(" %12.*f", precision, c);
+    std::printf("\n");
+    if (csv_file) {
+        std::fprintf(csv_file, "%s", label.c_str());
+        for (double c : cells)
+            std::fprintf(csv_file, ",%.*f", precision + 3, c);
+        std::fprintf(csv_file, "\n");
+        std::fflush(csv_file);
+    }
+}
+
+} // namespace bench
+} // namespace dtexl

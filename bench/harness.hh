@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared experiment harness for the figure/table reproduction
+ * binaries: option parsing (--full, --scale, --benchmarks), scene
+ * caching, config construction for the paper's named configurations,
+ * and table formatting.
+ */
+
+#ifndef DTEXL_BENCH_HARNESS_HH
+#define DTEXL_BENCH_HARNESS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dtexl.hh"
+#include "power/energy_model.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace bench {
+
+/** Command-line options common to every experiment binary. */
+struct BenchOptions
+{
+    /** Screen size; default is a half-scale screen for fast runs,
+     *  --full selects the paper's Table II 1960x768. */
+    std::uint32_t width = 640;
+    std::uint32_t height = 288;
+    /** Benchmarks to run; default: the whole Table I suite. */
+    std::vector<std::string> aliases;
+    /** When set (--csv=FILE), tables are also appended as CSV. */
+    std::string csvPath;
+
+    /** Parse argv; exits with a message on --help or bad input. */
+    static BenchOptions parse(int argc, char **argv);
+
+    /** GpuConfig preset resized to the selected screen. */
+    GpuConfig baseline() const;
+    GpuConfig dtexl() const;
+    GpuConfig upperBound() const;
+
+    const std::vector<BenchmarkParams> &benchmarks() const;
+
+  private:
+    mutable std::vector<BenchmarkParams> selected;
+};
+
+/** One simulated run. */
+struct RunOutput
+{
+    FrameStats fs;
+    EnergyBreakdown energy;
+};
+
+/**
+ * Render one frame of a benchmark under a configuration. Scenes are
+ * cached per (alias, screen), so successive configs over the same
+ * benchmark reuse the generated scene.
+ */
+RunOutput runOne(const BenchmarkParams &params, const GpuConfig &cfg);
+
+/** Geometric mean of speedups / ratios. */
+double geoMeanRatio(const std::vector<double> &ratios);
+
+/** Print a header row followed by a separator. */
+void printHeader(const std::string &title,
+                 const std::vector<std::string> &columns);
+
+/** Print one row: label + formatted numeric cells. */
+void printRow(const std::string &label,
+              const std::vector<double> &cells, int precision = 3);
+
+/** Route printHeader/printRow copies to a CSV file ("" disables). */
+void setCsvOutput(const std::string &path);
+
+} // namespace bench
+} // namespace dtexl
+
+#endif // DTEXL_BENCH_HARNESS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the memory hierarchy:
+ * cache hit path, miss path through L2+DRAM, and texture-sampler
+ * footprint resolution.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/config.hh"
+#include "mem/hierarchy.hh"
+#include "texture/sampler.hh"
+
+namespace {
+
+using namespace dtexl;
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    GpuConfig cfg;
+    MemHierarchy mem(cfg);
+    mem.textureRead(0, 0x1000, 0);
+    Cycle now = 1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.textureRead(0, 0x1000, now));
+        now += 2;
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissChain(benchmark::State &state)
+{
+    GpuConfig cfg;
+    MemHierarchy mem(cfg);
+    Addr a = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        now = mem.textureRead(0, a, now);
+        a += 64;  // every access a cold miss
+    }
+}
+BENCHMARK(BM_CacheMissChain);
+
+void
+BM_SamplerFootprint(benchmark::State &state)
+{
+    const TextureDesc tex(0, 0x1000'0000, 1024);
+    const auto mode = static_cast<FilterMode>(state.range(0));
+    float u = 0.1f;
+    std::array<Addr, SampleFootprint::kMaxTexels> lines;
+    for (auto _ : state) {
+        const SampleFootprint fp =
+            sampleFootprint(tex, mode, u, 0.5f, 0.7f);
+        benchmark::DoNotOptimize(footprintLines(fp, 64, lines));
+        u += 0.001f;
+        if (u >= 1.0f)
+            u = 0.0f;
+    }
+}
+BENCHMARK(BM_SamplerFootprint)
+    ->Arg(static_cast<int>(FilterMode::Bilinear))
+    ->Arg(static_cast<int>(FilterMode::Trilinear))
+    ->Arg(static_cast<int>(FilterMode::Aniso2x));
+
+} // namespace
+
+BENCHMARK_MAIN();

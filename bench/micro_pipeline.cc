@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for whole-pipeline simulation
+ * throughput: how fast the simulator itself runs, per configuration —
+ * the number a user planning a large sweep cares about.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/gpu.hh"
+#include "workloads/scenegen.hh"
+
+namespace {
+
+using namespace dtexl;
+
+GpuConfig
+smallCfg()
+{
+    GpuConfig cfg;
+    cfg.screenWidth = 320;
+    cfg.screenHeight = 160;
+    return cfg;
+}
+
+void
+BM_RenderFrameBaseline(benchmark::State &state)
+{
+    GpuConfig cfg = smallCfg();
+    const Scene scene = generateScene(benchmarkByAlias("SoD"), cfg);
+    GpuSimulator gpu(cfg, scene);
+    std::uint64_t quads = 0;
+    for (auto _ : state) {
+        const FrameStats fs = gpu.renderFrame();
+        quads = fs.quadsRasterized;
+        benchmark::DoNotOptimize(fs.totalCycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * quads));
+    state.SetLabel("items = rasterized quads");
+}
+BENCHMARK(BM_RenderFrameBaseline)->Unit(benchmark::kMillisecond);
+
+void
+BM_RenderFrameDTexL(benchmark::State &state)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = 320;
+    cfg.screenHeight = 160;
+    const Scene scene = generateScene(benchmarkByAlias("SoD"), cfg);
+    GpuSimulator gpu(cfg, scene);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gpu.renderFrame().totalCycles);
+    }
+}
+BENCHMARK(BM_RenderFrameDTexL)->Unit(benchmark::kMillisecond);
+
+void
+BM_SceneGeneration(benchmark::State &state)
+{
+    const GpuConfig cfg = smallCfg();
+    const BenchmarkParams &p = benchmarkByAlias("RoK");
+    std::uint32_t frame = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            generateScene(p, cfg, frame++).draws.size());
+    }
+}
+BENCHMARK(BM_SceneGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the raster substrate:
+ * triangle rasterization throughput and scheduler mapping cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "raster/rasterizer.hh"
+#include "sched/subtile_assigner.hh"
+#include "sched/subtile_layout.hh"
+#include "sfc/tile_order.hh"
+
+namespace {
+
+using namespace dtexl;
+
+Primitive
+tileTriangle()
+{
+    Primitive p;
+    p.v[0].screen = {1.0f, 1.0f};
+    p.v[1].screen = {31.0f, 2.0f};
+    p.v[2].screen = {4.0f, 30.0f};
+    p.v[0].uv = {0.0f, 0.0f};
+    p.v[1].uv = {0.1f, 0.0f};
+    p.v[2].uv = {0.0f, 0.1f};
+    return p;
+}
+
+void
+BM_RasterizeTileTriangle(benchmark::State &state)
+{
+    GpuConfig cfg;
+    Rasterizer rast(cfg);
+    const Primitive prim = tileTriangle();
+    std::vector<Quad> quads;
+    for (auto _ : state) {
+        quads.clear();
+        benchmark::DoNotOptimize(rast.rasterize(prim, {0, 0}, quads));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * quads.size()));
+}
+BENCHMARK(BM_RasterizeTileTriangle);
+
+void
+BM_SubtileLayoutBuild(benchmark::State &state)
+{
+    const auto g = static_cast<QuadGrouping>(state.range(0));
+    for (auto _ : state) {
+        SubtileLayout layout(g, 16);
+        benchmark::DoNotOptimize(layout.quadsPerSubtile());
+    }
+}
+BENCHMARK(BM_SubtileLayoutBuild)
+    ->Arg(static_cast<int>(QuadGrouping::FGXShift2))
+    ->Arg(static_cast<int>(QuadGrouping::CGSquare))
+    ->Arg(static_cast<int>(QuadGrouping::CGTriangle));
+
+void
+BM_AssignerTraversal(benchmark::State &state)
+{
+    SubtileLayout layout(QuadGrouping::CGSquare, 16);
+    const auto trav = makeTileOrder(TileOrder::RectHilbert, 62, 24);
+    for (auto _ : state) {
+        SubtileAssigner assigner(SubtileAssignment::Flip2, layout);
+        std::uint32_t acc = 0;
+        for (TileId t : trav)
+            acc += assigner.next(tileCoord(t, 62))[0];
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * trav.size()));
+}
+BENCHMARK(BM_AssignerTraversal);
+
+} // namespace
+
+BENCHMARK_MAIN();

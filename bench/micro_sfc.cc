@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the space-filling-curve
+ * primitives: Morton coding, Hilbert conversion and whole-grid
+ * traversal construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sfc/hilbert.hh"
+#include "sfc/morton.hh"
+#include "sfc/tile_order.hh"
+
+namespace {
+
+void
+BM_MortonEncode(benchmark::State &state)
+{
+    std::uint32_t x = 12345, y = 67890;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dtexl::mortonEncode(x, y));
+        ++x;
+        ++y;
+    }
+}
+BENCHMARK(BM_MortonEncode);
+
+void
+BM_MortonRoundTrip(benchmark::State &state)
+{
+    std::uint64_t code = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dtexl::mortonDecodeX(code));
+        benchmark::DoNotOptimize(dtexl::mortonDecodeY(code));
+        ++code;
+    }
+}
+BENCHMARK(BM_MortonRoundTrip);
+
+void
+BM_HilbertD2XY(benchmark::State &state)
+{
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    std::uint64_t d = 0;
+    const std::uint64_t n = std::uint64_t{side} * side;
+    for (auto _ : state) {
+        std::uint32_t x, y;
+        dtexl::hilbertD2XY(side, d, x, y);
+        benchmark::DoNotOptimize(x + y);
+        d = (d + 1) % n;
+    }
+}
+BENCHMARK(BM_HilbertD2XY)->Arg(8)->Arg(64)->Arg(1024);
+
+void
+BM_MakeTileOrder(benchmark::State &state)
+{
+    const auto order = static_cast<dtexl::TileOrder>(state.range(0));
+    for (auto _ : state) {
+        // Table II grid: 62x24 tiles.
+        benchmark::DoNotOptimize(dtexl::makeTileOrder(order, 62, 24));
+    }
+}
+BENCHMARK(BM_MakeTileOrder)
+    ->Arg(static_cast<int>(dtexl::TileOrder::Scanline))
+    ->Arg(static_cast<int>(dtexl::TileOrder::ZOrder))
+    ->Arg(static_cast<int>(dtexl::TileOrder::RectHilbert));
+
+} // namespace
+
+BENCHMARK_MAIN();

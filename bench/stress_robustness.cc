@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Robustness check beyond the paper's suite: DTexL against the
+ * baseline on adversarial stress scenes. The question a deployer would
+ * ask: does the locality scheduler ever lose badly when the workload
+ * does not cooperate (hot-spot clustering, no locality to exploit,
+ * degenerate geometry)?
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "workloads/stress.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    const GpuConfig base = opt.baseline();
+    GpuConfig dtexl_cfg = opt.dtexl();
+
+    std::printf("== Stress robustness: DTexL vs baseline on "
+                "adversarial scenes ==\n");
+    std::printf("%-18s %10s %10s %9s %9s  %s\n", "scene", "base_L2",
+                "dtexl_L2", "dL2%", "speedup", "notes");
+
+    for (const StressCase &c : makeStressSuite(base)) {
+        GpuSimulator a(base, c.scene);
+        GpuSimulator b(dtexl_cfg, c.scene);
+        const FrameStats fa = a.renderFrame();
+        const FrameStats fb = b.renderFrame();
+        if (fa.imageHash != fb.imageHash)
+            fatal("image mismatch on stress scene %s", c.name.c_str());
+        std::printf("%-18s %10llu %10llu %8.1f%% %8.3fx  %s\n",
+                    c.name.c_str(),
+                    static_cast<unsigned long long>(fa.l2Accesses),
+                    static_cast<unsigned long long>(fb.l2Accesses),
+                    100.0 * (static_cast<double>(fb.l2Accesses) /
+                                 static_cast<double>(fa.l2Accesses) -
+                             1.0),
+                    static_cast<double>(fa.totalCycles) /
+                        static_cast<double>(fb.totalCycles),
+                    c.description.c_str());
+    }
+    std::printf("\nall images identical to the baseline renders\n");
+    return 0;
+}

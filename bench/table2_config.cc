@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table II: the GPU simulation parameters. Prints the configured
+ * machine and validates it; with --full the screen matches the paper
+ * exactly.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dtexl;
+using namespace dtexl::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    GpuConfig cfg = opt.baseline();
+    cfg.validate();
+    std::printf("== Table II: GPU simulation parameters ==\n%s",
+                cfg.describe().c_str());
+
+    GpuConfig paper = makeBaselineConfig();
+    paper.validate();
+    std::printf("\n== Paper-exact machine (as with --full) ==\n%s",
+                paper.describe().c_str());
+    std::printf("\nDTexL preset:\n%s",
+                makeDTexLConfig().describe().c_str());
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quickstart: render one frame of a Table I benchmark on the baseline
+ * machine and on DTexL, and print the headline comparison.
+ *
+ * Usage: quickstart [alias] [--small]
+ *   alias    benchmark alias from Table I (default GTr)
+ *   --small  quarter-resolution screen for a fast demo run
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/dtexl.hh"
+#include "power/energy_model.hh"
+#include "workloads/scenegen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dtexl;
+
+    std::string alias = "GTr";
+    bool small = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--small") == 0)
+            small = true;
+        else
+            alias = argv[i];
+    }
+
+    const BenchmarkParams &bench = benchmarkByAlias(alias);
+
+    GpuConfig base = makeBaselineConfig();
+    if (small) {
+        base.screenWidth = 480;
+        base.screenHeight = 192;
+    }
+    GpuConfig dtexl_cfg = makeDTexLConfig();
+    dtexl_cfg.screenWidth = base.screenWidth;
+    dtexl_cfg.screenHeight = base.screenHeight;
+
+    std::printf("Benchmark: %s (%s), %.1f MiB textures, %s\n",
+                bench.name.c_str(), bench.alias.c_str(),
+                bench.textureFootprintMiB, bench.is3D ? "3D" : "2D");
+    std::printf("Screen %ux%u, %u tiles\n\n", base.screenWidth,
+                base.screenHeight, base.numTiles());
+
+    const Scene scene = generateScene(bench, base);
+    EnergyModel energy;
+
+    auto run = [&](const char *label, const GpuConfig &cfg) {
+        GpuSimulator gpu(cfg, scene);
+        FrameStats fs = gpu.renderFrame();
+        EnergyBreakdown e = energy.compute(cfg, fs);
+        std::printf("[%s] %s / %s order / %s / %s barriers\n", label,
+                    toString(cfg.grouping).c_str(),
+                    toString(cfg.tileOrder).c_str(),
+                    toString(cfg.assignment).c_str(),
+                    cfg.decoupledBarriers ? "decoupled" : "coupled");
+        std::printf("  cycles: %llu (geom %llu, raster %llu)  fps: %.1f\n",
+                    static_cast<unsigned long long>(fs.totalCycles),
+                    static_cast<unsigned long long>(fs.geometryCycles),
+                    static_cast<unsigned long long>(fs.rasterCycles),
+                    fs.fps);
+        std::printf("  quads: rasterized %llu, early-Z culled %llu, "
+                    "shaded %llu\n",
+                    static_cast<unsigned long long>(fs.quadsRasterized),
+                    static_cast<unsigned long long>(fs.quadsCulledEarlyZ),
+                    static_cast<unsigned long long>(fs.quadsShaded));
+        std::printf("  L1 tex: %llu accesses (%.1f%% miss)   L2: %llu "
+                    "accesses   DRAM: %llu\n",
+                    static_cast<unsigned long long>(fs.l1TexAccesses),
+                    fs.l1TexAccesses
+                        ? 100.0 * static_cast<double>(fs.l1TexMisses) /
+                              static_cast<double>(fs.l1TexAccesses)
+                        : 0.0,
+                    static_cast<unsigned long long>(fs.l2Accesses),
+                    static_cast<unsigned long long>(fs.dramAccesses));
+        std::printf("  L1 replication factor: %.2f\n",
+                    fs.textureReplication);
+        std::printf("  tile imbalance (time): %s\n",
+                    fs.tileTimeDeviation.count()
+                        ? fs.tileTimeDeviation.summary().c_str()
+                        : "(n/a)");
+        std::printf("  energy:\n%s\n", e.describe().c_str());
+        return fs;
+    };
+
+    FrameStats a = run("baseline", base);
+    FrameStats b = run("DTexL   ", dtexl_cfg);
+
+    std::printf("==== DTexL vs baseline ====\n");
+    std::printf("  L2 accesses: %+.1f%%\n",
+                100.0 * (static_cast<double>(b.l2Accesses) /
+                             static_cast<double>(a.l2Accesses) -
+                         1.0));
+    std::printf("  speedup: %.3fx\n",
+                static_cast<double>(a.totalCycles) /
+                    static_cast<double>(b.totalCycles));
+    EnergyBreakdown ea = energy.compute(base, a);
+    EnergyBreakdown eb = energy.compute(dtexl_cfg, b);
+    std::printf("  energy: %+.1f%%\n",
+                100.0 * (eb.total() / ea.total() - 1.0));
+    return 0;
+}

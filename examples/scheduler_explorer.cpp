@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Scheduler design-space explorer: sweeps every quad grouping, tile
+ * order and subtile assignment over one benchmark and prints the
+ * resulting L2 accesses, balance and performance — the tool you would
+ * use to pick a scheduler for a new workload.
+ *
+ * Usage: scheduler_explorer [alias] [--full]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/dtexl.hh"
+#include "workloads/scenegen.hh"
+
+using namespace dtexl;
+
+namespace {
+
+void
+runRow(const char *label, const GpuConfig &cfg, const Scene &scene,
+       Cycle base_cycles, std::uint64_t base_l2)
+{
+    GpuSimulator gpu(cfg, scene);
+    const FrameStats fs = gpu.renderFrame();
+    std::printf("%-34s %9llu %+7.1f%% %8.3fx %10.3f\n", label,
+                static_cast<unsigned long long>(fs.l2Accesses),
+                100.0 * (static_cast<double>(fs.l2Accesses) /
+                             static_cast<double>(base_l2) -
+                         1.0),
+                static_cast<double>(base_cycles) /
+                    static_cast<double>(fs.totalCycles),
+                fs.tileQuadDeviation.count()
+                    ? fs.tileQuadDeviation.mean()
+                    : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string alias = "SoD";
+    bool full = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            full = true;
+        else
+            alias = argv[i];
+    }
+
+    GpuConfig base = makeBaselineConfig();
+    if (!full) {
+        base.screenWidth = 640;
+        base.screenHeight = 288;
+    }
+    const BenchmarkParams &bench = benchmarkByAlias(alias);
+    const Scene scene = generateScene(bench, base);
+
+    GpuSimulator ref(base, scene);
+    const FrameStats ref_fs = ref.renderFrame();
+    std::printf("Benchmark %s at %ux%u; baseline %s/%s/%s coupled: "
+                "%llu cycles, %llu L2 accesses\n\n",
+                bench.alias.c_str(), base.screenWidth,
+                base.screenHeight, toString(base.grouping).c_str(),
+                toString(base.tileOrder).c_str(),
+                toString(base.assignment).c_str(),
+                static_cast<unsigned long long>(ref_fs.totalCycles),
+                static_cast<unsigned long long>(ref_fs.l2Accesses));
+
+    std::printf("%-34s %9s %8s %9s %10s\n", "configuration", "L2",
+                "dL2", "speedup", "quadDev");
+
+    // 1. Groupings (coupled, Z-order, constant assignment).
+    std::printf("--- quad groupings (coupled) ---\n");
+    for (QuadGrouping g : kAllQuadGroupings) {
+        GpuConfig cfg = base;
+        cfg.grouping = g;
+        runRow(toString(g).c_str(), cfg, scene, ref_fs.totalCycles,
+               ref_fs.l2Accesses);
+    }
+
+    // 2. Tile orders with the locality grouping.
+    std::printf("--- tile orders (CG-square, flp2, decoupled) ---\n");
+    for (TileOrder o : kAllTileOrders) {
+        GpuConfig cfg = base;
+        cfg.grouping = QuadGrouping::CGSquare;
+        cfg.assignment = SubtileAssignment::Flip2;
+        cfg.tileOrder = o;
+        cfg.decoupledBarriers = true;
+        std::string label = std::string("CG-square/") + toString(o);
+        runRow(label.c_str(), cfg, scene, ref_fs.totalCycles,
+               ref_fs.l2Accesses);
+    }
+
+    // 3. Subtile assignments on the DTexL pipeline.
+    std::printf("--- assignments (CG-square, Hilbert, decoupled) ---\n");
+    for (SubtileAssignment a : kAllSubtileAssignments) {
+        GpuConfig cfg = base;
+        cfg.grouping = QuadGrouping::CGSquare;
+        cfg.tileOrder = TileOrder::RectHilbert;
+        cfg.assignment = a;
+        cfg.decoupledBarriers = true;
+        std::string label = std::string("HLB-") + toString(a);
+        runRow(label.c_str(), cfg, scene, ref_fs.totalCycles,
+               ref_fs.l2Accesses);
+    }
+    return 0;
+}

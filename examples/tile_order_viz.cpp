@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ASCII visualisation of the paper's figures 6-8: quad groupings over
+ * one tile, tile traversal orders over the frame grid, and the
+ * SC-assignment patterns the flip schemes produce — handy for seeing
+ * what each policy actually does.
+ *
+ * Usage: tile_order_viz
+ */
+
+#include <cstdio>
+
+#include "core/dtexl.hh"
+
+using namespace dtexl;
+
+namespace {
+
+void
+showGrouping(QuadGrouping g)
+{
+    SubtileLayout layout(g, 16);
+    std::printf("%s:\n", toString(g).c_str());
+    for (std::int32_t y = 0; y < 16; ++y) {
+        std::printf("  ");
+        for (std::int32_t x = 0; x < 16; ++x)
+            std::printf("%c", '0' + layout.subtileOf({x, y}));
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+void
+showOrder(TileOrder o, std::uint32_t tx, std::uint32_t ty)
+{
+    const auto trav = makeTileOrder(o, tx, ty);
+    std::vector<int> seq(trav.size());
+    for (std::size_t i = 0; i < trav.size(); ++i)
+        seq[trav[i]] = static_cast<int>(i);
+    std::printf("%s (%ux%u), adjacency %.2f:\n", toString(o).c_str(),
+                tx, ty, adjacencyFraction(trav, tx));
+    for (std::uint32_t y = 0; y < ty; ++y) {
+        std::printf("  ");
+        for (std::uint32_t x = 0; x < tx; ++x)
+            std::printf("%4d", seq[y * tx + x]);
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+void
+showAssignment(TileOrder o, SubtileAssignment a, std::uint32_t tx,
+               std::uint32_t ty)
+{
+    SubtileLayout layout(QuadGrouping::CGSquare, 16);
+    SubtileAssigner assigner(a, layout);
+    const auto trav = makeTileOrder(o, tx, ty);
+
+    // For each tile: which SC owns each quadrant (2x2 block of chars).
+    std::vector<std::array<CoreId, 4>> perms(trav.size());
+    for (TileId t : trav)
+        perms[t] = assigner.next(tileCoord(t, tx));
+
+    std::printf("%s + %s assignment (SC of TL/TR/BL/BR quadrant):\n",
+                toString(o).c_str(), toString(a).c_str());
+    for (std::uint32_t y = 0; y < ty; ++y) {
+        for (int row = 0; row < 2; ++row) {
+            std::printf("  ");
+            for (std::uint32_t x = 0; x < tx; ++x) {
+                const auto &p = perms[y * tx + x];
+                std::printf("%c%c ", '0' + p[row * 2],
+                            '0' + p[row * 2 + 1]);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==== Figure 6: quad groupings (one 32x32 tile, "
+                "16x16 quads) ====\n\n");
+    for (QuadGrouping g :
+         {QuadGrouping::FGChecker, QuadGrouping::FGXShift2,
+          QuadGrouping::CGSquare, QuadGrouping::CGYRect,
+          QuadGrouping::CGTriangle}) {
+        showGrouping(g);
+    }
+
+    std::printf("==== Figure 7: tile orders (visit sequence) ====\n\n");
+    showOrder(TileOrder::ZOrder, 8, 8);
+    showOrder(TileOrder::RectHilbert, 8, 8);
+    showOrder(TileOrder::SOrder, 8, 4);
+    showOrder(TileOrder::RectHilbert, 12, 6);
+
+    std::printf("==== Figure 8: subtile assignments ====\n\n");
+    showAssignment(TileOrder::RectHilbert, SubtileAssignment::Constant,
+                   4, 4);
+    showAssignment(TileOrder::RectHilbert, SubtileAssignment::Flip1, 4,
+                   4);
+    showAssignment(TileOrder::RectHilbert, SubtileAssignment::Flip2, 4,
+                   4);
+    return 0;
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Plot the CSV output of the experiment binaries.
+
+Usage:
+    ./build/bench/fig16_subtile_mappings --full --csv=fig16.csv
+    scripts/plot_results.py fig16.csv fig16.png
+
+Each CSV section (started by a '# <title>' comment and a 'label,...'
+header, as written by the bench harness) becomes one grouped bar chart;
+multiple sections stack vertically in the output image. Requires
+matplotlib.
+"""
+
+import csv
+import sys
+
+
+def read_sections(path):
+    """Parse the harness CSV: list of (title, columns, rows)."""
+    sections = []
+    title, columns, rows = None, None, []
+    with open(path, newline="") as f:
+        for record in csv.reader(f):
+            if not record:
+                continue
+            if record[0].startswith("#"):
+                if columns is not None:
+                    sections.append((title, columns, rows))
+                title = record[0].lstrip("# ").strip()
+                columns, rows = None, []
+            elif record[0] == "label":
+                columns = record[1:]
+            else:
+                rows.append((record[0], [float(x) for x in record[1:]]))
+    if columns is not None:
+        sections.append((title, columns, rows))
+    return sections
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    src, dst = sys.argv[1], sys.argv[2]
+    sections = read_sections(src)
+    if not sections:
+        sys.exit(f"no harness CSV sections found in {src}")
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(
+        len(sections), 1, figsize=(10, 4 * len(sections)), squeeze=False
+    )
+    for ax, (title, columns, rows) in zip(axes[:, 0], sections):
+        labels = [r[0] for r in rows]
+        n_cols = len(columns)
+        width = 0.8 / n_cols
+        for ci, col in enumerate(columns):
+            xs = [i + ci * width for i in range(len(rows))]
+            ax.bar(xs, [r[1][ci] for r in rows], width, label=col)
+        ax.set_xticks([i + 0.4 - width / 2 for i in range(len(rows))])
+        ax.set_xticklabels(labels, rotation=45, ha="right", fontsize=8)
+        ax.set_title(title, fontsize=10)
+        ax.legend(fontsize=8)
+        ax.grid(axis="y", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(dst, dpi=150)
+    print(f"wrote {dst}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,270 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+bool
+isCoarseGrained(QuadGrouping g)
+{
+    switch (g) {
+      case QuadGrouping::CGXRect:
+      case QuadGrouping::CGYRect:
+      case QuadGrouping::CGTriangle:
+      case QuadGrouping::CGSquare:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+toString(QuadGrouping g)
+{
+    switch (g) {
+      case QuadGrouping::FGChecker:  return "FG-checker";
+      case QuadGrouping::FGXShift1:  return "FG-xshift1";
+      case QuadGrouping::FGXShift2:  return "FG-xshift2";
+      case QuadGrouping::FGYShift2:  return "FG-yshift2";
+      case QuadGrouping::FGVDomino:  return "FG-vdomino";
+      case QuadGrouping::FGHDomino:  return "FG-hdomino";
+      case QuadGrouping::CGXRect:    return "CG-xrect";
+      case QuadGrouping::CGYRect:    return "CG-yrect";
+      case QuadGrouping::CGTriangle: return "CG-triangle";
+      case QuadGrouping::CGSquare:   return "CG-square";
+    }
+    panic("unknown QuadGrouping %d", static_cast<int>(g));
+}
+
+std::string
+toString(TileOrder o)
+{
+    switch (o) {
+      case TileOrder::Scanline:    return "Scanline";
+      case TileOrder::SOrder:      return "S-order";
+      case TileOrder::ZOrder:      return "Z-order";
+      case TileOrder::RectHilbert: return "Hilbert";
+    }
+    panic("unknown TileOrder %d", static_cast<int>(o));
+}
+
+std::string
+toString(SubtileAssignment a)
+{
+    switch (a) {
+      case SubtileAssignment::Constant: return "const";
+      case SubtileAssignment::Flip1:    return "flp1";
+      case SubtileAssignment::Flip2:    return "flp2";
+      case SubtileAssignment::Flip3:    return "flp3";
+    }
+    panic("unknown SubtileAssignment %d", static_cast<int>(a));
+}
+
+std::string
+GpuConfig::describe() const
+{
+    std::ostringstream os;
+    os << "Global Parameters\n"
+       << "  Clock             : " << clockHz / 1'000'000 << " MHz\n"
+       << "  Screen Resolution : " << screenWidth << "x" << screenHeight
+       << "\n"
+       << "  Tile Size         : " << tileSize << "x" << tileSize << "\n"
+       << "  Tiles             : " << tilesX() << "x" << tilesY() << " = "
+       << numTiles() << "\n"
+       << "  Pipelines / SCs   : " << numPipelines << "\n"
+       << "Scheduling\n"
+       << "  Quad Grouping     : " << toString(grouping) << "\n"
+       << "  Tile Order        : " << toString(tileOrder) << "\n"
+       << "  Subtile Assignment: " << toString(assignment) << "\n"
+       << "  Barriers          : "
+       << (decoupledBarriers ? "decoupled" : "coupled") << "\n"
+       << "Caches (size/ways/latency)\n"
+       << "  Vertex  : " << vertexCache.sizeBytes / 1024 << " KiB, "
+       << vertexCache.ways << "-way, " << vertexCache.hitLatency
+       << " cycle\n"
+       << "  Texture : " << textureCache.sizeBytes / 1024 << " KiB x"
+       << numPipelines << ", " << textureCache.ways << "-way, "
+       << textureCache.hitLatency << " cycle\n"
+       << "  Tile    : " << tileCache.sizeBytes / 1024 << " KiB, "
+       << tileCache.ways << "-way, " << tileCache.hitLatency << " cycle\n"
+       << "  L2      : " << l2Cache.sizeBytes / 1024 << " KiB, "
+       << l2Cache.ways << "-way, " << l2Cache.hitLatency << " cycles\n"
+       << "Main Memory\n"
+       << "  Latency : " << dram.rowHitLatency << "-" << dram.rowMissLatency
+       << " cycles, " << dram.numBanks << " banks\n";
+    return os.str();
+}
+
+void
+GpuConfig::validate() const
+{
+    if (tileSize == 0 || tileSize % 2 != 0)
+        fatal("tile size must be a positive multiple of 2 (quads are 2x2)");
+    if (numPipelines != 1 && numPipelines != 4)
+        fatal("numPipelines must be 1 (upper bound) or 4");
+    if (numPipelines == 4 && quadsPerTileSide() % 2 != 0)
+        fatal("tile must split into 2x2 subtiles of whole quads");
+    auto check_cache = [](const char *name, const CacheConfig &c) {
+        if (c.sizeBytes == 0 || c.lineBytes == 0 || c.ways == 0)
+            fatal("%s cache has a zero parameter", name);
+        if (c.sizeBytes % (c.lineBytes * c.ways) != 0)
+            fatal("%s cache size not divisible into sets", name);
+        if ((c.numSets() & (c.numSets() - 1)) != 0)
+            fatal("%s cache set count must be a power of two", name);
+    };
+    check_cache("vertex", vertexCache);
+    check_cache("texture", textureCache);
+    check_cache("tile", tileCache);
+    check_cache("L2", l2Cache);
+    if (dram.bytesPerCycle == 0 || dram.numBanks == 0)
+        fatal("DRAM bandwidth/banks must be positive");
+}
+
+GpuConfig
+makeBaselineConfig()
+{
+    GpuConfig cfg;
+    cfg.grouping = QuadGrouping::FGXShift2;
+    cfg.tileOrder = TileOrder::ZOrder;
+    cfg.assignment = SubtileAssignment::Constant;
+    cfg.decoupledBarriers = false;
+    return cfg;
+}
+
+GpuConfig
+makeDTexLConfig()
+{
+    GpuConfig cfg;
+    cfg.grouping = QuadGrouping::CGSquare;
+    cfg.tileOrder = TileOrder::RectHilbert;
+    cfg.assignment = SubtileAssignment::Flip2;
+    cfg.decoupledBarriers = true;
+    return cfg;
+}
+
+QuadGrouping
+quadGroupingFromString(const std::string &name)
+{
+    for (QuadGrouping g : kAllQuadGroupings)
+        if (toString(g) == name)
+            return g;
+    fatal("unknown quad grouping '%s'", name.c_str());
+}
+
+TileOrder
+tileOrderFromString(const std::string &name)
+{
+    for (TileOrder o : kAllTileOrders)
+        if (toString(o) == name)
+            return o;
+    fatal("unknown tile order '%s'", name.c_str());
+}
+
+SubtileAssignment
+subtileAssignmentFromString(const std::string &name)
+{
+    for (SubtileAssignment a : kAllSubtileAssignments)
+        if (toString(a) == name)
+            return a;
+    fatal("unknown subtile assignment '%s'", name.c_str());
+}
+
+std::string
+toString(WarpSched w)
+{
+    switch (w) {
+      case WarpSched::EarliestReady: return "earliest";
+      case WarpSched::OldestFirst:   return "oldest";
+      case WarpSched::Greedy:        return "greedy";
+    }
+    panic("unknown WarpSched %d", static_cast<int>(w));
+}
+
+namespace {
+
+std::uint32_t
+parseUint(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("option %s: '%s' is not a number", key.c_str(),
+              value.c_str());
+    return static_cast<std::uint32_t>(v);
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on")
+        return true;
+    if (value == "0" || value == "false" || value == "off")
+        return false;
+    fatal("option %s: '%s' is not a boolean", key.c_str(),
+          value.c_str());
+}
+
+} // namespace
+
+void
+applyConfigOption(GpuConfig &cfg, const std::string &key,
+                  const std::string &value)
+{
+    if (key == "grouping") {
+        cfg.grouping = quadGroupingFromString(value);
+    } else if (key == "order") {
+        cfg.tileOrder = tileOrderFromString(value);
+    } else if (key == "assignment") {
+        cfg.assignment = subtileAssignmentFromString(value);
+    } else if (key == "decoupled") {
+        cfg.decoupledBarriers = parseBool(key, value);
+    } else if (key == "hiz") {
+        cfg.hierarchicalZ = parseBool(key, value);
+    } else if (key == "prefetch") {
+        cfg.texturePrefetch = parseBool(key, value);
+    } else if (key == "te") {
+        cfg.transactionElimination = parseBool(key, value);
+    } else if (key == "warp_sched") {
+        if (value == "earliest")
+            cfg.warpScheduler = WarpSched::EarliestReady;
+        else if (value == "oldest")
+            cfg.warpScheduler = WarpSched::OldestFirst;
+        else if (value == "greedy")
+            cfg.warpScheduler = WarpSched::Greedy;
+        else
+            fatal("option warp_sched: unknown policy '%s'",
+                  value.c_str());
+    } else if (key == "warps") {
+        cfg.maxWarpsPerCore = parseUint(key, value);
+    } else if (key == "fifo") {
+        cfg.stageFifoDepth = parseUint(key, value);
+    } else if (key == "width") {
+        cfg.screenWidth = parseUint(key, value);
+    } else if (key == "height") {
+        cfg.screenHeight = parseUint(key, value);
+    } else if (key == "tile") {
+        cfg.tileSize = parseUint(key, value);
+    } else if (key == "l1tex_kib") {
+        cfg.textureCache.sizeBytes = parseUint(key, value) * 1024;
+    } else if (key == "l2_kib") {
+        cfg.l2Cache.sizeBytes = parseUint(key, value) * 1024;
+    } else {
+        fatal("unknown config option '%s'", key.c_str());
+    }
+}
+
+GpuConfig
+makeUpperBoundConfig()
+{
+    GpuConfig cfg = makeBaselineConfig();
+    cfg.numPipelines = 1;
+    cfg.textureCache.sizeBytes *= 4;
+    cfg.maxWarpsPerCore *= 4;
+    cfg.grouping = QuadGrouping::CGSquare;  // irrelevant with one SC
+    return cfg;
+}
+
+} // namespace dtexl

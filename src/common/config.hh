@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Simulated-GPU configuration. Defaults reproduce Table II of the paper;
+ * scheduling-policy fields select the configurations compared in the
+ * evaluation (Figures 11-18).
+ */
+
+#ifndef DTEXL_COMMON_CONFIG_HH
+#define DTEXL_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/policies.hh"
+#include "common/types.hh"
+
+namespace dtexl {
+
+/** Geometry/size/latency parameters of one cache (Table II rows). */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 0;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 4;
+    std::uint32_t hitLatency = 1;   ///< cycles
+    std::uint32_t numMshrs = 16;    ///< outstanding misses
+    /**
+     * Next-line prefetch on demand miss (the decoupled-access
+     * direction of Arnau et al. [2], cited by the paper as orthogonal
+     * prior work on texture caching). Off by default.
+     */
+    bool prefetchNextLine = false;
+
+    std::uint32_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint32_t numSets() const { return numLines() / ways; }
+};
+
+/** Banked-DRAM timing (Table II: 50-100 cycle latency window). */
+struct DramConfig
+{
+    std::uint32_t numBanks = 8;
+    std::uint32_t rowBytes = 2048;       ///< row-buffer coverage per bank
+    std::uint32_t rowHitLatency = 50;    ///< cycles, open-row access
+    std::uint32_t rowMissLatency = 100;  ///< cycles, row activate + access
+    std::uint32_t bytesPerCycle = 16;    ///< channel bandwidth
+};
+
+/**
+ * Full GPU configuration. Construct with defaults for the paper's
+ * Table II machine; presets below select the paper's named
+ * configurations.
+ */
+struct GpuConfig
+{
+    // --- Global parameters (Table II) ---
+    std::uint64_t clockHz = 600'000'000;  ///< 600 MHz
+    std::uint32_t screenWidth = 1960;
+    std::uint32_t screenHeight = 768;
+    std::uint32_t tileSize = 32;          ///< pixels per tile side
+
+    // --- Raster pipeline structure ---
+    std::uint32_t numPipelines = 4;       ///< parallel post-raster units/SCs
+    std::uint32_t maxWarpsPerCore = 6;    ///< in-flight quads per SC
+    std::uint32_t stageFifoDepth = 64;    ///< per-bank inter-stage FIFOs
+    std::uint32_t rasterQuadsPerCycle = 4;///< rasterizer peak throughput
+
+    // --- Scheduling policy (the paper's contribution) ---
+    QuadGrouping grouping = QuadGrouping::FGXShift2;
+    TileOrder tileOrder = TileOrder::ZOrder;
+    SubtileAssignment assignment = SubtileAssignment::Constant;
+    bool decoupledBarriers = false;
+    /**
+     * Hierarchical-Z (extension, off by default = paper baseline):
+     * a conservative per-4x4-quad-block max-depth test in the
+     * rasterizer culls fully-occluded quads before they enter the
+     * Early-Z queues.
+     */
+    bool hierarchicalZ = false;
+    /**
+     * Next-line prefetching in the L1 texture caches (extension, off
+     * by default = paper baseline); see CacheConfig::prefetchNextLine.
+     */
+    bool texturePrefetch = false;
+    /** Warp selection policy in the shader cores. */
+    WarpSched warpScheduler = WarpSched::EarliestReady;
+    /**
+     * Transaction elimination (extension, off by default): each Color
+     * Buffer bank keeps a CRC of the region it last flushed; an
+     * identical re-flush (static content across frames) is skipped,
+     * saving framebuffer write bandwidth — ARM Mali's technique.
+     */
+    bool transactionElimination = false;
+
+    // --- Memory hierarchy (Table II) ---
+    CacheConfig vertexCache  {8 * 1024, 64, 4, 1, 8};
+    CacheConfig textureCache {16 * 1024, 64, 4, 1, 16};
+    CacheConfig tileCache    {64 * 1024, 64, 4, 1, 16};
+    CacheConfig l2Cache      {1024 * 1024, 64, 8, 12, 32};
+    DramConfig dram;
+
+    // --- Derived ---
+    std::uint32_t tilesX() const { return divCeil(screenWidth, tileSize); }
+    std::uint32_t tilesY() const { return divCeil(screenHeight, tileSize); }
+    std::uint32_t numTiles() const { return tilesX() * tilesY(); }
+    /** Quads per tile side (a quad is 2x2 pixels). */
+    std::uint32_t quadsPerTileSide() const { return tileSize / 2; }
+
+    /** Human-readable multi-line dump (used by bench/table2_config). */
+    std::string describe() const;
+
+    /** Sanity-check the configuration; fatal() on invalid combinations. */
+    void validate() const;
+};
+
+/** Paper baseline: FG-xshift2, Z-order, constant assignment, coupled. */
+GpuConfig makeBaselineConfig();
+
+/**
+ * Full DTexL: CG-square grouping, rectangle-adapted Hilbert order,
+ * Flip2 assignment (the paper's best, "HLB-flp2"), decoupled barriers.
+ */
+GpuConfig makeDTexLConfig();
+
+/**
+ * Upper-bound machine of Figure 16: one fragment pipeline whose L1
+ * texture cache has 4x the capacity; only its L2 access count is used.
+ */
+GpuConfig makeUpperBoundConfig();
+
+/**
+ * Apply a textual "key=value" option to a configuration (the CLI
+ * driver's interface). Supported keys: grouping, order, assignment,
+ * decoupled, hiz, warps, fifo, width, height, tile, l1tex_kib,
+ * l2_kib. fatal() on unknown keys or bad values.
+ */
+void applyConfigOption(GpuConfig &cfg, const std::string &key,
+                       const std::string &value);
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_CONFIG_HH

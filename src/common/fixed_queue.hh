@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bounded FIFO queue used for the inter-stage queues of the raster
+ * pipeline (Figure 3/4 of the paper): fixed capacity, O(1) push/pop,
+ * explicit full/empty back-pressure.
+ */
+
+#ifndef DTEXL_COMMON_FIXED_QUEUE_HH
+#define DTEXL_COMMON_FIXED_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+/**
+ * Ring-buffer FIFO with a fixed capacity chosen at construction.
+ * Pushing into a full queue or popping an empty one is a simulator bug
+ * (stages must check full()/empty() to model back-pressure).
+ */
+template <typename T>
+class FixedQueue
+{
+  public:
+    explicit FixedQueue(std::size_t capacity)
+        : buf(capacity + 1), cap(capacity)
+    {
+        dtexl_assert(capacity > 0, "queue capacity must be positive");
+    }
+
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const
+    {
+        return tail >= head ? tail - head : buf.size() - head + tail;
+    }
+    bool empty() const { return head == tail; }
+    bool full() const { return size() == cap; }
+
+    /** Enqueue; queue must not be full. */
+    void
+    push(T v)
+    {
+        dtexl_assert(!full(), "push into full queue");
+        buf[tail] = std::move(v);
+        tail = inc(tail);
+    }
+
+    /** Peek at the oldest element; queue must not be empty. */
+    T &
+    front()
+    {
+        dtexl_assert(!empty(), "front of empty queue");
+        return buf[head];
+    }
+
+    const T &
+    front() const
+    {
+        dtexl_assert(!empty(), "front of empty queue");
+        return buf[head];
+    }
+
+    /** Dequeue the oldest element; queue must not be empty. */
+    T
+    pop()
+    {
+        dtexl_assert(!empty(), "pop of empty queue");
+        T v = std::move(buf[head]);
+        head = inc(head);
+        return v;
+    }
+
+    /** Drop all contents. */
+    void clear() { head = tail = 0; }
+
+  private:
+    std::size_t inc(std::size_t i) const { return i + 1 == buf.size() ? 0 : i + 1; }
+
+    std::vector<T> buf;
+    std::size_t cap;
+    std::size_t head = 0;
+    std::size_t tail = 0;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_FIXED_QUEUE_HH

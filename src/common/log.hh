@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal convention:
+ * panic() flags simulator bugs (aborts), fatal() flags unusable user
+ * configuration (clean exit), warn()/inform() report status.
+ */
+
+#ifndef DTEXL_COMMON_LOG_HH
+#define DTEXL_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dtexl {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Report a condition that can never happen unless the simulator itself is
+ * broken. Prints the message and aborts (may dump core).
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a condition caused by an invalid user configuration. Prints the
+ * message and exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious but survivable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Suppress or re-enable inform()/warn() output (tests use this to keep
+ * logs quiet). Fatal/panic are never suppressed.
+ */
+void setLogQuiet(bool quiet);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** Backend for dtexl_assert(); fmt may be null when no message was given. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt = nullptr, ...);
+
+} // namespace dtexl
+
+/**
+ * Simulator-internal invariant check. Unlike assert(), stays on in release
+ * builds; violation is a panic (a DTexL bug, not a user error). An optional
+ * printf-style message may follow the condition.
+ */
+#define dtexl_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::dtexl::panicAssert(#cond, __FILE__, __LINE__                  \
+                                 __VA_OPT__(,) __VA_ARGS__);                \
+        }                                                                   \
+    } while (0)
+
+#endif // DTEXL_COMMON_LOG_HH

@@ -1,0 +1,126 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geoMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        dtexl_assert(x > 0.0, "geoMean requires positive samples");
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+normMeanDeviation(const std::vector<double> &xs)
+{
+    double m = mean(xs);
+    if (xs.empty() || m == 0.0)
+        return 0.0;
+    double dev = 0.0;
+    for (double x : xs)
+        dev += std::abs(x - m);
+    dev /= static_cast<double>(xs.size());
+    return dev / m;
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted = true;
+    }
+}
+
+double
+Distribution::min() const
+{
+    dtexl_assert(!samples_.empty());
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+Distribution::max() const
+{
+    dtexl_assert(!samples_.empty());
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+Distribution::mean() const
+{
+    return dtexl::mean(samples_);
+}
+
+double
+Distribution::quantile(double q) const
+{
+    dtexl_assert(!samples_.empty());
+    dtexl_assert(q >= 0.0 && q <= 1.0);
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_[0];
+    double pos = q * static_cast<double>(samples_.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string
+Distribution::summary() const
+{
+    std::ostringstream os;
+    if (samples_.empty()) {
+        os << "(empty)";
+        return os.str();
+    }
+    os.precision(3);
+    os << std::fixed << "min=" << min() << " p25=" << quantile(0.25)
+       << " mean=" << mean() << " p75=" << quantile(0.75)
+       << " max=" << max();
+    return os.str();
+}
+
+std::uint64_t
+StatSet::get(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : counters_)
+        os << name_ << "." << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace dtexl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Statistics collection: scalar counters, sample distributions (used for
+ * the paper's violin plots, Figures 14/15), and the normalized
+ * mean-deviation metric used throughout the evaluation.
+ */
+
+#ifndef DTEXL_COMMON_STATS_HH
+#define DTEXL_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtexl {
+
+/**
+ * Normalized mean deviation of a sample set, as the paper uses it
+ * (Figures 1, 12, 14, 15): mean absolute deviation from the mean,
+ * divided by the mean. Returns 0 for empty input or zero mean.
+ */
+double normMeanDeviation(const std::vector<double> &xs);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for empty input, requires positive samples. */
+double geoMean(const std::vector<double> &xs);
+
+/**
+ * Online sample distribution. Stores all samples so exact quantiles are
+ * available for violin-style summaries; the evaluation collects at most a
+ * few tens of thousands of per-tile samples per run.
+ */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sorted = false;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+    double min() const;
+    double max() const;
+    double mean() const;
+
+    /** Exact quantile, q in [0,1]; linear interpolation between samples. */
+    double quantile(double q) const;
+
+    /** Five-number-ish summary line: min / p25 / mean / p75 / max. */
+    std::string summary() const;
+
+    const std::vector<double> &samples() const { return samples_; }
+    void clear() { samples_.clear(); }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted = false;
+    void ensureSorted() const;
+};
+
+/**
+ * A flat named-counter set. Components own one and bump counters by
+ * name-stable keys; runs are compared by diffing snapshots.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string name) : name_(std::move(name)) {}
+
+    /** Add delta (default 1) to a counter, creating it at zero. */
+    void
+    inc(const std::string &key, std::uint64_t delta = 1)
+    {
+        counters_[key] += delta;
+    }
+
+    /** Current value; 0 if never incremented. */
+    std::uint64_t get(const std::string &key) const;
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Multi-line "name.key = value" dump. */
+    std::string dump() const;
+
+    void clear() { counters_.clear(); }
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_STATS_HH

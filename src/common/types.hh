@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar and coordinate types shared by all simulator modules.
+ */
+
+#ifndef DTEXL_COMMON_TYPES_HH
+#define DTEXL_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dtexl {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a tile within the frame's tile grid, in raster order. */
+using TileId = std::uint32_t;
+
+/** Identifier of a shader core / parallel raster pipeline (0..N-1). */
+using CoreId = std::uint8_t;
+
+/** Identifier of a primitive within a frame, in submission order. */
+using PrimId = std::uint32_t;
+
+/** Sentinel for "no cycle" / "not yet scheduled". */
+inline constexpr Cycle kCycleNever = ~Cycle{0};
+
+/** Integer 2D coordinate (tile grid, quad grid, pixel grid). */
+struct Coord2
+{
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+
+    bool operator==(const Coord2 &o) const = default;
+};
+
+/**
+ * Manhattan adjacency test: true when the two coordinates are horizontal
+ * or vertical grid neighbours (not diagonal, not equal).
+ */
+inline bool
+isEdgeAdjacent(const Coord2 &a, const Coord2 &b)
+{
+    int dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+    int dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+    return dx + dy == 1;
+}
+
+/** Integer division rounding up; used for grid sizing throughout. */
+inline constexpr std::uint32_t
+divCeil(std::uint32_t a, std::uint32_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_TYPES_HH

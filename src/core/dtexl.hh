@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Umbrella header: the DTexL library's public API.
+ *
+ * Typical use:
+ * @code
+ *   dtexl::GpuConfig cfg = dtexl::makeDTexLConfig();
+ *   dtexl::Scene scene = dtexl::generateScene(params, cfg);
+ *   dtexl::GpuSimulator gpu(cfg, scene);
+ *   dtexl::FrameStats fs = gpu.renderFrame();
+ * @endcode
+ */
+
+#ifndef DTEXL_CORE_DTEXL_HH
+#define DTEXL_CORE_DTEXL_HH
+
+#include "common/config.hh"
+#include "common/policies.hh"
+#include "common/stats.hh"
+#include "core/frame_stats.hh"
+#include "core/gpu.hh"
+#include "geom/scene.hh"
+#include "sched/subtile_assigner.hh"
+#include "sched/subtile_layout.hh"
+#include "sfc/tile_order.hh"
+
+#endif // DTEXL_CORE_DTEXL_HH

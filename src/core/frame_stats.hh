@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-frame measurement record: everything the paper's figures plot.
+ */
+
+#ifndef DTEXL_CORE_FRAME_STATS_HH
+#define DTEXL_CORE_FRAME_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dtexl {
+
+/** Results of rendering one frame. */
+struct FrameStats
+{
+    // --- Time ---
+    Cycle geometryCycles = 0;  ///< geometry + binning phase
+    Cycle rasterCycles = 0;    ///< raster phase (the bottleneck)
+    /** Steady-state frame time: phases pipeline across frames. */
+    Cycle totalCycles = 0;
+    double fps = 0.0;
+
+    // --- Work ---
+    std::uint64_t verticesProcessed = 0;
+    std::uint64_t primitivesBinned = 0;
+    std::uint64_t quadsRasterized = 0;
+    std::uint64_t quadsCulledEarlyZ = 0;
+    std::uint64_t quadsCulledHiZ = 0;  ///< hierarchicalZ extension
+    std::uint64_t quadsShaded = 0;      ///< warps launched in SCs
+    std::uint64_t fragmentsShaded = 0;
+    std::uint64_t shaderInstructions = 0;
+    std::uint64_t textureSamples = 0;   ///< per-fragment tex instructions
+
+    std::uint64_t earlyZTests = 0;
+    std::uint64_t blendOps = 0;
+    std::uint64_t flushLineWrites = 0;
+    /** Bank flushes skipped by transaction elimination (extension). */
+    std::uint64_t flushesEliminated = 0;
+
+    // --- Memory ---
+    std::uint64_t l1TexAccesses = 0;
+    std::uint64_t l1TexMisses = 0;
+    std::uint64_t l1VertexAccesses = 0;
+    std::uint64_t l1TileAccesses = 0;
+    std::uint64_t l2Accesses = 0;       ///< the paper's key metric
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramAccesses = 0;
+
+    // --- Balance (Figures 1, 14, 15) ---
+    /** Quads shaded per SC over the whole frame. */
+    std::array<std::uint64_t, 4> quadsPerSc{};
+    /** Per-tile normalized mean deviation of SC busy time. */
+    Distribution tileTimeDeviation;
+    /** Per-tile normalized mean deviation of SC quad count. */
+    Distribution tileQuadDeviation;
+    /** Per-SC idle cycles spent waiting at tile barriers. */
+    std::array<std::uint64_t, 4> barrierIdleCycles{};
+
+    /**
+     * End-of-frame texture-block replication factor across the
+     * private L1s (Section II-B's mechanism): mean copies per
+     * distinct resident line.
+     */
+    double textureReplication = 1.0;
+
+    // --- Verification ---
+    std::uint64_t imageHash = 0;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_CORE_FRAME_STATS_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The full simulated GPU: Geometry Pipeline + Tiling Engine + Raster
+ * Pipeline over the memory hierarchy of Figure 5. The public entry
+ * point of the library: construct with a configuration and a scene,
+ * call renderFrame().
+ */
+
+#ifndef DTEXL_CORE_GPU_HH
+#define DTEXL_CORE_GPU_HH
+
+#include <memory>
+
+#include "common/config.hh"
+#include "core/frame_stats.hh"
+#include "core/raster_pipeline.hh"
+#include "geom/prim_assembler.hh"
+#include "geom/scene.hh"
+#include "geom/vertex_stage.hh"
+#include "mem/hierarchy.hh"
+#include "raster/framebuffer.hh"
+#include "tiling/param_buffer.hh"
+#include "tiling/poly_list_builder.hh"
+
+namespace dtexl {
+
+/** Cycle-level TBR GPU simulator. */
+class GpuSimulator
+{
+  public:
+    /**
+     * @param cfg   Machine + scheduling configuration (validated).
+     * @param scene Frame input; must outlive the simulator.
+     */
+    GpuSimulator(const GpuConfig &cfg, const Scene &scene);
+
+    /**
+     * Render one frame and return its statistics. Successive calls
+     * render successive frames with warm caches, which is how the
+     * evaluation measures steady-state behaviour.
+     */
+    FrameStats renderFrame();
+
+    /**
+     * Swap the scene for the next frame (animation). The new scene's
+     * texture table must describe the same texture memory (same ids,
+     * addresses and sizes) or warm cache contents would be stale.
+     */
+    void setScene(const Scene &next);
+
+    const GpuConfig &config() const { return cfg; }
+    MemHierarchy &memory() { return *mem; }
+    const MemHierarchy &memory() const { return *mem; }
+    const FrameBuffer &framebuffer() const { return *fb; }
+    RasterPipeline &rasterPipeline() { return *pipeline; }
+
+  private:
+    GpuConfig cfg;
+    const Scene *scene;
+    std::unique_ptr<MemHierarchy> mem;
+    std::unique_ptr<FrameBuffer> fb;
+    std::unique_ptr<ParamBuffer> pb;
+    std::unique_ptr<RasterPipeline> pipeline;
+    /** Cross-frame flush CRCs for transaction elimination. */
+    FlushSignatures flushSignatures;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_CORE_GPU_HH

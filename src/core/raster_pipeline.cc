@@ -1,0 +1,507 @@
+#include "core/raster_pipeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+RasterPipeline::RasterPipeline(const GpuConfig &cfg, MemHierarchy &mem,
+                               const Scene &scene, FrameBuffer &fb,
+                               FlushSignatures *signatures)
+    : cfg(cfg), mem(mem), scene(scene), fb(fb), signatures(signatures),
+      layout(cfg.grouping, cfg.quadsPerTileSide()),
+      assigner(cfg.assignment, layout), rasterizer(cfg)
+{
+    const std::uint32_t n = cfg.quadsPerTileSide();
+    const std::uint32_t slots =
+        singlePipe() ? n * n : layout.quadsPerSubtile();
+    for (std::uint32_t p = 0; p < numPipes(); ++p) {
+        cores[p] = std::make_unique<ShaderCore>(
+            static_cast<CoreId>(p), cfg, mem, scene);
+        pipes[p].depth.assign(std::size_t{slots} * 4, 1.0f);
+        pipes[p].color.assign(std::size_t{slots} * 4, kClearColor);
+    }
+
+    if (singlePipe()) {
+        slotToQuad[0].resize(std::size_t{n} * n);
+        for (std::uint32_t y = 0; y < n; ++y)
+            for (std::uint32_t x = 0; x < n; ++x)
+                slotToQuad[0][std::size_t{y} * n + x] =
+                    Coord2{static_cast<std::int32_t>(x),
+                           static_cast<std::int32_t>(y)};
+    } else {
+        for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+            slotToQuad[s].resize(layout.quadsPerSubtile());
+        for (std::uint32_t y = 0; y < n; ++y) {
+            for (std::uint32_t x = 0; x < n; ++x) {
+                const Coord2 q{static_cast<std::int32_t>(x),
+                               static_cast<std::int32_t>(y)};
+                slotToQuad[layout.subtileOf(q)][layout.slotOf(q)] = q;
+            }
+        }
+    }
+}
+
+std::uint32_t
+RasterPipeline::pipeOf(const Quad &q,
+                       const std::array<CoreId, kNumSubtiles> &perm) const
+{
+    return singlePipe() ? 0u : perm[q.subtile];
+}
+
+std::uint32_t
+RasterPipeline::slotOf(const Quad &q) const
+{
+    if (singlePipe()) {
+        return static_cast<std::uint32_t>(q.quadInTile.y) *
+                   cfg.quadsPerTileSide() +
+               static_cast<std::uint32_t>(q.quadInTile.x);
+    }
+    return q.slot;
+}
+
+bool
+RasterPipeline::earlyZTest(PipeState &ps, const Quad &q,
+                           std::uint8_t &coverage, bool late_z) const
+{
+    if (late_z)
+        return true;  // test deferred to the Late Z-Test at blending
+    const std::uint32_t base = slotOf(q) * 4;
+    std::uint8_t out = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+        if (!(coverage & (1u << k)))
+            continue;
+        float &stored = ps.depth[base + k];
+        if (q.frags[k].depth < stored) {
+            out |= static_cast<std::uint8_t>(1u << k);
+            if (!q.prim->shader.blends)
+                stored = q.frags[k].depth;
+        }
+    }
+    coverage = out;
+    return out != 0;
+}
+
+void
+RasterPipeline::blendQuad(PipeState &ps, const Quad &q,
+                          std::uint8_t coverage, bool late_z)
+{
+    const std::uint32_t base = slotOf(q) * 4;
+    for (unsigned k = 0; k < 4; ++k) {
+        if (!(coverage & (1u << k)))
+            continue;
+        if (late_z) {
+            float &stored = ps.depth[base + k];
+            if (!(q.frags[k].depth < stored))
+                continue;
+            if (!q.prim->shader.blends)
+                stored = q.frags[k].depth;
+        }
+        ps.color[base + k] =
+            blendPixel(ps.color[base + k],
+                       shadeColor(q.prim->id, static_cast<std::uint32_t>(k)),
+                       q.prim->shader.blends);
+    }
+}
+
+Cycle
+RasterPipeline::flushBank(PipeState &ps, Coord2 tile_coord,
+                          std::uint8_t subtile,
+                          const std::vector<Coord2> &slot_to_quad,
+                          Cycle start, FrameStats &fs)
+{
+    // Copy the bank's pixels into the frame image and count how many
+    // of each framebuffer line's pixels this bank produces.
+    std::map<Addr, std::uint32_t> line_pixels;
+    std::uint64_t crc = 0xcbf29ce484222325ull;
+    const std::int32_t px0 = tile_coord.x *
+                             static_cast<std::int32_t>(cfg.tileSize);
+    const std::int32_t py0 = tile_coord.y *
+                             static_cast<std::int32_t>(cfg.tileSize);
+    for (std::size_t slot = 0; slot < slot_to_quad.size(); ++slot) {
+        const Coord2 qc = slot_to_quad[slot];
+        for (unsigned k = 0; k < 4; ++k) {
+            const std::int32_t px = px0 + qc.x * 2 +
+                                    static_cast<std::int32_t>(k % 2);
+            const std::int32_t py = py0 + qc.y * 2 +
+                                    static_cast<std::int32_t>(k / 2);
+            if (px >= static_cast<std::int32_t>(cfg.screenWidth) ||
+                py >= static_cast<std::int32_t>(cfg.screenHeight)) {
+                continue;  // partial edge tile
+            }
+            fb.setPixel(static_cast<std::uint32_t>(px),
+                        static_cast<std::uint32_t>(py),
+                        ps.color[slot * 4 + k]);
+            crc = (crc ^ ps.color[slot * 4 + k]) * 0x100000001b3ull;
+            ++line_pixels[fb.pixelAddr(static_cast<std::uint32_t>(px),
+                                       static_cast<std::uint32_t>(py)) &
+                          ~Addr{cfg.tileCache.lineBytes - 1}];
+        }
+    }
+
+    // Transaction elimination: skip the timed writes when the bank's
+    // content is identical to what this (tile, subtile) flushed last
+    // frame.
+    if (cfg.transactionElimination && signatures) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(tile_coord.y) * cfg.tilesX() +
+             static_cast<std::uint64_t>(tile_coord.x)) *
+                kNumSubtiles +
+            subtile;
+        auto it = signatures->crc.find(key);
+        if (it != signatures->crc.end() && it->second == crc) {
+            ++fs.flushesEliminated;
+            stats_.inc("flush_eliminated");
+            std::fill(ps.color.begin(), ps.color.end(), kClearColor);
+            return start;
+        }
+        signatures->crc[key] = crc;
+    }
+
+    // One line write per cycle through the Tile Cache, as posted
+    // (write-combined) stores: flushes never hold cache MSHRs. Lines
+    // fully covered by this bank's pixels are pure streaming stores;
+    // partially covered lines (fine-grained groupings flushing per
+    // bank) read-modify-write, occupying a second port slot.
+    const std::uint32_t full = cfg.tileCache.lineBytes / 4;
+    Cycle issue = start;
+    Cycle done = start;
+    for (const auto &[line, pixels] : line_pixels) {
+        done = std::max(done, mem.tileCache().writeLine(line, issue));
+        ++issue;
+        if (pixels < full) {
+            ++issue;  // RMW merge occupies an extra slot
+            stats_.inc("flush_partial_lines");
+        }
+        stats_.inc("flush_line_writes");
+    }
+
+    // Reset the bank for its next subtile.
+    std::fill(ps.color.begin(), ps.color.end(), kClearColor);
+    return done;
+}
+
+Cycle
+RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
+{
+    TileFetcher fetcher(cfg, mem, pb);
+    const std::uint32_t n_pipes = numPipes();
+    const bool coupled = !cfg.decoupledBarriers;
+
+    std::vector<Quad> quads;     // current tile, raster order
+    Cycle frame_end = 0;
+    Cycle fetch_cursor = 0;      // when the fetcher may start a tile
+    Cycle rast_free = 0;         // when the rasterizer may start a tile
+    Cycle emit_cycle = 0;        // current emission cycle
+    std::uint32_t emitted_this_cycle = 0;
+    Cycle shared_flush_done = 0; // coupled: whole-tile flush completion
+    std::deque<Cycle> rast_start_history;  // for 2-deep tile prefetch
+
+    std::array<Cycle, kNumSubtiles> prev_fs_finish{};
+
+    while (!fetcher.done()) {
+        // --- Tile Fetcher (runs up to two tiles ahead) ---
+        if (rast_start_history.size() >= 2) {
+            fetch_cursor =
+                std::max(fetch_cursor, rast_start_history.front());
+            rast_start_history.pop_front();
+        }
+        FetchedTile tile = fetcher.fetchNext(fetch_cursor);
+        fetch_cursor = tile.readyAt;
+
+        // --- Rasterize the tile (functional) ---
+        quads.clear();
+        bool late_z = false;
+        for (const Primitive *prim : tile.prims) {
+            rasterizer.rasterize(*prim, tile.coord, quads);
+            late_z |= prim->shader.modifiesDepth;
+        }
+        fs.quadsRasterized += quads.size();
+
+        // --- Schedule: grouping + assignment ---
+        const std::array<CoreId, kNumSubtiles> perm =
+            assigner.next(tile.coord);
+        for (Quad &q : quads) {
+            if (!singlePipe()) {
+                q.subtile = layout.subtileOf(q.quadInTile);
+                q.slot = static_cast<std::uint16_t>(
+                    layout.slotOf(q.quadInTile));
+            }
+        }
+        std::array<std::uint8_t, kNumSubtiles> inv_perm{};
+        if (!singlePipe()) {
+            for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+                inv_perm[perm[s]] = s;
+        }
+
+        // --- Per-stage gates for this tile ---
+        std::array<Cycle, kNumSubtiles> ez_gate{}, fs_gate{},
+            blend_gate{};
+        Cycle ez_gate_all = 0, fs_gate_all = 0, blend_gate_all = 0;
+        for (std::uint32_t p = 0; p < n_pipes; ++p) {
+            ez_gate_all = std::max(ez_gate_all, pipes[p].ezFinish);
+            fs_gate_all = std::max(fs_gate_all, pipes[p].fsFinish);
+            blend_gate_all =
+                std::max(blend_gate_all, pipes[p].blendFinish);
+        }
+        blend_gate_all = std::max(blend_gate_all, shared_flush_done);
+        for (std::uint32_t p = 0; p < n_pipes; ++p) {
+            ez_gate[p] = coupled ? ez_gate_all : pipes[p].ezFinish;
+            fs_gate[p] = coupled ? fs_gate_all : pipes[p].fsFinish;
+            blend_gate[p] =
+                coupled ? blend_gate_all
+                        : std::max(pipes[p].blendFinish,
+                                   pipes[p].flushDone);
+        }
+
+        // --- Reset per-tile state ---
+        for (std::uint32_t p = 0; p < n_pipes; ++p) {
+            PipeState &ps = pipes[p];
+            std::fill(ps.depth.begin(), ps.depth.end(), 1.0f);
+            ps.batch.clear();
+            ps.arrivals.clear();
+        }
+
+        // --- Emission + Early-Z, in raster order ---
+        const Cycle rast_start = std::max(rast_free, tile.readyAt);
+        rast_start_history.push_back(rast_start);
+        if (rast_start > emit_cycle) {
+            emit_cycle = rast_start;
+            emitted_this_cycle = 0;
+        }
+        std::array<Cycle, kNumSubtiles> last_consume;
+        for (std::uint32_t p = 0; p < n_pipes; ++p)
+            last_consume[p] = ez_gate[p];
+
+        // Hierarchical-Z (optional extension): conservative per-block
+        // max depth over the tile; a quad entirely behind its block's
+        // farthest written depth is culled in the rasterizer's coarse
+        // stage, before emission.
+        const std::uint32_t n_quads_side = cfg.quadsPerTileSide();
+        const std::uint32_t hiz_blocks_side = divCeil(n_quads_side, 4);
+        std::vector<float> hiz_quad_max;
+        std::vector<float> hiz_block_max;
+        const bool use_hiz = cfg.hierarchicalZ && !late_z;
+        if (use_hiz) {
+            hiz_quad_max.assign(
+                std::size_t{n_quads_side} * n_quads_side, 1.0f);
+            hiz_block_max.assign(
+                std::size_t{hiz_blocks_side} * hiz_blocks_side, 1.0f);
+        }
+        auto hiz_block_of = [&](const Coord2 &qc) {
+            return static_cast<std::size_t>(qc.y / 4) *
+                       hiz_blocks_side +
+                   static_cast<std::size_t>(qc.x / 4);
+        };
+
+        for (Quad &q : quads) {
+            if (use_hiz) {
+                float q_min = 1.0f;
+                for (unsigned k = 0; k < 4; ++k)
+                    if (q.covered(k))
+                        q_min = std::min(q_min, q.frags[k].depth);
+                if (!(q_min < hiz_block_max[hiz_block_of(q.quadInTile)])) {
+                    ++fs.quadsCulledHiZ;
+                    stats_.inc("hiz_culled");
+                    continue;
+                }
+            }
+            const std::uint32_t p = pipeOf(q, perm);
+            PipeState &ps = pipes[p];
+
+            // Rasterizer emission slot (peak throughput + FIFO
+            // back-pressure from the slowest pipeline).
+            if (emitted_this_cycle >= cfg.rasterQuadsPerCycle) {
+                ++emit_cycle;
+                emitted_this_cycle = 0;
+            }
+            Cycle e = emit_cycle;
+            if (ps.fifo.size() >= cfg.stageFifoDepth) {
+                e = std::max(e, ps.fifo.front());
+                ps.fifo.pop_front();
+                if (e > emit_cycle) {
+                    emit_cycle = e;  // rasterizer head-of-line stall
+                    emitted_this_cycle = 0;
+                }
+            }
+            ++emitted_this_cycle;
+
+            // Early-Z consumes 1 quad/cycle per pipeline.
+            const Cycle c = std::max({e, ez_gate[p],
+                                      ps.ezBusyUntil + 1});
+            ps.ezBusyUntil = c;
+            ps.fifo.push_back(c);
+            last_consume[p] = std::max(last_consume[p], c);
+            stats_.inc("ez_tests");
+
+            std::uint8_t coverage = q.coverage;
+            if (earlyZTest(ps, q, coverage, late_z)) {
+                // Update the conservative HiZ pyramid: an opaque quad
+                // covering all four fragments lowers its cell's
+                // farthest depth.
+                if (use_hiz && !q.prim->shader.blends &&
+                    coverage == 0xF) {
+                    float q_max = 0.0f;
+                    for (unsigned k = 0; k < 4; ++k)
+                        q_max = std::max(q_max, q.frags[k].depth);
+                    const std::size_t qi =
+                        static_cast<std::size_t>(q.quadInTile.y) *
+                            n_quads_side +
+                        static_cast<std::size_t>(q.quadInTile.x);
+                    if (q_max < hiz_quad_max[qi]) {
+                        hiz_quad_max[qi] = q_max;
+                        // Recompute the block's max lazily.
+                        const Coord2 base{(q.quadInTile.x / 4) * 4,
+                                          (q.quadInTile.y / 4) * 4};
+                        float bm = 0.0f;
+                        for (std::int32_t dy = 0; dy < 4; ++dy) {
+                            for (std::int32_t dx = 0; dx < 4; ++dx) {
+                                const std::int32_t xx = base.x + dx;
+                                const std::int32_t yy = base.y + dy;
+                                if (xx >= static_cast<std::int32_t>(
+                                              n_quads_side) ||
+                                    yy >= static_cast<std::int32_t>(
+                                              n_quads_side)) {
+                                    continue;
+                                }
+                                bm = std::max(
+                                    bm,
+                                    hiz_quad_max[static_cast<
+                                                     std::size_t>(yy) *
+                                                     n_quads_side +
+                                                 static_cast<
+                                                     std::size_t>(xx)]);
+                            }
+                        }
+                        hiz_block_max[hiz_block_of(q.quadInTile)] = bm;
+                    }
+                }
+                q.coverage = coverage;
+                ps.batch.push_back(&q);
+                ps.arrivals.push_back(c + 1);
+            } else {
+                ++fs.quadsCulledEarlyZ;
+            }
+        }
+        rast_free = emit_cycle;
+        for (std::uint32_t p = 0; p < n_pipes; ++p)
+            pipes[p].ezFinish = last_consume[p];
+
+        // --- Fragment Stage: one subtile per SC, all SCs executing
+        //     concurrently in one interleaved event loop ---
+        std::vector<ShaderCore *> core_ptrs;
+        std::vector<ShaderCore::BatchInput> batch_inputs;
+        for (std::uint32_t p = 0; p < n_pipes; ++p) {
+            core_ptrs.push_back(cores[p].get());
+            batch_inputs.push_back({&pipes[p].batch, &pipes[p].arrivals,
+                                    fs_gate[p]});
+        }
+        const std::vector<ShaderCore::BatchResult> results =
+            ShaderCore::runBatches(core_ptrs, batch_inputs);
+
+        std::array<Cycle, kNumSubtiles> busy{};
+        for (std::uint32_t p = 0; p < n_pipes; ++p) {
+            PipeState &ps = pipes[p];
+            const ShaderCore::BatchResult &br = results[p];
+            ps.fsFinish = std::max(fs_gate[p], br.finish);
+            busy[p] = ps.batch.empty() ? 0 : br.finish - br.start;
+            fs.quadsShaded += ps.batch.size();
+            fs.quadsPerSc[p] += ps.batch.size();
+            if (!ps.batch.empty()) {
+                fs.barrierIdleCycles[p] +=
+                    br.start > prev_fs_finish[p]
+                        ? br.start - prev_fs_finish[p]
+                        : 0;
+            }
+            prev_fs_finish[p] = ps.fsFinish;
+
+            // --- Blending: in-order commit, 1 quad/cycle ---
+            Cycle last_commit = blend_gate[p];
+            for (std::size_t i = 0; i < ps.batch.size(); ++i) {
+                const Cycle commit =
+                    std::max({blend_gate[p], ps.blendBusyUntil + 1,
+                              br.completion[i]});
+                ps.blendBusyUntil = commit;
+                last_commit = std::max(last_commit, commit);
+                blendQuad(ps, *ps.batch[i], ps.batch[i]->coverage,
+                          late_z);
+                stats_.inc("blend_ops");
+            }
+            ps.blendFinish = last_commit;
+        }
+
+        // --- Balance samples (Figures 14/15) ---
+        if (n_pipes == 4) {
+            std::uint64_t total_quads = 0;
+            std::vector<double> t_samples(4), q_samples(4);
+            for (std::uint32_t p = 0; p < 4; ++p) {
+                t_samples[p] = static_cast<double>(busy[p]);
+                q_samples[p] =
+                    static_cast<double>(pipes[p].batch.size());
+                total_quads += pipes[p].batch.size();
+            }
+            if (total_quads > 0) {
+                fs.tileTimeDeviation.add(normMeanDeviation(t_samples));
+                fs.tileQuadDeviation.add(normMeanDeviation(q_samples));
+            }
+        }
+
+        // --- Color Buffer flush ---
+        if (coupled) {
+            Cycle flush_start = 0;
+            for (std::uint32_t p = 0; p < n_pipes; ++p)
+                flush_start = std::max(flush_start,
+                                       pipes[p].blendFinish);
+            Cycle done = flush_start;
+            for (std::uint32_t p = 0; p < n_pipes; ++p) {
+                done = std::max(
+                    done, flushBank(pipes[p], tile.coord, inv_perm[p],
+                                    slotToQuad[inv_perm[p]],
+                                    flush_start, fs));
+            }
+            shared_flush_done = done;
+            for (std::uint32_t p = 0; p < n_pipes; ++p)
+                pipes[p].flushDone = done;
+            frame_end = std::max(frame_end, done);
+        } else {
+            for (std::uint32_t p = 0; p < n_pipes; ++p) {
+                PipeState &ps = pipes[p];
+                ps.flushDone = flushBank(ps, tile.coord, inv_perm[p],
+                                         slotToQuad[inv_perm[p]],
+                                         ps.blendFinish, fs);
+                frame_end = std::max(frame_end, ps.flushDone);
+            }
+        }
+
+        if (const char *dbg = getenv("DTEXL_TRACE_TILES")) {
+            if (tile.sequence <
+                static_cast<std::uint32_t>(atoi(dbg))) {
+                std::fprintf(stderr,
+                    "tile %3u prims %3zu quads %4zu | fetch %llu rastS "
+                    "%llu rastE %llu | ez %llu | fs %llu,%llu,%llu,"
+                    "%llu | bl %llu | fl %llu\n",
+                    tile.sequence, tile.prims.size(), quads.size(),
+                    (unsigned long long)tile.readyAt,
+                    (unsigned long long)rast_start,
+                    (unsigned long long)rast_free,
+                    (unsigned long long)pipes[0].ezFinish,
+                    (unsigned long long)pipes[0].fsFinish,
+                    (unsigned long long)pipes[1].fsFinish,
+                    (unsigned long long)pipes[2].fsFinish,
+                    (unsigned long long)pipes[3].fsFinish,
+                    (unsigned long long)pipes[0].blendFinish,
+                    (unsigned long long)pipes[0].flushDone);
+            }
+        }
+    }
+
+    for (std::uint32_t p = 0; p < n_pipes; ++p)
+        frame_end = std::max(frame_end, pipes[p].fsFinish);
+    return frame_end;
+}
+
+} // namespace dtexl

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The Raster Pipeline (Figures 3/4/10): Tile Fetcher -> Rasterizer ->
+ * Early-Z -> Fragment Stage -> Blending -> Color-Buffer flush, with
+ * four parallel post-raster pipelines.
+ *
+ * Barrier semantics are the paper's central mechanism:
+ *  - Coupled (baseline, Figure 4): Early-Z, Fragment and Blend each
+ *    process one *tile* at a time — a stage admits quads of tile N+1
+ *    only after every pipeline finished tile N in that stage, and the
+ *    Color Buffer flushes whole tiles.
+ *  - Decoupled (DTexL, Figure 10): each of the four parallel units
+ *    advances to its next *subtile* independently, and each Color
+ *    Buffer bank flushes on its own (it keeps its own tile ID).
+ */
+
+#ifndef DTEXL_CORE_RASTER_PIPELINE_HH
+#define DTEXL_CORE_RASTER_PIPELINE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/frame_stats.hh"
+#include "core/shader_core.hh"
+#include "mem/hierarchy.hh"
+#include "raster/framebuffer.hh"
+#include "raster/rasterizer.hh"
+#include "sched/subtile_assigner.hh"
+#include "sched/subtile_layout.hh"
+#include "tiling/param_buffer.hh"
+#include "tiling/tile_fetcher.hh"
+
+namespace dtexl {
+
+/**
+ * Cross-frame flush signatures for transaction elimination: CRC of the
+ * last content each (tile, subtile) flushed. Owned by the simulator so
+ * it survives the per-frame pipeline rebuild.
+ */
+struct FlushSignatures
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> crc;
+};
+
+/** Executes the raster phase of one frame. */
+class RasterPipeline
+{
+  public:
+    /**
+     * @param signatures Cross-frame flush CRCs for transaction
+     *                   elimination; may be null when the feature is
+     *                   disabled.
+     */
+    RasterPipeline(const GpuConfig &cfg, MemHierarchy &mem,
+                   const Scene &scene, FrameBuffer &fb,
+                   FlushSignatures *signatures = nullptr);
+
+    /**
+     * Render every tile of the frame.
+     *
+     * @param pb Parameter Buffer built by the Tiling Engine.
+     * @param fs Frame statistics, filled in.
+     * @return Cycle the last flush retires (raster-phase length).
+     */
+    Cycle run(const ParamBuffer &pb, FrameStats &fs);
+
+    ShaderCore &core(CoreId p) { return *cores[p]; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    /** Timing/storage state of one parallel pipeline (bank + SC). */
+    struct PipeState
+    {
+        Cycle ezFinish = 0;
+        Cycle ezBusyUntil = 0;
+        Cycle fsFinish = 0;
+        Cycle blendFinish = 0;
+        Cycle blendBusyUntil = 0;
+        Cycle flushDone = 0;
+        /** Raster->EZ FIFO: consume times of resident quads. */
+        std::deque<Cycle> fifo;
+        /** Depth per subtile slot (4 fragments each). */
+        std::vector<float> depth;
+        /** Color per subtile pixel (4 per slot). */
+        std::vector<PixelColor> color;
+        /** Surviving quads of the current tile, in EZ order. */
+        std::vector<const Quad *> batch;
+        std::vector<Cycle> arrivals;
+    };
+
+    std::uint32_t numPipes() const { return cfg.numPipelines; }
+    bool singlePipe() const { return cfg.numPipelines == 1; }
+
+    /** Pipeline that owns a quad this tile. */
+    std::uint32_t pipeOf(const Quad &q,
+                         const std::array<CoreId, kNumSubtiles> &perm)
+        const;
+    /** Z/Color slot of a quad within its pipeline's bank. */
+    std::uint32_t slotOf(const Quad &q) const;
+
+    /** Early-Z depth test; prunes coverage, returns survival. */
+    bool earlyZTest(PipeState &ps, const Quad &q, std::uint8_t &coverage,
+                    bool late_z) const;
+    /** Blend a committed quad into the pipeline's color bank. */
+    void blendQuad(PipeState &ps, const Quad &q, std::uint8_t coverage,
+                   bool late_z);
+    /**
+     * Flush a set of subtile slots to the framebuffer through the Tile
+     * Cache; returns the completion cycle. With transaction
+     * elimination, an unchanged bank (same CRC as the last frame's
+     * flush of this tile/subtile) skips the timed writes.
+     *
+     * @param subtile Subtile index the bank held this tile (CRC key).
+     */
+    Cycle flushBank(PipeState &ps, Coord2 tile_coord,
+                    std::uint8_t subtile,
+                    const std::vector<Coord2> &slot_to_quad, Cycle start,
+                    FrameStats &fs);
+
+    const GpuConfig &cfg;
+    MemHierarchy &mem;
+    const Scene &scene;
+    FrameBuffer &fb;
+    FlushSignatures *signatures;
+
+    SubtileLayout layout;
+    SubtileAssigner assigner;
+    Rasterizer rasterizer;
+    std::array<std::unique_ptr<ShaderCore>, kNumSubtiles> cores;
+    std::array<PipeState, kNumSubtiles> pipes;
+
+    /** slot -> quad coords, per subtile (single-pipe: whole tile). */
+    std::array<std::vector<Coord2>, kNumSubtiles> slotToQuad;
+
+    StatSet stats_{"raster_pipeline"};
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_CORE_RASTER_PIPELINE_HH

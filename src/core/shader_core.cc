@@ -1,0 +1,265 @@
+#include "core/shader_core.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/log.hh"
+#include "texture/sampler.hh"
+
+namespace dtexl {
+
+ShaderCore::ShaderCore(CoreId id, const GpuConfig &cfg, MemHierarchy &mem,
+                       const Scene &scene)
+    : coreId(id), cfg(cfg), mem(mem), scene(scene),
+      stats_("sc" + std::to_string(id))
+{}
+
+Cycle
+ShaderCore::sampleQuad(const Quad &quad, Cycle cycle)
+{
+    const ShaderDesc &shader = quad.prim->shader;
+    const TextureDesc &tex = scene.texture(quad.prim->texture);
+    // Texture unit throughput in half-cycles per fragment sample: two
+    // bilinear (or nearest) samples per cycle, one trilinear or
+    // anisotropic sample per cycle.
+    const std::uint64_t half_cost =
+        (shader.filter == FilterMode::Trilinear ||
+         shader.filter == FilterMode::Aniso2x)
+            ? 2
+            : 1;
+    texUnitFreeHalf = std::max(texUnitFreeHalf, cycle * 2);
+    // Per-quad level of detail from the fragment uv derivatives.
+    const float lod = quad.lod(tex.side());
+
+    Cycle ready = cycle;
+    std::array<Addr, SampleFootprint::kMaxTexels> lines;
+    for (unsigned k = 0; k < 4; ++k) {
+        if (!quad.covered(k))
+            continue;
+        const Cycle issue = texUnitFreeHalf / 2;
+        texUnitFreeHalf += half_cost;
+        const SampleFootprint fp =
+            sampleFootprint(tex, shader.filter, quad.frags[k].uv.x,
+                            quad.frags[k].uv.y, lod);
+        const std::uint32_t n_lines =
+            footprintLines(fp, cfg.textureCache.lineBytes, lines);
+        Cycle data = issue;
+        for (std::uint32_t l = 0; l < n_lines; ++l)
+            data = std::max(data, mem.textureRead(coreId, lines[l],
+                                                  issue));
+        stats_.inc("tex_samples");
+        stats_.inc("tex_line_reads", n_lines);
+        stats_.inc("tex_data_cycles", data - issue);
+        ready = std::max(ready, data + kFilterLatency);
+    }
+    stats_.inc("tex_wait_cycles", ready - cycle);
+    return ready;
+}
+
+void
+ShaderCore::issueInstruction(Warp &warp, Cycle cycle)
+{
+    if (warp.aluLeft > 0) {
+        --warp.aluLeft;
+        warp.readyAt = cycle + kAluLatency;
+        stats_.inc("alu_ops");
+        return;
+    }
+    dtexl_assert(warp.texLeft > 0, "issue on a finished warp");
+    warp.readyAt = sampleQuad(*warp.quad, cycle);
+    --warp.texLeft;
+    warp.aluLeft = warp.texLeft > 0 ? warp.aluPerSegment : warp.aluTail;
+    stats_.inc("tex_instructions");
+}
+
+/** Per-core execution state within runBatches(). */
+struct ShaderCore::CoreRun
+{
+    ShaderCore *core = nullptr;
+    const std::vector<const Quad *> *quads = nullptr;
+    const std::vector<Cycle> *arrivals = nullptr;
+    Cycle gate = 0;
+    std::vector<Warp> warps;
+    std::size_t activeCount = 0;
+    std::size_t nextPending = 0;
+    Cycle nextIssueAt = 0;
+    /** Warp issued last cycle (for the Greedy policy). */
+    Warp *lastIssued = nullptr;
+    BatchResult res;
+
+    /**
+     * Select the next warp under the core's scheduling policy.
+     *
+     * @param cycle Issue cycle of the selected warp (output).
+     * @return Selected warp, or null when no warp is active.
+     */
+    Warp *
+    pick(Cycle &cycle)
+    {
+        if (activeCount == 0)
+            return nullptr;
+        // Earliest feasible issue cycle across all active warps.
+        Cycle min_ready = kCycleNever;
+        for (const Warp &w : warps)
+            if (w.active)
+                min_ready = std::min(min_ready, w.readyAt);
+        cycle = std::max(min_ready, nextIssueAt);
+
+        const WarpSched policy = core->cfg.warpScheduler;
+        if (policy == WarpSched::Greedy && lastIssued &&
+            lastIssued->active && lastIssued->readyAt <= cycle) {
+            return lastIssued;
+        }
+        Warp *best = nullptr;
+        for (Warp &w : warps) {
+            if (!w.active || w.readyAt > cycle)
+                continue;
+            if (!best) {
+                best = &w;
+                continue;
+            }
+            switch (policy) {
+              case WarpSched::EarliestReady:
+                if (w.readyAt < best->readyAt ||
+                    (w.readyAt == best->readyAt &&
+                     w.batchIndex < best->batchIndex)) {
+                    best = &w;
+                }
+                break;
+              case WarpSched::OldestFirst:
+              case WarpSched::Greedy:  // greedy falls back to oldest
+                if (w.batchIndex < best->batchIndex)
+                    best = &w;
+                break;
+            }
+        }
+        dtexl_assert(best, "no eligible warp at its own ready time");
+        return best;
+    }
+};
+
+void
+ShaderCore::admitWarps(CoreRun &run)
+{
+    const std::size_t n = run.quads->size();
+    while (run.nextPending < n && run.activeCount < run.warps.size()) {
+        const Quad *quad = (*run.quads)[run.nextPending];
+        const Cycle ready =
+            std::max((*run.arrivals)[run.nextPending], run.gate);
+        const ShaderDesc &sh = quad->prim->shader;
+        Warp *slot = nullptr;
+        for (Warp &w : run.warps) {
+            if (!w.active) {
+                slot = &w;
+                break;
+            }
+        }
+        dtexl_assert(slot);
+        if (sh.aluOps == 0 && sh.texSamples == 0) {
+            // Degenerate empty shader: completes on arrival.
+            run.res.completion[run.nextPending] = ready;
+            run.res.finish = std::max(run.res.finish, ready);
+            ++run.nextPending;
+            stats_.inc("warps");
+            continue;
+        }
+        slot->quad = quad;
+        slot->batchIndex = run.nextPending;
+        slot->readyAt = ready;
+        slot->texLeft = sh.texSamples;
+        slot->aluPerSegment = static_cast<std::uint16_t>(
+            sh.texSamples > 0 ? sh.aluOps / (sh.texSamples + 1)
+                              : sh.aluOps);
+        slot->aluTail = static_cast<std::uint16_t>(
+            sh.texSamples > 0
+                ? sh.aluOps -
+                      static_cast<std::uint32_t>(slot->aluPerSegment) *
+                          sh.texSamples
+                : sh.aluOps);
+        slot->aluLeft =
+            sh.texSamples > 0 ? slot->aluPerSegment : slot->aluTail;
+        slot->active = true;
+        ++run.activeCount;
+        ++run.nextPending;
+        stats_.inc("warps");
+        stats_.inc("fragments", quad->coveredCount());
+    }
+}
+
+std::vector<ShaderCore::BatchResult>
+ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
+                       const std::vector<BatchInput> &inputs)
+{
+    dtexl_assert(cores.size() == inputs.size());
+    std::vector<CoreRun> runs(cores.size());
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        CoreRun &run = runs[c];
+        run.core = cores[c];
+        run.quads = inputs[c].quads;
+        run.arrivals = inputs[c].arrivals;
+        run.gate = inputs[c].gate;
+        dtexl_assert(run.quads->size() == run.arrivals->size());
+        const std::size_t n = run.quads->size();
+        run.res.completion.assign(n, run.gate);
+        run.res.start = run.gate;
+        run.res.finish = run.gate;
+        if (n > 0)
+            run.res.start = std::max(run.gate, run.arrivals->front());
+        run.warps.resize(run.core->cfg.maxWarpsPerCore);
+        run.nextIssueAt = run.gate;
+        run.core->admitWarps(run);
+    }
+
+    // Global event loop: always issue the globally-earliest ready
+    // instruction, so the cores' memory accesses interleave in time
+    // order at the shared levels. Within a core, the configured warp
+    // scheduling policy selects among ready warps.
+    for (;;) {
+        CoreRun *best_run = nullptr;
+        Warp *best_warp = nullptr;
+        Cycle best_cycle = kCycleNever;
+        for (CoreRun &run : runs) {
+            Cycle cycle = kCycleNever;
+            Warp *pick = run.pick(cycle);
+            if (pick && cycle < best_cycle) {
+                best_cycle = cycle;
+                best_run = &run;
+                best_warp = pick;
+            }
+        }
+        if (!best_run)
+            break;
+
+        best_run->nextIssueAt = best_cycle + 1;
+        best_run->lastIssued = best_warp;
+        best_run->core->issueInstruction(*best_warp, best_cycle);
+        if (best_warp->aluLeft == 0 && best_warp->texLeft == 0) {
+            best_run->res.completion[best_warp->batchIndex] =
+                best_warp->readyAt;
+            best_run->res.finish = std::max(best_run->res.finish,
+                                            best_warp->readyAt);
+            best_warp->active = false;
+            best_run->lastIssued = nullptr;
+            --best_run->activeCount;
+            best_run->core->admitWarps(*best_run);
+        }
+    }
+
+    std::vector<BatchResult> out;
+    out.reserve(runs.size());
+    for (CoreRun &run : runs) {
+        dtexl_assert(run.nextPending == run.quads->size());
+        out.push_back(std::move(run.res));
+    }
+    return out;
+}
+
+ShaderCore::BatchResult
+ShaderCore::runBatch(const std::vector<const Quad *> &quads,
+                     const std::vector<Cycle> &arrivals, Cycle gate)
+{
+    BatchInput input{&quads, &arrivals, gate};
+    return runBatches({this}, {input}).front();
+}
+
+} // namespace dtexl

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The Shader Core (SC): a multithreaded fragment processor. A quad is
+ * one warp of four fragment lanes; the core keeps up to maxWarpsPerCore
+ * warps in flight, issues one instruction per cycle among ready warps,
+ * and blocks warps on texture accesses through the core's private L1
+ * texture cache — so memory latency is hidden exactly when occupancy is
+ * high, reproducing the occupancy sensitivity the paper leans on
+ * (Section V-C2).
+ */
+
+#ifndef DTEXL_CORE_SHADER_CORE_HH
+#define DTEXL_CORE_SHADER_CORE_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "geom/scene.hh"
+#include "mem/hierarchy.hh"
+#include "raster/quad.hh"
+
+namespace dtexl {
+
+/** One fragment shader core with its warp scheduler and texture unit. */
+class ShaderCore
+{
+  public:
+    ShaderCore(CoreId id, const GpuConfig &cfg, MemHierarchy &mem,
+               const Scene &scene);
+
+    /** Result of executing one subtile's worth of quads. */
+    struct BatchResult
+    {
+        /** Completion cycle of each quad, in input order. */
+        std::vector<Cycle> completion;
+        Cycle start = 0;   ///< first activity (>= gate)
+        Cycle finish = 0;  ///< last quad completion
+    };
+
+    /**
+     * Execute a batch of quads (the surviving quads of one subtile).
+     * The Fragment Stage processes one subtile at a time (the paper's
+     * barrier), so batches on one core never overlap.
+     *
+     * @param quads    Quads in Early-Z output order.
+     * @param arrivals Cycle each quad becomes available (>= its EZ
+     *                 completion); same order as @p quads.
+     * @param gate     Stage barrier: no quad may start earlier.
+     */
+    BatchResult runBatch(const std::vector<const Quad *> &quads,
+                         const std::vector<Cycle> &arrivals, Cycle gate);
+
+    /** One core's inputs for runBatches(). */
+    struct BatchInput
+    {
+        const std::vector<const Quad *> *quads = nullptr;
+        const std::vector<Cycle> *arrivals = nullptr;
+        Cycle gate = 0;
+    };
+
+    /**
+     * Execute one batch on each of several cores in a single
+     * time-interleaved event loop, so the cores' memory accesses reach
+     * the shared L2/DRAM in global time order and contend fairly —
+     * running the batches one core at a time would systematically
+     * starve the last-simulated core at the shared levels.
+     */
+    static std::vector<BatchResult>
+    runBatches(const std::vector<ShaderCore *> &cores,
+               const std::vector<BatchInput> &inputs);
+
+    CoreId id() const { return coreId; }
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+    /** Dependent-issue latency of an ALU instruction. */
+    static constexpr Cycle kAluLatency = 4;
+    /** Texture filtering latency after the last texel line arrives. */
+    static constexpr Cycle kFilterLatency = 4;
+
+  private:
+    struct Warp
+    {
+        const Quad *quad = nullptr;
+        std::size_t batchIndex = 0;
+        Cycle readyAt = 0;
+        std::uint16_t aluLeft = 0;     ///< ALU ops before next tex/end
+        std::uint8_t texLeft = 0;      ///< tex instructions remaining
+        std::uint16_t aluPerSegment = 0;
+        std::uint16_t aluTail = 0;     ///< ALU ops after the last tex
+        bool active = false;
+    };
+
+    /** Per-core in-flight state of runBatches(); see shader_core.cc. */
+    struct CoreRun;
+
+    /** Issue the warp's next instruction at @p cycle; updates state. */
+    void issueInstruction(Warp &warp, Cycle cycle);
+    /** Execute a texture instruction; returns data-ready cycle. */
+    Cycle sampleQuad(const Quad &quad, Cycle cycle);
+    /** Admit pending quads into free warp slots. */
+    void admitWarps(CoreRun &run);
+
+    CoreId coreId;
+    const GpuConfig &cfg;
+    MemHierarchy &mem;
+    const Scene &scene;
+    /** Texture unit occupancy, in half-cycles (2 bilinear/cycle). */
+    std::uint64_t texUnitFreeHalf = 0;
+    StatSet stats_;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_CORE_SHADER_CORE_HH

@@ -1,0 +1,74 @@
+#include "geom/prim_assembler.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+float
+PrimAssembler::computeLod(const Primitive &prim, std::uint32_t texture_side)
+{
+    // Affine uv gradient over screen space from the triangle's three
+    // vertices: solve  d(uv)/d(screen)  and take the larger axis.
+    const Vec2f p0 = prim.v[0].screen;
+    const Vec2f e1 = prim.v[1].screen - p0;
+    const Vec2f e2 = prim.v[2].screen - p0;
+    const float det = cross2(e1, e2);
+    if (det == 0.0f)
+        return 0.0f;
+    const float inv_det = 1.0f / det;
+    const Vec2f t1 = prim.v[1].uv - prim.v[0].uv;
+    const Vec2f t2 = prim.v[2].uv - prim.v[0].uv;
+    // du/dx etc. via the inverse of the 2x2 screen-edge matrix.
+    const float dudx = (t1.x * e2.y - t2.x * e1.y) * inv_det;
+    const float dudy = (t2.x * e1.x - t1.x * e2.x) * inv_det;
+    const float dvdx = (t1.y * e2.y - t2.y * e1.y) * inv_det;
+    const float dvdy = (t2.y * e1.x - t1.y * e2.x) * inv_det;
+    const float s = static_cast<float>(texture_side);
+    const float fx = std::sqrt(dudx * dudx + dvdx * dvdx) * s;
+    const float fy = std::sqrt(dudy * dudy + dvdy * dvdy) * s;
+    const float rho = std::max(fx, fy);
+    if (rho <= 1.0f)
+        return 0.0f;
+    return std::log2(rho);
+}
+
+std::size_t
+PrimAssembler::assemble(const DrawCommand &draw,
+                        const std::vector<TransformedVertex> &transformed,
+                        std::uint32_t texture_side,
+                        std::vector<Primitive> &out)
+{
+    dtexl_assert(draw.indices.size() % 3 == 0,
+                 "triangle list must have 3N indices");
+    const float w = static_cast<float>(cfg.screenWidth);
+    const float h = static_cast<float>(cfg.screenHeight);
+
+    std::size_t emitted = 0;
+    for (std::size_t i = 0; i + 2 < draw.indices.size(); i += 3) {
+        Primitive prim;
+        for (int k = 0; k < 3; ++k) {
+            const std::uint32_t idx = draw.indices[i + k];
+            dtexl_assert(idx < transformed.size(),
+                         "index out of range");
+            prim.v[k] = transformed[idx];
+        }
+        // Trivial culls: degenerate area, fully offscreen bbox.
+        if (prim.signedArea2() == 0.0f ||
+            prim.maxX() <= 0.0f || prim.minX() >= w ||
+            prim.maxY() <= 0.0f || prim.minY() >= h) {
+            ++culledCount;
+            continue;
+        }
+        prim.id = nextId++;
+        prim.texture = draw.texture;
+        prim.shader = draw.shader;
+        prim.lod = computeLod(prim, texture_side);
+        out.push_back(prim);
+        ++emitted;
+    }
+    return emitted;
+}
+
+} // namespace dtexl

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The Primitive Assembler (Figure 3): joins transformed vertices into
+ * triangles in program order, culls trivially-invisible ones, and
+ * computes each primitive's sampling level of detail.
+ */
+
+#ifndef DTEXL_GEOM_PRIM_ASSEMBLER_HH
+#define DTEXL_GEOM_PRIM_ASSEMBLER_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "geom/primitive.hh"
+
+namespace dtexl {
+
+/** Assembles the primitive stream of a frame across draws. */
+class PrimAssembler
+{
+  public:
+    explicit PrimAssembler(const GpuConfig &cfg) : cfg(cfg) {}
+
+    /**
+     * Assemble the triangles of one draw and append them to @p out.
+     *
+     * @param draw         Source draw (indices, shader, texture).
+     * @param transformed  Output of the Vertex Stage for this draw.
+     * @param texture_side Side of the bound texture, for LOD setup.
+     * @param out          Frame primitive list (appended in order).
+     * @return Number of primitives emitted (after culling).
+     */
+    std::size_t assemble(const DrawCommand &draw,
+                         const std::vector<TransformedVertex> &transformed,
+                         std::uint32_t texture_side,
+                         std::vector<Primitive> &out);
+
+    std::uint64_t culled() const { return culledCount; }
+
+    /**
+     * LOD from the uv-to-screen mapping: log2 of the texel footprint of
+     * one pixel step, clamped at 0 (magnification samples mip 0).
+     */
+    static float computeLod(const Primitive &prim,
+                            std::uint32_t texture_side);
+
+  private:
+    const GpuConfig &cfg;
+    PrimId nextId = 0;
+    std::uint64_t culledCount = 0;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_GEOM_PRIM_ASSEMBLER_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Screen-space primitives: the unit the Tiling Engine bins and the
+ * Rasterizer consumes.
+ */
+
+#ifndef DTEXL_GEOM_PRIMITIVE_HH
+#define DTEXL_GEOM_PRIMITIVE_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "geom/vertex.hh"
+
+namespace dtexl {
+
+/**
+ * A screen-space triangle with interpolation setup, the shader program
+ * that shades its fragments, and its submission-order id (the Raster
+ * Pipeline must shade primitives in this order within a tile).
+ */
+struct Primitive
+{
+    PrimId id = 0;
+    TransformedVertex v[3];
+    TextureId texture = 0;
+    ShaderDesc shader;
+    /** Level-of-detail the sampler uses (from the uv-to-screen scale). */
+    float lod = 0.0f;
+
+    float minX() const
+    {
+        return std::min({v[0].screen.x, v[1].screen.x, v[2].screen.x});
+    }
+    float maxX() const
+    {
+        return std::max({v[0].screen.x, v[1].screen.x, v[2].screen.x});
+    }
+    float minY() const
+    {
+        return std::min({v[0].screen.y, v[1].screen.y, v[2].screen.y});
+    }
+    float maxY() const
+    {
+        return std::max({v[0].screen.y, v[1].screen.y, v[2].screen.y});
+    }
+
+    /** Twice the signed screen-space area. */
+    float
+    signedArea2() const
+    {
+        const Vec2f e0 = v[1].screen - v[0].screen;
+        const Vec2f e1 = v[2].screen - v[0].screen;
+        return cross2(e0, e1);
+    }
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_GEOM_PRIMITIVE_HH

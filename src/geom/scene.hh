@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A renderable scene: the draw commands of one frame plus the texture
+ * table they reference. Produced by the workload generators, consumed
+ * by the GPU simulator.
+ */
+
+#ifndef DTEXL_GEOM_SCENE_HH
+#define DTEXL_GEOM_SCENE_HH
+
+#include <vector>
+
+#include "common/log.hh"
+#include "geom/vertex.hh"
+#include "texture/texture.hh"
+
+namespace dtexl {
+
+/** Frame input: draws in submission order + bound textures. */
+struct Scene
+{
+    std::vector<DrawCommand> draws;
+    std::vector<TextureDesc> textures;  ///< indexed by TextureId
+
+    const TextureDesc &
+    texture(TextureId id) const
+    {
+        dtexl_assert(id < textures.size(), "unknown texture id %u", id);
+        return textures[id];
+    }
+
+    /** Total texture footprint in bytes (mip chains included). */
+    std::uint64_t
+    textureFootprintBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &t : textures)
+            total += t.totalBytes();
+        return total;
+    }
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_GEOM_SCENE_HH

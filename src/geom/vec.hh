@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Minimal vector/matrix math for the Geometry Pipeline: 2/3/4-component
+ * float vectors and 4x4 matrices (row-major), just enough for vertex
+ * transforms, viewport mapping and barycentric setup.
+ */
+
+#ifndef DTEXL_GEOM_VEC_HH
+#define DTEXL_GEOM_VEC_HH
+
+#include <array>
+#include <cmath>
+
+namespace dtexl {
+
+struct Vec2f
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    Vec2f operator+(const Vec2f &o) const { return {x + o.x, y + o.y}; }
+    Vec2f operator-(const Vec2f &o) const { return {x - o.x, y - o.y}; }
+    Vec2f operator*(float s) const { return {x * s, y * s}; }
+    bool operator==(const Vec2f &o) const = default;
+};
+
+struct Vec3f
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    Vec3f operator+(const Vec3f &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    Vec3f operator-(const Vec3f &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    Vec3f operator*(float s) const { return {x * s, y * s, z * s}; }
+    bool operator==(const Vec3f &o) const = default;
+};
+
+struct Vec4f
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 1.0f;
+
+    bool operator==(const Vec4f &o) const = default;
+};
+
+inline float dot(const Vec2f &a, const Vec2f &b)
+{
+    return a.x * b.x + a.y * b.y;
+}
+
+inline float dot(const Vec3f &a, const Vec3f &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** 2D cross product (signed parallelogram area / edge function). */
+inline float cross2(const Vec2f &a, const Vec2f &b)
+{
+    return a.x * b.y - a.y * b.x;
+}
+
+/** Row-major 4x4 matrix. */
+struct Mat4
+{
+    std::array<float, 16> m{};
+
+    static Mat4
+    identity()
+    {
+        Mat4 r;
+        r.m[0] = r.m[5] = r.m[10] = r.m[15] = 1.0f;
+        return r;
+    }
+
+    /** Translation by (tx, ty, tz). */
+    static Mat4
+    translate(float tx, float ty, float tz)
+    {
+        Mat4 r = identity();
+        r.m[3] = tx;
+        r.m[7] = ty;
+        r.m[11] = tz;
+        return r;
+    }
+
+    /** Non-uniform scale. */
+    static Mat4
+    scale(float sx, float sy, float sz)
+    {
+        Mat4 r;
+        r.m[0] = sx;
+        r.m[5] = sy;
+        r.m[10] = sz;
+        r.m[15] = 1.0f;
+        return r;
+    }
+
+    Vec4f
+    apply(const Vec4f &v) const
+    {
+        return {
+            m[0] * v.x + m[1] * v.y + m[2] * v.z + m[3] * v.w,
+            m[4] * v.x + m[5] * v.y + m[6] * v.z + m[7] * v.w,
+            m[8] * v.x + m[9] * v.y + m[10] * v.z + m[11] * v.w,
+            m[12] * v.x + m[13] * v.y + m[14] * v.z + m[15] * v.w,
+        };
+    }
+
+    Mat4
+    operator*(const Mat4 &o) const
+    {
+        Mat4 r;
+        for (int i = 0; i < 4; ++i) {
+            for (int j = 0; j < 4; ++j) {
+                float s = 0.0f;
+                for (int k = 0; k < 4; ++k)
+                    s += m[i * 4 + k] * o.m[k * 4 + j];
+                r.m[i * 4 + j] = s;
+            }
+        }
+        return r;
+    }
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_GEOM_VEC_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Vertex and draw-command input of the Graphics Pipeline (Figure 3).
+ */
+
+#ifndef DTEXL_GEOM_VERTEX_HH
+#define DTEXL_GEOM_VERTEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec.hh"
+#include "texture/sampler.hh"
+#include "texture/texture.hh"
+
+namespace dtexl {
+
+/** An input vertex: clip-space position plus texture coordinates. */
+struct Vertex
+{
+    Vec4f pos;  ///< clip-space position (w = 1: affine content)
+    Vec2f uv;   ///< texture coordinates
+};
+
+/** Bytes fetched per vertex through the Vertex Cache (pos + uv). */
+inline constexpr std::uint32_t kVertexFetchBytes = 24;
+
+/**
+ * Per-draw fragment-shader characterisation: the synthetic stand-in for
+ * a real shader program (see DESIGN.md substitutions). The Fragment
+ * Stage models it as alu_ops scalar instructions plus tex_samples
+ * texture instructions per fragment.
+ */
+struct ShaderDesc
+{
+    std::uint16_t aluOps = 16;      ///< non-memory instructions/fragment
+    std::uint8_t texSamples = 1;    ///< texture instructions/fragment
+    FilterMode filter = FilterMode::Bilinear;
+    bool blends = false;            ///< transparent: cannot early-Z cull
+    /**
+     * Shader writes gl_FragDepth: Early-Z must be disabled and the
+     * Late Z-Test used for the whole tile (Section II-C).
+     */
+    bool modifiesDepth = false;
+};
+
+/**
+ * A draw command: an indexed triangle list with one bound texture, a
+ * model transform and a shader characterisation. Triggers the Geometry
+ * Pipeline (Section II-A).
+ */
+struct DrawCommand
+{
+    std::vector<Vertex> vertices;
+    std::vector<std::uint32_t> indices;  ///< triangle list, 3 per tri
+    Mat4 transform = Mat4::identity();
+    TextureId texture = 0;
+    ShaderDesc shader;
+    Addr vertexBufferAddr = 0;  ///< where the vertex data lives in memory
+};
+
+/** A vertex after transform + viewport mapping. */
+struct TransformedVertex
+{
+    Vec2f screen;  ///< pixel coordinates
+    float depth = 0.0f;
+    Vec2f uv;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_GEOM_VERTEX_HH

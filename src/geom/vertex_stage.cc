@@ -1,0 +1,75 @@
+#include "geom/vertex_stage.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace dtexl {
+
+Cycle
+VertexStage::processDraw(const DrawCommand &draw, Cycle now,
+                         std::vector<TransformedVertex> &out)
+{
+    out.clear();
+    out.resize(draw.vertices.size());
+
+    Cycle cursor = now;
+    const float half_w = static_cast<float>(cfg.screenWidth) * 0.5f;
+    const float half_h = static_cast<float>(cfg.screenHeight) * 0.5f;
+
+    // FIFO post-transform cache of recently shaded indices.
+    std::deque<std::uint32_t> ptc;
+    auto in_ptc = [&](std::uint32_t idx) {
+        return std::find(ptc.begin(), ptc.end(), idx) != ptc.end();
+    };
+
+    auto shade = [&](std::uint32_t i) {
+        // Attribute fetch through the Vertex Cache; a vertex record may
+        // straddle a line boundary, touch both lines.
+        const Addr a = draw.vertexBufferAddr + i * kVertexFetchBytes;
+        Cycle data = mem.vertexRead(a, cursor);
+        const Addr last = a + kVertexFetchBytes - 1;
+        if ((a / cfg.vertexCache.lineBytes) !=
+            (last / cfg.vertexCache.lineBytes)) {
+            data = std::max(data, mem.vertexRead(last, cursor));
+        }
+
+        const Vertex &v = draw.vertices[i];
+        const Vec4f clip = draw.transform.apply(v.pos);
+        const float inv_w = clip.w != 0.0f ? 1.0f / clip.w : 1.0f;
+
+        TransformedVertex tv;
+        tv.screen.x = (clip.x * inv_w * 0.5f + 0.5f) * 2.0f * half_w;
+        tv.screen.y = (clip.y * inv_w * 0.5f + 0.5f) * 2.0f * half_h;
+        tv.depth = std::clamp(clip.z * inv_w * 0.5f + 0.5f, 0.0f, 1.0f);
+        tv.uv = v.uv;
+        out[i] = tv;
+
+        cursor = std::max(data, cursor + kTransformCost);
+        ++vertexCount;
+
+        ptc.push_back(i);
+        if (ptc.size() > kPostTransformEntries)
+            ptc.pop_front();
+    };
+
+    // Hardware walks the index stream; non-indexed access to unused
+    // vertices never happens.
+    if (draw.indices.empty()) {
+        for (std::uint32_t i = 0; i < draw.vertices.size(); ++i)
+            shade(i);
+        return cursor;
+    }
+    for (std::uint32_t idx : draw.indices) {
+        if (in_ptc(idx)) {
+            ++reuseCount;
+            continue;
+        }
+        // Miss: run the vertex program (idempotent, so re-shading an
+        // index evicted from the FIFO is functionally harmless and
+        // pays the realistic re-fetch + re-transform cost).
+        shade(idx);
+    }
+    return cursor;
+}
+
+} // namespace dtexl

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Layout of the simulated physical address space (paper Figure 5,
+ * right): textures, vertex buffers, the Parameter Buffer and the Frame
+ * Buffer each live in a dedicated region so traffic classes never
+ * alias.
+ */
+
+#ifndef DTEXL_MEM_ADDRESS_MAP_HH
+#define DTEXL_MEM_ADDRESS_MAP_HH
+
+#include "common/types.hh"
+
+namespace dtexl {
+namespace addr_map {
+
+inline constexpr Addr kTextureBase = 0x1000'0000;
+inline constexpr Addr kVertexBase = 0x4000'0000;
+inline constexpr Addr kParamBufferBase = 0x5000'0000;
+inline constexpr Addr kFrameBufferBase = 0x7000'0000;
+
+} // namespace addr_map
+} // namespace dtexl
+
+#endif // DTEXL_MEM_ADDRESS_MAP_HH

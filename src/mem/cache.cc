@@ -1,0 +1,241 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+Cache::Cache(std::string name, const CacheConfig &cfg,
+             std::uint32_t accesses_per_cycle, MemLevel &next)
+    : name(std::move(name)), cfg(cfg), portsPerCycle(accesses_per_cycle),
+      nextLevel(next), lines(std::size_t{cfg.numSets()} * cfg.ways),
+      port(accesses_per_cycle * kPortWindow, kPortWindow),
+      stats_(this->name)
+{
+    dtexl_assert(portsPerCycle > 0);
+    dtexl_assert(cfg.numSets() > 0 && (cfg.numSets() &
+                 (cfg.numSets() - 1)) == 0,
+                 "set count must be a power of two");
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr / cfg.lineBytes) & (cfg.numSets() - 1);
+}
+
+Cache::Line &
+Cache::findVictim(std::size_t set)
+{
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        Line &l = lines[set * cfg.ways + w];
+        if (!l.valid)
+            return l;
+        if (!victim || l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+    return *victim;
+}
+
+void
+Cache::purgeMshrs(Cycle)
+{
+    // Bound the interval history; only recent misses can overlap
+    // future queries in a roughly time-ordered access stream.
+    const std::size_t cap = std::size_t{cfg.numMshrs} * 8;
+    while (mshrIntervals.size() > cap)
+        mshrIntervals.pop_front();
+}
+
+Cycle
+Cache::acquireMshr(Cycle ready)
+{
+    purgeMshrs(ready);
+    Cycle start = ready;
+    for (;;) {
+        std::uint32_t occupied = 0;
+        Cycle next_free = kCycleNever;
+        for (const MshrInterval &iv : mshrIntervals) {
+            if (iv.start <= start && start < iv.fill) {
+                ++occupied;
+                next_free = std::min(next_free, iv.fill);
+            }
+        }
+        if (occupied < cfg.numMshrs)
+            break;
+        stats_.inc("mshr_stall");
+        start = next_free;
+    }
+    return start;
+}
+
+Cycle
+Cache::arbitratePort(Cycle now)
+{
+    bool stalled = false;
+    const Cycle start = port.reserve(now, stalled);
+    if (stalled)
+        stats_.inc("port_stall");
+    return start;
+}
+
+Cache::Line *
+Cache::lookup(Addr line_addr, AccessType type)
+{
+    const std::size_t set = setIndex(line_addr);
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        Line &l = lines[set * cfg.ways + w];
+        if (l.valid && l.tag == line_addr) {
+            l.lruStamp = ++lruCounter;
+            if (type == AccessType::Write)
+                l.dirty = true;
+            return &l;
+        }
+    }
+    return nullptr;
+}
+
+Cycle
+Cache::access(Addr addr, AccessType type, Cycle now)
+{
+    const Addr la = lineAddr(addr);
+    stats_.inc(type == AccessType::Read ? "read" : "write");
+
+    const Cycle start = arbitratePort(now);
+
+    // Lazily retire completed fills for this line.
+    if (auto it = pendingFills.find(la);
+        it != pendingFills.end() && it->second <= start) {
+        pendingFills.erase(it);
+    }
+
+    if (Line *line = lookup(la, type)) {
+        (void)line;
+        Cycle done = start + cfg.hitLatency;
+        if (auto it = pendingFills.find(la); it != pendingFills.end()) {
+            stats_.inc("hit_under_fill");
+            done = std::max(done, it->second);
+        } else {
+            stats_.inc(type == AccessType::Read ? "read_hit"
+                                                : "write_hit");
+        }
+        return done;
+    }
+
+    // Miss: allocate an MSHR and fetch the line from below.
+    stats_.inc(type == AccessType::Read ? "read_miss" : "write_miss");
+    Cycle issue = acquireMshr(start) + cfg.hitLatency;
+
+    const std::size_t set = setIndex(la);
+    Line &victim = findVictim(set);
+    if (victim.valid && victim.dirty) {
+        stats_.inc("writeback");
+        nextLevel.access(victim.tag, AccessType::Write, issue);
+    }
+    if (victim.valid)
+        pendingFills.erase(victim.tag);
+
+    Cycle fill = nextLevel.access(la, AccessType::Read, issue);
+    victim.valid = true;
+    victim.tag = la;
+    victim.dirty = (type == AccessType::Write);
+    victim.lruStamp = ++lruCounter;
+    pendingFills[la] = fill;
+    mshrIntervals.push_back({issue, fill});
+
+    // Optional next-line prefetch: ride the demand miss with a fetch
+    // of the following line (the next Morton block of the texture),
+    // if it is not already resident or in flight.
+    if (cfg.prefetchNextLine) {
+        const Addr nla = la + cfg.lineBytes;
+        if (!contains(nla) && pendingFills.find(nla) ==
+                                  pendingFills.end()) {
+            stats_.inc("prefetch_issued");
+            const Cycle pf_issue = acquireMshr(issue);
+            Line &pf_victim = findVictim(setIndex(nla));
+            if (pf_victim.valid && pf_victim.dirty) {
+                stats_.inc("writeback");
+                nextLevel.access(pf_victim.tag, AccessType::Write,
+                                 pf_issue);
+            }
+            if (pf_victim.valid)
+                pendingFills.erase(pf_victim.tag);
+            const Cycle pf_fill =
+                nextLevel.access(nla, AccessType::Read, pf_issue);
+            pf_victim.valid = true;
+            pf_victim.tag = nla;
+            pf_victim.dirty = false;
+            pf_victim.lruStamp = ++lruCounter;
+            pendingFills[nla] = pf_fill;
+            mshrIntervals.push_back({pf_issue, pf_fill});
+        }
+    }
+    return fill;
+}
+
+Cycle
+Cache::writeLine(Addr addr, Cycle now)
+{
+    const Addr la = lineAddr(addr);
+    stats_.inc("write");
+
+    const Cycle start = arbitratePort(now);
+    if (lookup(la, AccessType::Write)) {
+        stats_.inc("write_hit");
+        return start + cfg.hitLatency;
+    }
+
+    // Write-validate: the whole line is produced here, so no fill is
+    // needed — allocate the tag and dirty it.
+    stats_.inc("write_validate");
+    const std::size_t set = setIndex(la);
+    Line &victim = findVictim(set);
+    if (victim.valid && victim.dirty) {
+        stats_.inc("writeback");
+        nextLevel.access(victim.tag, AccessType::Write,
+                         start + cfg.hitLatency);
+    }
+    if (victim.valid)
+        pendingFills.erase(victim.tag);
+    victim.valid = true;
+    victim.tag = la;
+    victim.dirty = true;
+    victim.lruStamp = ++lruCounter;
+    return start + cfg.hitLatency;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr la = lineAddr(addr);
+    const std::size_t set = setIndex(la);
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        const Line &l = lines[set * cfg.ways + w];
+        if (l.valid && l.tag == la)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::resetTiming()
+{
+    pendingFills.clear();
+    mshrIntervals.clear();
+    port.clear();
+}
+
+void
+Cache::flushAll()
+{
+    for (Line &l : lines)
+        l = Line{};
+    pendingFills.clear();
+    mshrIntervals.clear();
+    lruCounter = 0;
+    port.clear();
+}
+
+} // namespace dtexl

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Set-associative write-back cache with LRU replacement and MSHRs.
+ * Models all the L1 caches (Vertex, Texture x4, Tile) and the shared L2
+ * of the paper's Figure 5 / Table II.
+ */
+
+#ifndef DTEXL_MEM_CACHE_HH
+#define DTEXL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/mem_level.hh"
+#include "mem/rate_window.hh"
+
+namespace dtexl {
+
+/**
+ * A timed cache level. Misses allocate an MSHR and fetch from the next
+ * level; accesses to a line with a pending miss merge into its MSHR
+ * (secondary misses cost no extra downstream traffic). Dirty victims
+ * write back to the next level.
+ */
+class Cache : public MemLevel
+{
+  public:
+    /**
+     * @param name Stats prefix, e.g. "l1tex0".
+     * @param cfg  Geometry and latency.
+     * @param accesses_per_cycle Port throughput (banked caches >1).
+     * @param next Lower level servicing misses and write-backs.
+     */
+    Cache(std::string name, const CacheConfig &cfg,
+          std::uint32_t accesses_per_cycle, MemLevel &next);
+
+    Cycle access(Addr addr, AccessType type, Cycle now) override;
+
+    /**
+     * Full-line streaming store (write-validate): allocates the line
+     * and marks it dirty without fetching it from below, since every
+     * byte is being written. Used for Color Buffer flushes of fully
+     * covered lines.
+     */
+    Cycle writeLine(Addr addr, Cycle now);
+
+    /**
+     * Tag-only presence probe (no side effects, no timing). Used by
+     * tests and by replication analysis.
+     */
+    bool contains(Addr addr) const;
+
+    /**
+     * Visit the line address of every valid resident line (no side
+     * effects). Used by the replication analysis.
+     */
+    template <typename Fn>
+    void
+    forEachResident(Fn &&fn) const
+    {
+        for (const Line &l : lines)
+            if (l.valid)
+                fn(l.tag);
+    }
+
+    /** Drop all contents and pending state (not the stats). */
+    void flushAll();
+
+    /**
+     * Reset timing state only (ports, MSHRs, pending fills), keeping
+     * tag contents warm. Used between frames: each frame restarts its
+     * cycle count at zero.
+     */
+    void resetTiming();
+
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+    std::uint64_t reads() const { return stats_.get("read"); }
+    std::uint64_t writes() const { return stats_.get("write"); }
+    std::uint64_t accesses() const { return reads() + writes(); }
+    std::uint64_t misses() const
+    {
+        return stats_.get("read_miss") + stats_.get("write_miss");
+    }
+    double
+    missRate() const
+    {
+        std::uint64_t a = accesses();
+        return a == 0 ? 0.0 : static_cast<double>(misses()) /
+                              static_cast<double>(a);
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Addr lineAddr(Addr a) const { return a & ~Addr{cfg.lineBytes - 1}; }
+    std::size_t setIndex(Addr line_addr) const;
+    Line &findVictim(std::size_t set);
+
+    /** Reserve an MSHR; returns the cycle the access may start. */
+    Cycle acquireMshr(Cycle ready);
+    void purgeMshrs(Cycle now);
+    /** Port arbitration; returns the access start cycle. */
+    Cycle arbitratePort(Cycle now);
+    /** Tag lookup + LRU/dirty update; null if not resident. */
+    Line *lookup(Addr line_addr, AccessType type);
+
+    std::string name;
+    CacheConfig cfg;
+    std::uint32_t portsPerCycle;
+    MemLevel &nextLevel;
+
+    std::vector<Line> lines;      ///< numSets * ways, set-major
+    std::uint64_t lruCounter = 0;
+
+    /** Pending line fills: line address -> fill completion cycle. */
+    std::map<Addr, Cycle> pendingFills;
+
+    /**
+     * In-flight miss intervals [start, fill). MSHR capacity is
+     * enforced by interval overlap at the access's own issue time, so
+     * an access that logically precedes already-simulated misses is
+     * not falsely blocked by them (the sequential pipeline model
+     * produces out-of-order issue times).
+     */
+    struct MshrInterval
+    {
+        Cycle start;
+        Cycle fill;
+    };
+    std::deque<MshrInterval> mshrIntervals;
+
+    /**
+     * Port occupancy: portsPerCycle * kPortWindow accesses per
+     * kPortWindow-cycle span, enforced out-of-order-tolerantly (see
+     * RateWindow).
+     */
+    static constexpr std::uint32_t kPortWindow = 8;
+    RateWindow port;
+
+    StatSet stats_;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_MEM_CACHE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Banked DRAM with per-bank row buffers and a shared data channel.
+ *
+ * Substitute for DRAMSim2 (see DESIGN.md): Table II only constrains the
+ * latency window (50-100 cycles); open-row accesses see the low bound,
+ * row conflicts the high bound, and the channel enforces a bytes/cycle
+ * bandwidth ceiling.
+ */
+
+#ifndef DTEXL_MEM_DRAM_HH
+#define DTEXL_MEM_DRAM_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/mem_level.hh"
+#include "mem/rate_window.hh"
+
+namespace dtexl {
+
+/** Main memory: the bottom of the hierarchy. */
+class Dram : public MemLevel
+{
+  public:
+    explicit Dram(const DramConfig &cfg);
+
+    Cycle access(Addr addr, AccessType type, Cycle now) override;
+
+    const StatSet &stats() const { return stats_; }
+    std::uint64_t accesses() const
+    {
+        return stats_.get("read") + stats_.get("write");
+    }
+
+    /** Reset bank/channel timing state (not the stats). */
+    void reset();
+
+  private:
+    struct Bank
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        IntervalResource busy;
+    };
+
+    DramConfig cfg;
+    std::vector<Bank> banks;
+    /**
+     * Channel occupancy: kChannelWindow transfers per kChannelWindow *
+     * burst cycles, enforced out-of-order-tolerantly (see RateWindow).
+     */
+    static constexpr std::uint32_t kChannelWindow = 16;
+    RateWindow channel;
+    StatSet stats_;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_MEM_DRAM_HH

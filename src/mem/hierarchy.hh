@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The full memory hierarchy of the paper's Figure 5: per-SC L1 texture
+ * caches, an L1 vertex cache, an L1 tile cache (parameter buffer and
+ * framebuffer traffic), a shared L2, and DRAM.
+ */
+
+#ifndef DTEXL_MEM_HIERARCHY_HH
+#define DTEXL_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace dtexl {
+
+/**
+ * Owns and wires all memory levels. The number of L1 texture caches
+ * follows GpuConfig::numPipelines (1 for the Figure 16 upper bound).
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const GpuConfig &cfg);
+
+    /** Texture read by shader core @p core. */
+    Cycle
+    textureRead(CoreId core, Addr addr, Cycle now)
+    {
+        return texL1s[core]->access(addr, AccessType::Read, now);
+    }
+
+    /** Vertex attribute fetch by the Geometry Pipeline. */
+    Cycle
+    vertexRead(Addr addr, Cycle now)
+    {
+        return vertexL1->access(addr, AccessType::Read, now);
+    }
+
+    /** Parameter-buffer / framebuffer traffic through the Tile Cache. */
+    Cycle
+    tileAccess(Addr addr, AccessType type, Cycle now)
+    {
+        return tileL1->access(addr, type, now);
+    }
+
+    Cache &textureCache(CoreId core) { return *texL1s[core]; }
+    const Cache &textureCache(CoreId core) const { return *texL1s[core]; }
+    Cache &vertexCache() { return *vertexL1; }
+    Cache &tileCache() { return *tileL1; }
+    Cache &l2() { return *l2Cache; }
+    const Cache &l2() const { return *l2Cache; }
+    Dram &dram() { return *dramModel; }
+    const Dram &dram() const { return *dramModel; }
+    std::size_t numTextureCaches() const { return texL1s.size(); }
+
+    /** Total accesses reaching the shared L2 (the paper's key metric). */
+    std::uint64_t l2Accesses() const { return l2Cache->accesses(); }
+
+    /**
+     * Texture-block replication snapshot (the paper's Section II-B
+     * mechanism): of the lines currently resident in the private L1
+     * texture caches, the average number of L1s holding each distinct
+     * line. 1.0 = no replication; up to numPipelines.
+     */
+    double textureReplicationFactor() const;
+
+    /** Invalidate all cache contents and timing state (not stats). */
+    void flushAll();
+
+    /** Reset timing only, keeping contents warm (frame boundary). */
+    void resetTiming();
+
+  private:
+    std::unique_ptr<Dram> dramModel;
+    std::unique_ptr<Cache> l2Cache;
+    std::unique_ptr<Cache> vertexL1;
+    std::unique_ptr<Cache> tileL1;
+    std::vector<std::unique_ptr<Cache>> texL1s;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_MEM_HIERARCHY_HH

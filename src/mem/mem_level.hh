@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Interface of one level of the simulated memory hierarchy.
+ *
+ * Timing uses completion futures: an access issued "now" returns the
+ * cycle at which its data is available, after queueing behind the
+ * level's bandwidth and (for misses) the levels below. This keeps the
+ * pipeline model simple — a warp blocked on texture data just sleeps
+ * until the returned cycle — while still modelling latency, bandwidth
+ * and miss-status merging.
+ */
+
+#ifndef DTEXL_MEM_MEM_LEVEL_HH
+#define DTEXL_MEM_MEM_LEVEL_HH
+
+#include "common/types.hh"
+
+namespace dtexl {
+
+/** Kind of access, for stats and row-buffer policy. */
+enum class AccessType { Read, Write };
+
+/** One level (cache or DRAM) of the hierarchy. */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Perform a timed access.
+     *
+     * @param addr Byte address (the level aligns it to its granule).
+     * @param type Read or write.
+     * @param now  Cycle at which the access is issued.
+     * @return Cycle at which the access completes (data available /
+     *         write retired). Never earlier than @p now.
+     */
+    virtual Cycle access(Addr addr, AccessType type, Cycle now) = 0;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_MEM_MEM_LEVEL_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Bandwidth rate limiter tolerant of out-of-order reservation times.
+ *
+ * The pipeline model simulates components in code order, so accesses
+ * reach a shared resource with non-monotonic timestamps. A monotonic
+ * "next free cycle" cursor would falsely serialize a logically-early
+ * access behind later ones; this limiter instead enforces the actual
+ * bandwidth invariant — at most `capacity` reservations within any
+ * `window`-cycle span — by searching the recorded start times.
+ */
+
+#ifndef DTEXL_MEM_RATE_WINDOW_HH
+#define DTEXL_MEM_RATE_WINDOW_HH
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dtexl {
+
+/** Sliding-window bandwidth reservation. */
+class RateWindow
+{
+  public:
+    /**
+     * @param capacity Reservations allowed per window.
+     * @param window   Window length in cycles.
+     */
+    RateWindow(std::uint32_t capacity, Cycle window)
+        : cap(capacity), win(window)
+    {
+        dtexl_assert(capacity > 0 && window > 0);
+    }
+
+    /**
+     * Reserve a slot at the earliest cycle >= now satisfying the rate
+     * invariant: no window of `win` cycles ever contains more than
+     * `cap` reservations, counting reservations made both before and
+     * after this one in simulation order (requests arrive with
+     * out-of-order timestamps).
+     *
+     * @param now     Requested start cycle.
+     * @param stalled Set true when the reservation had to be delayed.
+     * @return Granted start cycle.
+     */
+    Cycle
+    reserve(Cycle now, bool &stalled)
+    {
+        // Bound the history by a time horizon: entries more than
+        // kHorizonWindows windows older than the newest reservation
+        // can no longer constrain any request we guarantee the
+        // invariant for. Because granted density is at most cap/win,
+        // this also bounds memory to ~kHorizonWindows * cap entries.
+        if (!starts.empty()) {
+            const Cycle newest = starts.back();
+            const Cycle horizon = win * kHorizonWindows;
+            while (!starts.empty() &&
+                   starts.front() + horizon < newest) {
+                starts.pop_front();
+            }
+        }
+
+        stalled = false;
+        Cycle start = now;
+        for (;;) {
+            // Inserting `start` must not create any run of cap+1
+            // reservations spanning fewer than `win` cycles. Examine
+            // every window of cap existing entries that could combine
+            // with `start`.
+            const auto pos = std::lower_bound(starts.begin(),
+                                              starts.end(), start);
+            const std::size_t idx =
+                static_cast<std::size_t>(pos - starts.begin());
+            bool violates = false;
+            Cycle retry = start;
+            // k = entries at or before `start` included in the run.
+            for (std::size_t k = 0; k <= cap; ++k) {
+                if (k > idx)
+                    break;  // not enough earlier entries
+                const std::size_t first = idx - k;
+                const std::size_t last = first + cap;  // cap existing
+                if (last > starts.size())
+                    continue;  // not enough later entries
+                // Run = entries [first, last) plus `start`.
+                const Cycle run_first =
+                    k > 0 ? std::min(starts[first], start) : start;
+                const Cycle run_last =
+                    last > first
+                        ? std::max(starts[last - 1], start)
+                        : start;
+                if (run_last - run_first < win) {
+                    violates = true;
+                    // Escape past the earliest entry of the crowd.
+                    retry = std::max(retry, run_first + win);
+                }
+            }
+            if (!violates) {
+                starts.insert(
+                    std::lower_bound(starts.begin(), starts.end(),
+                                     start),
+                    start);
+                return start;
+            }
+            stalled = true;
+            dtexl_assert(retry > start, "rate window failed to advance");
+            start = retry;
+        }
+    }
+
+    void clear() { starts.clear(); }
+
+  private:
+    /** Retained history, in windows behind the newest reservation. */
+    static constexpr Cycle kHorizonWindows = 64;
+
+    std::uint32_t cap;
+    Cycle win;
+    std::deque<Cycle> starts;  ///< sorted reservation start times
+};
+
+/**
+ * Single-server resource reserved for variable-length intervals, also
+ * tolerant of out-of-order reservation times (used for DRAM banks: a
+ * bank is occupied for a burst on a row hit, burst + activate on a
+ * miss).
+ */
+class IntervalResource
+{
+  public:
+    /**
+     * Reserve the earliest interval of @p duration starting at or
+     * after @p now that does not overlap an existing reservation.
+     */
+    Cycle
+    reserve(Cycle now, Cycle duration)
+    {
+        dtexl_assert(duration > 0);
+        while (busy.size() > 64)
+            busy.pop_front();
+
+        Cycle start = now;
+        for (const auto &[s, e] : busy) {
+            if (e <= start)
+                continue;
+            if (s >= start + duration)
+                break;  // fits in the gap before this interval
+            start = e;
+        }
+        // Insert sorted by start.
+        auto it = std::lower_bound(
+            busy.begin(), busy.end(), start,
+            [](const std::pair<Cycle, Cycle> &iv, Cycle v) {
+                return iv.first < v;
+            });
+        busy.insert(it, {start, start + duration});
+        return start;
+    }
+
+    void clear() { busy.clear(); }
+
+  private:
+    /** Sorted, non-overlapping [start, end) reservations. */
+    std::deque<std::pair<Cycle, Cycle>> busy;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_MEM_RATE_WINDOW_HH

@@ -1,0 +1,62 @@
+#include "power/energy_model.hh"
+
+#include <sstream>
+
+namespace dtexl {
+
+std::string
+EnergyBreakdown::describe() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    auto row = [&](const char *name, double j) {
+        os << "  " << name << ": " << j * 1e6 << " uJ ("
+           << (total() > 0 ? 100.0 * j / total() : 0.0) << "%)\n";
+    };
+    row("shader dynamic", shaderDynamic);
+    row("L1 caches     ", l1);
+    row("L2 cache      ", l2);
+    row("DRAM          ", dram);
+    row("fixed function", fixedFunction);
+    row("static        ", staticEnergy);
+    os << "  total         : " << total() * 1e6 << " uJ\n";
+    return os.str();
+}
+
+EnergyBreakdown
+EnergyModel::compute(const GpuConfig &cfg, const FrameStats &fs) const
+{
+    constexpr double pj = 1e-12;
+    EnergyBreakdown e;
+
+    e.shaderDynamic =
+        pj * (params.aluOpPj * static_cast<double>(fs.shaderInstructions) +
+              params.texFilterPj * static_cast<double>(fs.textureSamples));
+
+    const double l1_accesses =
+        static_cast<double>(fs.l1TexAccesses) +
+        static_cast<double>(fs.l1VertexAccesses) +
+        static_cast<double>(fs.l1TileAccesses);
+    e.l1 = pj * params.l1AccessPj * l1_accesses;
+    e.l2 = pj * params.l2AccessPj * static_cast<double>(fs.l2Accesses);
+    e.dram =
+        pj * params.dramAccessPj * static_cast<double>(fs.dramAccesses);
+
+    e.fixedFunction =
+        pj * (params.rasterQuadPj *
+                  static_cast<double>(fs.quadsRasterized) +
+              params.earlyZTestPj * static_cast<double>(fs.earlyZTests) +
+              params.blendOpPj * static_cast<double>(fs.blendOps) +
+              params.vertexPj *
+                  static_cast<double>(fs.verticesProcessed) +
+              params.binEntryPj *
+                  static_cast<double>(fs.primitivesBinned));
+
+    e.staticEnergy = params.staticWatts *
+                     static_cast<double>(fs.totalCycles) /
+                     static_cast<double>(cfg.clockHz);
+    return e;
+}
+
+} // namespace dtexl

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * GPU energy model: the McPAT substitute (see DESIGN.md). Dynamic
+ * energy is per-event (instruction, cache access, DRAM transfer,
+ * fixed-function op) with constants in the published range for a 32 nm
+ * 600 MHz mobile GPU; static energy is leakage + clock power times the
+ * frame's cycle count. The paper's Figure 18 compares total GPU energy
+ * across schedulers, which this model reproduces from the frame
+ * statistics alone.
+ */
+
+#ifndef DTEXL_POWER_ENERGY_MODEL_HH
+#define DTEXL_POWER_ENERGY_MODEL_HH
+
+#include <string>
+
+#include "common/config.hh"
+#include "core/frame_stats.hh"
+
+namespace dtexl {
+
+/** Per-event energies (picojoules) and static power (watts). */
+struct EnergyParams
+{
+    double aluOpPj = 6.0;          ///< scalar ALU op incl. registers
+    double texFilterPj = 14.0;     ///< filtering one fragment sample
+    double l1AccessPj = 12.0;      ///< any L1 (vertex/texture/tile)
+    double l2AccessPj = 65.0;      ///< shared L2 bank access
+    double dramAccessPj = 3200.0;  ///< one 64 B LPDDR transfer
+    double earlyZTestPj = 4.0;     ///< quad depth test vs Z bank
+    double blendOpPj = 10.0;       ///< quad blend + color bank write
+    double rasterQuadPj = 12.0;    ///< edge eval + attribute interp
+    double vertexPj = 45.0;        ///< fetch + transform one vertex
+    double binEntryPj = 8.0;       ///< one Polygon List Builder entry
+    /** Leakage + clock distribution of the whole GPU. */
+    double staticWatts = 0.05;
+};
+
+/** Energy of one frame, by component (joules). */
+struct EnergyBreakdown
+{
+    double shaderDynamic = 0.0;  ///< ALU + texture filtering
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double dram = 0.0;
+    double fixedFunction = 0.0;  ///< raster, Z, blend, vertex, binning
+    double staticEnergy = 0.0;
+
+    double
+    total() const
+    {
+        return shaderDynamic + l1 + l2 + dram + fixedFunction +
+               staticEnergy;
+    }
+
+    /** Multi-line human-readable table. */
+    std::string describe() const;
+};
+
+/** Computes frame energy from frame statistics. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams params = EnergyParams{})
+        : params(params)
+    {}
+
+    /**
+     * @param cfg Machine configuration (clock, for static energy).
+     * @param fs  Statistics of the rendered frame.
+     */
+    EnergyBreakdown compute(const GpuConfig &cfg,
+                            const FrameStats &fs) const;
+
+  private:
+    EnergyParams params;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_POWER_ENERGY_MODEL_HH

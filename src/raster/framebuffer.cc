@@ -1,0 +1,52 @@
+#include "raster/framebuffer.hh"
+
+namespace dtexl {
+
+PixelColor
+blendPixel(PixelColor dst, PixelColor src, bool blends)
+{
+    if (!blends)
+        return src;
+    // Order-dependent mixing (not commutative, not associative):
+    // a cheap stand-in for src-alpha blending that makes any ordering
+    // violation visible in the image hash.
+    PixelColor x = dst ^ (src + 0x9e3779b9u);
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    return x;
+}
+
+PixelColor
+shadeColor(std::uint32_t prim_id, std::uint32_t frag_seed)
+{
+    PixelColor x = prim_id * 0x9e3779b9u + frag_seed * 0x85ebca6bu + 1u;
+    x ^= x >> 15;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 13;
+    return x;
+}
+
+FrameBuffer::FrameBuffer(const GpuConfig &cfg)
+    : w(cfg.screenWidth), h(cfg.screenHeight),
+      image(std::size_t{w} * h, kClearColor)
+{}
+
+void
+FrameBuffer::clear()
+{
+    std::fill(image.begin(), image.end(), kClearColor);
+}
+
+std::uint64_t
+FrameBuffer::hash() const
+{
+    std::uint64_t h64 = 0xcbf29ce484222325ull;
+    for (PixelColor c : image) {
+        h64 ^= c;
+        h64 *= 0x100000001b3ull;
+    }
+    return h64;
+}
+
+} // namespace dtexl

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The Frame Buffer in main memory plus the blend arithmetic. The
+ * simulator keeps a functional pixel image so correctness properties
+ * (decoupled == coupled, scheduler-independence of the final image) are
+ * directly checkable, and exposes the flush address stream the timing
+ * model drives through the Tile Cache.
+ */
+
+#ifndef DTEXL_RASTER_FRAMEBUFFER_HH
+#define DTEXL_RASTER_FRAMEBUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/address_map.hh"
+
+namespace dtexl {
+
+/** Packed RGBA8 stand-in; the simulator only needs determinism. */
+using PixelColor = std::uint32_t;
+
+/** Background color of a cleared frame. */
+inline constexpr PixelColor kClearColor = 0x202020ffu;
+
+/**
+ * Deterministic, order-sensitive blend: opaque replaces, transparent
+ * mixes source into destination in a way that depends on the previous
+ * value, so any illegal reordering of blending changes the image.
+ */
+PixelColor blendPixel(PixelColor dst, PixelColor src, bool blends);
+
+/** Deterministic shading stand-in: color from primitive id + fragment. */
+PixelColor shadeColor(std::uint32_t prim_id, std::uint32_t frag_seed);
+
+/** The functional frame image plus flush addressing. */
+class FrameBuffer
+{
+  public:
+    explicit FrameBuffer(const GpuConfig &cfg);
+
+    std::uint32_t width() const { return w; }
+    std::uint32_t height() const { return h; }
+
+    PixelColor
+    pixel(std::uint32_t x, std::uint32_t y) const
+    {
+        return image[std::size_t{y} * w + x];
+    }
+
+    void
+    setPixel(std::uint32_t x, std::uint32_t y, PixelColor c)
+    {
+        image[std::size_t{y} * w + x] = c;
+    }
+
+    /** Byte address of a pixel in the linear framebuffer. */
+    Addr
+    pixelAddr(std::uint32_t x, std::uint32_t y) const
+    {
+        return addr_map::kFrameBufferBase +
+               (static_cast<Addr>(y) * w + x) * 4;
+    }
+
+    /** Reset every pixel to the clear color. */
+    void clear();
+
+    /** FNV-1a hash of the whole image, for equivalence tests. */
+    std::uint64_t hash() const;
+
+    const std::vector<PixelColor> &pixels() const { return image; }
+
+  private:
+    std::uint32_t w;
+    std::uint32_t h;
+    std::vector<PixelColor> image;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_RASTER_FRAMEBUFFER_HH

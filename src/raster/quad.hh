@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The quad: four adjacent fragments covering a 2x2 pixel block, the
+ * scheduling unit of the Raster Pipeline ("threads" in the paper's
+ * Figures 1/15: one quad becomes one warp in a shader core).
+ */
+
+#ifndef DTEXL_RASTER_QUAD_HH
+#define DTEXL_RASTER_QUAD_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "geom/primitive.hh"
+
+namespace dtexl {
+
+/** One fragment: interpolated attributes at a covered pixel. */
+struct Fragment
+{
+    float depth = 1.0f;
+    Vec2f uv;
+};
+
+/**
+ * A 2x2 fragment group produced by the Rasterizer. Fragment order is
+ * row-major within the block: (0,0), (1,0), (0,1), (1,1).
+ */
+struct Quad
+{
+    const Primitive *prim = nullptr;
+    Coord2 quadInTile;   ///< quad coords within the tile
+    std::uint8_t coverage = 0;   ///< bit k set if fragment k is covered
+    std::array<Fragment, 4> frags;
+
+    /** Filled by the scheduler when the quad is mapped to a pipeline. */
+    std::uint8_t subtile = 0;
+    std::uint16_t slot = 0;
+
+    bool covered(unsigned k) const { return coverage & (1u << k); }
+    std::uint32_t
+    coveredCount() const
+    {
+        std::uint32_t n = 0;
+        for (unsigned k = 0; k < 4; ++k)
+            n += covered(k) ? 1 : 0;
+        return n;
+    }
+
+    /**
+     * Sampling level of detail from the quad's own uv derivatives —
+     * the reason GPUs shade 2x2 quads (helper fragments exist to make
+     * these differences well-defined even at partial coverage).
+     *
+     * @param texture_side Texels per side of the sampled texture.
+     */
+    float
+    lod(std::uint32_t texture_side) const
+    {
+        const float dudx = frags[1].uv.x - frags[0].uv.x;
+        const float dvdx = frags[1].uv.y - frags[0].uv.y;
+        const float dudy = frags[2].uv.x - frags[0].uv.x;
+        const float dvdy = frags[2].uv.y - frags[0].uv.y;
+        const float s = static_cast<float>(texture_side);
+        const float fx =
+            std::sqrt(dudx * dudx + dvdx * dvdx) * s;
+        const float fy =
+            std::sqrt(dudy * dudy + dvdy * dvdy) * s;
+        const float rho = std::max(fx, fy);
+        return rho > 1.0f ? std::log2(rho) : 0.0f;
+    }
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_RASTER_QUAD_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Rasterizer (Figure 3): discretizes each primitive of the current
+ * tile into covered quads with interpolated attributes, using edge
+ * functions with the top-left fill rule.
+ */
+
+#ifndef DTEXL_RASTER_RASTERIZER_HH
+#define DTEXL_RASTER_RASTERIZER_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "raster/quad.hh"
+
+namespace dtexl {
+
+/** Functional quad generation; the pipeline model adds the timing. */
+class Rasterizer
+{
+  public:
+    explicit Rasterizer(const GpuConfig &cfg) : cfg(cfg) {}
+
+    /**
+     * Rasterize one primitive within one tile.
+     *
+     * @param prim       The primitive (must overlap the tile).
+     * @param tile_coord Tile grid coordinate.
+     * @param out        Covered quads appended in raster order.
+     * @return Number of quads appended.
+     */
+    std::size_t rasterize(const Primitive &prim, Coord2 tile_coord,
+                          std::vector<Quad> &out) const;
+
+    std::uint64_t quadsEmitted() const { return quadCount; }
+
+    /**
+     * Reference coverage test used by the property tests: is the pixel
+     * centre of (px, py) inside the primitive under the same fill rule?
+     */
+    static bool pixelCovered(const Primitive &prim, std::uint32_t px,
+                             std::uint32_t py);
+
+  private:
+    const GpuConfig &cfg;
+    mutable std::uint64_t quadCount = 0;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_RASTER_RASTERIZER_HH

@@ -1,0 +1,101 @@
+#include "sched/subtile_assigner.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+SubtileAssigner::SubtileAssigner(SubtileAssignment scheme,
+                                 const SubtileLayout &layout)
+    : scheme(scheme), layout(layout)
+{
+    reset();
+}
+
+void
+SubtileAssigner::reset()
+{
+    for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+        perm[s] = s;
+    seq = 0;
+    prev = Coord2{};
+}
+
+void
+SubtileAssigner::applyMirror(
+    const std::array<std::uint8_t, kNumSubtiles> &mirror)
+{
+    // Subtile s of the new tile inherits the SC that sat on its mirror
+    // image in the previous tile, so the two sides of the shared edge
+    // stay in the same L1 cache.
+    std::array<CoreId, kNumSubtiles> next_perm;
+    for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+        next_perm[s] = perm[mirror[s]];
+    perm = next_perm;
+}
+
+void
+SubtileAssigner::swapFarPair(Coord2 delta)
+{
+    // Order subtiles by distance from the shared edge along the move
+    // axis; the two farthest are the "non-sharing" pair of Figure 8(e).
+    std::array<std::uint8_t, kNumSubtiles> order{0, 1, 2, 3};
+    auto key = [&](std::uint8_t s) {
+        const auto &c = layout.centroid(s);
+        if (delta.x > 0)
+            return c.x;
+        if (delta.x < 0)
+            return -c.x;
+        if (delta.y > 0)
+            return c.y;
+        return -c.y;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::uint8_t a, std::uint8_t b) {
+                  return key(a) > key(b);
+              });
+    std::swap(perm[order[0]], perm[order[1]]);
+}
+
+std::array<CoreId, kNumSubtiles>
+SubtileAssigner::next(Coord2 tile_coord)
+{
+    if (seq == 0 || scheme == SubtileAssignment::Constant) {
+        prev = tile_coord;
+        ++seq;
+        return perm;
+    }
+
+    const Coord2 delta{tile_coord.x - prev.x, tile_coord.y - prev.y};
+    const bool adjacent = std::abs(delta.x) + std::abs(delta.y) == 1;
+
+    if (adjacent) {
+        if (delta.x != 0)
+            applyMirror(layout.mirrorX());
+        else
+            applyMirror(layout.mirrorY());
+
+        if ((scheme == SubtileAssignment::Flip2 ||
+             scheme == SubtileAssignment::Flip3) &&
+            seq % 2 == 1) {
+            swapFarPair(delta);
+        }
+    }
+    // Non-adjacent steps (traversal jumps) keep the assignment: there
+    // is no shared edge to exploit.
+
+    if (scheme == SubtileAssignment::Flip3 && seq % 16 == 0) {
+        // Periodic 180-degree rotation so no SC keeps a long-term
+        // positional advantage (Figure 8(f)).
+        applyMirror(layout.mirrorX());
+        applyMirror(layout.mirrorY());
+    }
+
+    prev = tile_coord;
+    ++seq;
+    return perm;
+}
+
+} // namespace dtexl

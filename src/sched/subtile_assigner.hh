@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Subtile-to-SC assignment across the tile traversal: the Figure 8
+ * schemes. Constant pins subtile k to SC k; the flip schemes mirror the
+ * assignment across each shared tile edge so subtiles that abut in
+ * screen space stay in the same L1 texture cache, with Flip2/Flip3
+ * rotating which SC enjoys the shared edge so no SC is favoured over a
+ * frame (Section III-D).
+ */
+
+#ifndef DTEXL_SCHED_SUBTILE_ASSIGNER_HH
+#define DTEXL_SCHED_SUBTILE_ASSIGNER_HH
+
+#include <array>
+
+#include "common/policies.hh"
+#include "common/types.hh"
+#include "sched/subtile_layout.hh"
+
+namespace dtexl {
+
+/** Per-tile subtile -> SC permutation generator, driven in traversal
+ *  order. */
+class SubtileAssigner
+{
+  public:
+    SubtileAssigner(SubtileAssignment scheme, const SubtileLayout &layout);
+
+    /**
+     * Advance to the next tile of the traversal and return its
+     * assignment.
+     *
+     * @param tile_coord Grid coordinate of the tile.
+     * @return perm[s] = SC that processes subtile s of this tile.
+     */
+    std::array<CoreId, kNumSubtiles> next(Coord2 tile_coord);
+
+    /** Restart at the beginning of a traversal (new frame). */
+    void reset();
+
+  private:
+    void applyMirror(const std::array<std::uint8_t, kNumSubtiles> &mirror);
+    /** Swap the SCs of the two subtiles farthest from the shared edge. */
+    void swapFarPair(Coord2 delta);
+
+    SubtileAssignment scheme;
+    const SubtileLayout &layout;
+    std::array<CoreId, kNumSubtiles> perm;
+    Coord2 prev{};
+    std::uint64_t seq = 0;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_SCHED_SUBTILE_ASSIGNER_HH

@@ -1,0 +1,189 @@
+#include "sched/subtile_layout.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+std::uint8_t
+groupQuad(QuadGrouping grouping, Coord2 q, std::uint32_t quads_per_side)
+{
+    const auto n = static_cast<std::int32_t>(quads_per_side);
+    dtexl_assert(q.x >= 0 && q.x < n && q.y >= 0 && q.y < n);
+    const std::int32_t x = q.x;
+    const std::int32_t y = q.y;
+    switch (grouping) {
+      case QuadGrouping::FGChecker:
+        return static_cast<std::uint8_t>((x % 2) + 2 * (y % 2));
+      case QuadGrouping::FGXShift1:
+        return static_cast<std::uint8_t>((x + y) % 4);
+      case QuadGrouping::FGXShift2:
+        return static_cast<std::uint8_t>((x + 2 * y) % 4);
+      case QuadGrouping::FGYShift2:
+        return static_cast<std::uint8_t>((y + 2 * x) % 4);
+      case QuadGrouping::FGVDomino:
+        return static_cast<std::uint8_t>((x + 2 * (y / 2)) % 4);
+      case QuadGrouping::FGHDomino:
+        return static_cast<std::uint8_t>((y + 2 * (x / 2)) % 4);
+      case QuadGrouping::CGXRect:
+        // Bands split along x: full-height vertical strips.
+        return static_cast<std::uint8_t>(x / (n / 4));
+      case QuadGrouping::CGYRect:
+        // Bands split along y: full-width horizontal strips. The
+        // paper's better-locality rectangle (Section V-A: horizontal
+        // adjacency preserved, ~10x worse balance).
+        return static_cast<std::uint8_t>(y / (n / 4));
+      case QuadGrouping::CGSquare:
+        return static_cast<std::uint8_t>((x >= n / 2 ? 1 : 0) +
+                                         (y >= n / 2 ? 2 : 0));
+      case QuadGrouping::CGTriangle: {
+        // Four triangles meeting at the tile centre: sector by the two
+        // diagonals, deterministic tie-breaks (exact counts fixed up by
+        // SubtileLayout).
+        const double c = (static_cast<double>(n) - 1.0) / 2.0;
+        const double dx = static_cast<double>(x) - c;
+        const double dy = static_cast<double>(y) - c;
+        if (dy <= dx && dy < -dx)
+            return 0;  // top
+        if (dy <= dx)  // && dy >= -dx
+            return 1;  // right
+        if (dy > -dx)
+            return 2;  // bottom
+        return 3;      // left
+      }
+    }
+    panic("unknown QuadGrouping %d", static_cast<int>(grouping));
+}
+
+SubtileLayout::SubtileLayout(QuadGrouping grouping,
+                             std::uint32_t quads_per_side)
+    : grouping_(grouping), side(quads_per_side),
+      subtile(std::size_t{quads_per_side} * quads_per_side),
+      slot(std::size_t{quads_per_side} * quads_per_side)
+{
+    dtexl_assert(side >= 4 && side % 4 == 0,
+                 "tile side in quads must be a positive multiple of 4");
+
+    for (std::uint32_t y = 0; y < side; ++y) {
+        for (std::uint32_t x = 0; x < side; ++x) {
+            const Coord2 q{static_cast<std::int32_t>(x),
+                           static_cast<std::int32_t>(y)};
+            subtile[index(q)] = groupQuad(grouping, q, side);
+        }
+    }
+
+    // Banks are equal-sized (Section III-E), so every subtile must hold
+    // exactly a quarter of the quads. Patterns with irrational borders
+    // (CG-triangle) are balanced by moving border quads to the least
+    // loaded neighbouring subtile, nearest-to-centre first.
+    const std::uint32_t target = quadsPerSubtile();
+    std::array<std::uint32_t, kNumSubtiles> counts{};
+    for (std::uint8_t s : subtile)
+        ++counts[s];
+    if (counts != std::array<std::uint32_t, kNumSubtiles>{target, target,
+                                                          target, target}) {
+        const double c = (static_cast<double>(side) - 1.0) / 2.0;
+        // Quad indices sorted by distance from centre (closest first):
+        // border quads of the diagonal partition live near the centre
+        // lines, so these move first and contiguity is preserved.
+        std::vector<std::uint32_t> order(subtile.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        auto dist = [&](std::uint32_t i) {
+            const double dx = static_cast<double>(i % side) - c;
+            const double dy = static_cast<double>(i / side) - c;
+            return std::min({std::abs(dx + dy), std::abs(dx - dy)});
+        };
+        std::sort(order.begin(), order.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return dist(a) < dist(b);
+                  });
+        for (std::uint32_t i : order) {
+            const std::uint8_t s = subtile[i];
+            if (counts[s] <= target)
+                continue;
+            // Move to the most underfull subtile.
+            std::uint8_t best = s;
+            for (std::uint8_t t = 0; t < kNumSubtiles; ++t)
+                if (counts[t] < target &&
+                    (best == s || counts[t] < counts[best]))
+                    best = t;
+            if (best != s) {
+                --counts[s];
+                ++counts[best];
+                subtile[i] = best;
+            }
+        }
+    }
+    // Slot indices: raster order within each subtile.
+    std::array<std::uint16_t, kNumSubtiles> next{};
+    for (std::size_t i = 0; i < subtile.size(); ++i)
+        slot[i] = next[subtile[i]]++;
+    for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+        dtexl_assert(next[s] == target, "subtile %u has %u quads, want %u",
+                     s, next[s], target);
+
+    // Centroids.
+    std::array<double, kNumSubtiles> sx{}, sy{};
+    for (std::uint32_t y = 0; y < side; ++y) {
+        for (std::uint32_t x = 0; x < side; ++x) {
+            const std::uint8_t s = subtile[y * side + x];
+            sx[s] += x;
+            sy[s] += y;
+        }
+    }
+    for (std::uint8_t s = 0; s < kNumSubtiles; ++s) {
+        centroids[s].x = sx[s] / target;
+        centroids[s].y = sy[s] / target;
+    }
+
+    computeMirrors();
+}
+
+void
+SubtileLayout::computeMirrors()
+{
+    auto compute = [&](bool horizontal,
+                       std::array<std::uint8_t, kNumSubtiles> &out,
+                       bool &ok) {
+        std::array<int, kNumSubtiles> image;
+        image.fill(-1);
+        bool consistent = true;
+        for (std::uint32_t y = 0; y < side && consistent; ++y) {
+            for (std::uint32_t x = 0; x < side && consistent; ++x) {
+                const std::uint8_t s = subtile[y * side + x];
+                const std::uint32_t mx = horizontal ? side - 1 - x : x;
+                const std::uint32_t my = horizontal ? y : side - 1 - y;
+                const std::uint8_t ms = subtile[my * side + mx];
+                if (image[s] == -1)
+                    image[s] = ms;
+                else if (image[s] != ms)
+                    consistent = false;
+            }
+        }
+        bool bijective = consistent;
+        if (consistent) {
+            std::array<bool, kNumSubtiles> seen{};
+            for (std::uint8_t s = 0; s < kNumSubtiles; ++s) {
+                if (image[s] < 0 || seen[image[s]])
+                    bijective = false;
+                else
+                    seen[image[s]] = true;
+            }
+        }
+        if (bijective) {
+            for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+                out[s] = static_cast<std::uint8_t>(image[s]);
+        } else {
+            for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+                out[s] = s;
+        }
+        ok = bijective;
+    };
+    compute(true, mirror_x, mirror_x_ok);
+    compute(false, mirror_y, mirror_y_ok);
+}
+
+} // namespace dtexl

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Subtile layouts: the quad groupings of the paper's Figure 6.
+ *
+ * A layout partitions the quads of one tile into four equal-sized
+ * subtiles. Fine-grained (FG) layouts interleave so screen-adjacent
+ * quads land in different subtiles (load balance); coarse-grained (CG)
+ * layouts keep adjacent quads together (texture locality). Each quad
+ * also gets a stable slot index within its subtile, which the banked
+ * Z/Color buffers use as storage index.
+ */
+
+#ifndef DTEXL_SCHED_SUBTILE_LAYOUT_HH
+#define DTEXL_SCHED_SUBTILE_LAYOUT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/policies.hh"
+#include "common/types.hh"
+
+namespace dtexl {
+
+/** Number of subtiles == parallel raster pipelines the paper assumes. */
+inline constexpr std::uint32_t kNumSubtiles = 4;
+
+/**
+ * Precomputed quad-to-subtile mapping for one grouping at one tile
+ * size. Immutable after construction.
+ */
+class SubtileLayout
+{
+  public:
+    /**
+     * @param grouping       Figure 6 pattern.
+     * @param quads_per_side Tile side in quads (tileSize / 2).
+     */
+    SubtileLayout(QuadGrouping grouping, std::uint32_t quads_per_side);
+
+    QuadGrouping grouping() const { return grouping_; }
+    std::uint32_t quadsPerSide() const { return side; }
+    std::uint32_t quadsPerTile() const { return side * side; }
+    std::uint32_t quadsPerSubtile() const { return side * side / 4; }
+
+    /** Subtile (0..3) of a quad at tile-local coordinates. */
+    std::uint8_t
+    subtileOf(Coord2 q) const
+    {
+        return subtile[index(q)];
+    }
+
+    /** Storage slot of the quad within its subtile. */
+    std::uint16_t
+    slotOf(Coord2 q) const
+    {
+        return slot[index(q)];
+    }
+
+    /** Mean quad position of a subtile, in quad units. */
+    struct Centroid
+    {
+        double x = 0.0;
+        double y = 0.0;
+    };
+    const Centroid &centroid(std::uint8_t s) const { return centroids[s]; }
+
+    /**
+     * Subtile permutation under a horizontal mirror (x -> side-1-x).
+     * Meaningful (bijective) for the CG layouts the flip assignments
+     * are defined on; identity otherwise.
+     */
+    const std::array<std::uint8_t, kNumSubtiles> &mirrorX() const
+    {
+        return mirror_x;
+    }
+    /** Same, for a vertical mirror (y -> side-1-y). */
+    const std::array<std::uint8_t, kNumSubtiles> &mirrorY() const
+    {
+        return mirror_y;
+    }
+    bool mirrorXBijective() const { return mirror_x_ok; }
+    bool mirrorYBijective() const { return mirror_y_ok; }
+
+  private:
+    std::size_t
+    index(Coord2 q) const
+    {
+        return static_cast<std::size_t>(q.y) * side +
+               static_cast<std::size_t>(q.x);
+    }
+
+    void computeMirrors();
+
+    QuadGrouping grouping_;
+    std::uint32_t side;
+    std::vector<std::uint8_t> subtile;  ///< per quad index
+    std::vector<std::uint16_t> slot;    ///< per quad index
+    std::array<Centroid, kNumSubtiles> centroids{};
+    std::array<std::uint8_t, kNumSubtiles> mirror_x{0, 1, 2, 3};
+    std::array<std::uint8_t, kNumSubtiles> mirror_y{0, 1, 2, 3};
+    bool mirror_x_ok = false;
+    bool mirror_y_ok = false;
+};
+
+/**
+ * Pure mapping function behind the layouts: subtile of a quad under a
+ * grouping, for a tile of quads_per_side quads. Exposed for tests.
+ */
+std::uint8_t groupQuad(QuadGrouping grouping, Coord2 q,
+                       std::uint32_t quads_per_side);
+
+} // namespace dtexl
+
+#endif // DTEXL_SCHED_SUBTILE_LAYOUT_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Morton (Z-order) curve encoding. Used both for the Z-order tile
+ * traversal (Figure 7a) and for the tiled texel layout of textures in
+ * memory (a 64 B cache line holds a Morton-ordered 4x4 texel block).
+ */
+
+#ifndef DTEXL_SFC_MORTON_HH
+#define DTEXL_SFC_MORTON_HH
+
+#include <cstdint>
+
+namespace dtexl {
+
+/** Spread the low 32 bits of x so bit i lands at bit 2i. */
+inline constexpr std::uint64_t
+mortonSpread(std::uint64_t x)
+{
+    x &= 0xffffffffull;
+    x = (x | (x << 16)) & 0x0000ffff0000ffffull;
+    x = (x | (x << 8))  & 0x00ff00ff00ff00ffull;
+    x = (x | (x << 4))  & 0x0f0f0f0f0f0f0f0full;
+    x = (x | (x << 2))  & 0x3333333333333333ull;
+    x = (x | (x << 1))  & 0x5555555555555555ull;
+    return x;
+}
+
+/** Inverse of mortonSpread. */
+inline constexpr std::uint64_t
+mortonCompact(std::uint64_t x)
+{
+    x &= 0x5555555555555555ull;
+    x = (x | (x >> 1))  & 0x3333333333333333ull;
+    x = (x | (x >> 2))  & 0x0f0f0f0f0f0f0f0full;
+    x = (x | (x >> 4))  & 0x00ff00ff00ff00ffull;
+    x = (x | (x >> 8))  & 0x0000ffff0000ffffull;
+    x = (x | (x >> 16)) & 0x00000000ffffffffull;
+    return x;
+}
+
+/** Interleave (x, y) into a Morton code; x occupies the even bits. */
+inline constexpr std::uint64_t
+mortonEncode(std::uint32_t x, std::uint32_t y)
+{
+    return mortonSpread(x) | (mortonSpread(y) << 1);
+}
+
+/** Extract x (even bits) from a Morton code. */
+inline constexpr std::uint32_t
+mortonDecodeX(std::uint64_t code)
+{
+    return static_cast<std::uint32_t>(mortonCompact(code));
+}
+
+/** Extract y (odd bits) from a Morton code. */
+inline constexpr std::uint32_t
+mortonDecodeY(std::uint64_t code)
+{
+    return static_cast<std::uint32_t>(mortonCompact(code >> 1));
+}
+
+} // namespace dtexl
+
+#endif // DTEXL_SFC_MORTON_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Texel storage formats. Mobile GPUs ship most textures block-
+ * compressed (ETC2/ASTC), which packs more texels into each cache line
+ * and therefore changes the locality economics this paper is about:
+ * one 64 B line holds a 4x4 block of RGBA8 texels but an 8x8 region of
+ * ETC2 texels, so compressed textures widen the screen area whose
+ * quads share a line — raising both the replication cost of
+ * fine-grained grouping and the benefit of coarse-grained grouping.
+ */
+
+#ifndef DTEXL_TEXTURE_FORMAT_HH
+#define DTEXL_TEXTURE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dtexl {
+
+/** Texel storage format. */
+enum class TexFormat : std::uint8_t
+{
+    RGBA8,   ///< 4 bytes/texel, uncompressed
+    RGB565,  ///< 2 bytes/texel, uncompressed
+    ETC2,    ///< 8 bytes per 4x4 block = 0.5 bytes/texel
+};
+
+/** Short name for reports. */
+std::string toString(TexFormat fmt);
+
+/**
+ * Numerator/denominator of bytes per texel (ETC2 is sub-byte, so the
+ * rate is expressed as a fraction).
+ */
+struct TexelRate
+{
+    std::uint32_t bytesNum;
+    std::uint32_t texelsDen;
+};
+
+/** Storage rate of a format. */
+constexpr TexelRate
+texelRate(TexFormat fmt)
+{
+    switch (fmt) {
+      case TexFormat::RGBA8:  return {4, 1};
+      case TexFormat::RGB565: return {2, 1};
+      case TexFormat::ETC2:   return {1, 2};
+    }
+    return {4, 1};
+}
+
+/**
+ * Side of the square block that a format addresses atomically:
+ * 1 for uncompressed formats, 4 for ETC2 (an 8-byte unit decodes a
+ * whole 4x4 block).
+ */
+constexpr std::uint32_t
+blockSide(TexFormat fmt)
+{
+    return fmt == TexFormat::ETC2 ? 4u : 1u;
+}
+
+/** Bytes of one mip level of the given side under a format. */
+constexpr std::uint64_t
+levelBytes(TexFormat fmt, std::uint32_t side)
+{
+    const TexelRate r = texelRate(fmt);
+    const std::uint64_t texels = std::uint64_t{side} * side;
+    // Round up to whole blocks for compressed formats.
+    const std::uint32_t bs = blockSide(fmt);
+    const std::uint64_t blocks_side = (side + bs - 1) / bs;
+    const std::uint64_t padded = blocks_side * bs * blocks_side * bs;
+    return (fmt == TexFormat::ETC2 ? padded : texels) * r.bytesNum /
+           r.texelsDen;
+}
+
+} // namespace dtexl
+
+#endif // DTEXL_TEXTURE_FORMAT_HH

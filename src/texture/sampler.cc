@@ -1,0 +1,118 @@
+#include "texture/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+namespace {
+
+/** Wrap a texel coordinate into [0, side) for repeat addressing. */
+std::uint32_t
+wrap(std::int64_t c, std::uint32_t side)
+{
+    std::int64_t m = c % static_cast<std::int64_t>(side);
+    if (m < 0)
+        m += side;
+    return static_cast<std::uint32_t>(m);
+}
+
+/** Add the 2x2 bilinear tap around (u, v) at the given level. */
+void
+addBilinearTap(const TextureDesc &tex, std::uint32_t level, float u,
+               float v, SampleFootprint &fp)
+{
+    const std::uint32_t side = tex.levelSide(level);
+    // Texel-centre convention: the tap spans floor(x-0.5)..+1.
+    const float x = u * static_cast<float>(side) - 0.5f;
+    const float y = v * static_cast<float>(side) - 0.5f;
+    const auto x0 = static_cast<std::int64_t>(std::floor(x));
+    const auto y0 = static_cast<std::int64_t>(std::floor(y));
+    for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+            fp.add(tex.texelAddr(level, wrap(x0 + dx, side),
+                                 wrap(y0 + dy, side)));
+        }
+    }
+}
+
+} // namespace
+
+std::uint32_t
+texelsPerSample(FilterMode mode)
+{
+    switch (mode) {
+      case FilterMode::Nearest:   return 1;
+      case FilterMode::Bilinear:  return 4;
+      case FilterMode::Trilinear: return 8;
+      case FilterMode::Aniso2x:   return 8;
+    }
+    panic("unknown FilterMode %d", static_cast<int>(mode));
+}
+
+SampleFootprint
+sampleFootprint(const TextureDesc &tex, FilterMode mode, float u, float v,
+                float lod)
+{
+    SampleFootprint fp;
+    const auto max_level =
+        static_cast<float>(tex.numMipLevels() - 1);
+    const float clamped = std::clamp(lod, 0.0f, max_level);
+    const auto l0 = static_cast<std::uint32_t>(clamped);
+
+    switch (mode) {
+      case FilterMode::Nearest: {
+        const std::uint32_t side = tex.levelSide(l0);
+        const auto x = static_cast<std::int64_t>(
+            std::floor(u * static_cast<float>(side)));
+        const auto y = static_cast<std::int64_t>(
+            std::floor(v * static_cast<float>(side)));
+        fp.add(tex.texelAddr(l0, wrap(x, side), wrap(y, side)));
+        break;
+      }
+      case FilterMode::Bilinear:
+        addBilinearTap(tex, l0, u, v, fp);
+        break;
+      case FilterMode::Trilinear: {
+        addBilinearTap(tex, l0, u, v, fp);
+        const std::uint32_t l1 =
+            std::min(l0 + 1, tex.numMipLevels() - 1);
+        addBilinearTap(tex, l1, u, v, fp);
+        break;
+      }
+      case FilterMode::Aniso2x: {
+        // Two bilinear taps spread along the axis of anisotropy
+        // (approximated as u); Heckbert-style elliptical footprint.
+        const float du =
+            0.5f / static_cast<float>(tex.levelSide(l0));
+        addBilinearTap(tex, l0, u - du, v, fp);
+        addBilinearTap(tex, l0, u + du, v, fp);
+        break;
+      }
+    }
+    return fp;
+}
+
+std::uint32_t
+footprintLines(const SampleFootprint &fp, std::uint32_t line_bytes,
+               std::array<Addr, SampleFootprint::kMaxTexels> &lines)
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < fp.count; ++i) {
+        const Addr line = fp.texels[i] & ~Addr{line_bytes - 1};
+        bool seen = false;
+        for (std::uint32_t j = 0; j < n; ++j) {
+            if (lines[j] == line) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            lines[n++] = line;
+    }
+    return n;
+}
+
+} // namespace dtexl

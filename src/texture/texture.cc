@@ -1,0 +1,52 @@
+#include "texture/texture.hh"
+
+#include "common/log.hh"
+#include "sfc/morton.hh"
+
+namespace dtexl {
+
+std::string
+toString(TexFormat fmt)
+{
+    switch (fmt) {
+      case TexFormat::RGBA8:  return "RGBA8";
+      case TexFormat::RGB565: return "RGB565";
+      case TexFormat::ETC2:   return "ETC2";
+    }
+    panic("unknown TexFormat %d", static_cast<int>(fmt));
+}
+
+TextureDesc::TextureDesc(TextureId id, Addr base_addr, std::uint32_t side,
+                         TexFormat fmt)
+    : id_(id), base(base_addr), side_(side), fmt(fmt)
+{
+    dtexl_assert(side > 0 && (side & (side - 1)) == 0,
+                 "texture side must be a power of two");
+    Addr a = base_addr;
+    for (std::uint32_t s = side; ; s /= 2) {
+        mipBases.push_back(a);
+        a += levelBytes(fmt, s);
+        if (s == 1)
+            break;
+    }
+    total = a - base_addr;
+}
+
+Addr
+TextureDesc::texelAddr(std::uint32_t level, std::uint32_t x,
+                       std::uint32_t y) const
+{
+    dtexl_assert(level < mipBases.size(), "mip level out of range");
+    const std::uint32_t s = levelSide(level);
+    dtexl_assert(x < s && y < s, "texel out of range");
+    const std::uint32_t bs = blockSide(fmt);
+    if (bs > 1) {
+        // Compressed: address the 4x4 block in block-Morton order;
+        // each ETC2 block is 8 bytes.
+        return mipBases[level] + mortonEncode(x / bs, y / bs) * 8;
+    }
+    const TexelRate r = texelRate(fmt);
+    return mipBases[level] + mortonEncode(x, y) * r.bytesNum;
+}
+
+} // namespace dtexl

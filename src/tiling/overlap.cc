@@ -1,0 +1,53 @@
+#include "tiling/overlap.hh"
+
+#include <algorithm>
+
+namespace dtexl {
+
+namespace {
+
+/** Project the triangle and rectangle on an axis; true if disjoint. */
+bool
+separatedOnAxis(const Vec2f &axis, const Vec2f &a, const Vec2f &b,
+                const Vec2f &c, const RectF &r)
+{
+    const float ta = dot(axis, a);
+    const float tb = dot(axis, b);
+    const float tc = dot(axis, c);
+    const float tri_min = std::min({ta, tb, tc});
+    const float tri_max = std::max({ta, tb, tc});
+
+    const Vec2f corners[4] = {
+        {r.x0, r.y0}, {r.x1, r.y0}, {r.x0, r.y1}, {r.x1, r.y1}};
+    float rect_min = dot(axis, corners[0]);
+    float rect_max = rect_min;
+    for (int i = 1; i < 4; ++i) {
+        const float t = dot(axis, corners[i]);
+        rect_min = std::min(rect_min, t);
+        rect_max = std::max(rect_max, t);
+    }
+    return tri_max <= rect_min || rect_max <= tri_min;
+}
+
+} // namespace
+
+bool
+triangleOverlapsRect(const Vec2f &a, const Vec2f &b, const Vec2f &c,
+                     const RectF &r)
+{
+    // Rectangle axes (x, y), then the three edge normals.
+    if (separatedOnAxis({1.0f, 0.0f}, a, b, c, r))
+        return false;
+    if (separatedOnAxis({0.0f, 1.0f}, a, b, c, r))
+        return false;
+    const Vec2f edges[3] = {b - a, c - b, a - c};
+    for (const Vec2f &e : edges) {
+        if (e.x == 0.0f && e.y == 0.0f)
+            continue;
+        if (separatedOnAxis({-e.y, e.x}, a, b, c, r))
+            return false;
+    }
+    return true;
+}
+
+} // namespace dtexl

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Exact triangle-vs-axis-aligned-rectangle overlap test used by the
+ * Polygon List Builder so per-tile lists contain only primitives that
+ * truly overlap the tile (Section II-A).
+ */
+
+#ifndef DTEXL_TILING_OVERLAP_HH
+#define DTEXL_TILING_OVERLAP_HH
+
+#include "geom/vec.hh"
+
+namespace dtexl {
+
+/** Axis-aligned rectangle in pixel coordinates, [x0,x1) x [y0,y1). */
+struct RectF
+{
+    float x0 = 0.0f;
+    float y0 = 0.0f;
+    float x1 = 0.0f;
+    float y1 = 0.0f;
+};
+
+/**
+ * Separating-axis triangle/rectangle overlap. Shared edges count as
+ * overlap only if interiors intersect (half-open rectangle).
+ */
+bool triangleOverlapsRect(const Vec2f &a, const Vec2f &b, const Vec2f &c,
+                          const RectF &r);
+
+} // namespace dtexl
+
+#endif // DTEXL_TILING_OVERLAP_HH

@@ -1,0 +1,49 @@
+#include "tiling/param_buffer.hh"
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+ParamBuffer::ParamBuffer(std::uint32_t num_tiles)
+    : lists(num_tiles)
+{
+    // List regions start after a generous attribute area so the two
+    // classes of traffic never alias.
+    listsBase = addr_map::kParamBufferBase + (Addr{1} << 28);
+}
+
+std::size_t
+ParamBuffer::addPrimitive(const Primitive &prim)
+{
+    prims.push_back(prim);
+    return prims.size() - 1;
+}
+
+void
+ParamBuffer::appendToTile(TileId tile, std::size_t index)
+{
+    dtexl_assert(tile < lists.size(), "tile out of range");
+    dtexl_assert(lists[tile].size() < kListRegionEntries,
+                 "per-tile list region overflow");
+    lists[tile].push_back(static_cast<std::uint32_t>(index));
+}
+
+std::uint64_t
+ParamBuffer::footprintBytes() const
+{
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(prims.size()) * kAttrRecordBytes;
+    for (const auto &l : lists)
+        bytes += static_cast<std::uint64_t>(l.size()) * kListEntryBytes;
+    return bytes;
+}
+
+void
+ParamBuffer::clear()
+{
+    prims.clear();
+    for (auto &l : lists)
+        l.clear();
+}
+
+} // namespace dtexl

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Parameter Buffer (Section II-A): per-tile lists of primitive IDs
+ * plus a single shared attribute record per primitive. Built by the
+ * Polygon List Builder during the geometry phase, consumed by the Tile
+ * Fetcher during the raster phase, and discarded at frame end.
+ */
+
+#ifndef DTEXL_TILING_PARAM_BUFFER_HH
+#define DTEXL_TILING_PARAM_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "geom/primitive.hh"
+#include "mem/address_map.hh"
+
+namespace dtexl {
+
+/**
+ * Frame-lifetime storage for the binned primitive stream. The class
+ * both holds the functional data (primitive structs, per-tile ID lists)
+ * and computes the memory addresses the timing model touches when the
+ * structure is written and read back.
+ */
+class ParamBuffer
+{
+  public:
+    /** Bytes of one attribute record (3 vertices + shader state). */
+    static constexpr std::uint32_t kAttrRecordBytes = 64;
+    /** Bytes of one per-tile list entry (a primitive ID). */
+    static constexpr std::uint32_t kListEntryBytes = 4;
+    /** Capacity reserved for each tile's list region, in entries. */
+    static constexpr std::uint32_t kListRegionEntries = 1 << 16;
+
+    explicit ParamBuffer(std::uint32_t num_tiles);
+
+    /** Store a primitive's attributes; returns its index (== prim.id). */
+    std::size_t addPrimitive(const Primitive &prim);
+
+    /** Append primitive @p index to tile @p tile's list. */
+    void appendToTile(TileId tile, std::size_t index);
+
+    const Primitive &primitive(std::size_t index) const
+    {
+        return prims[index];
+    }
+    const std::vector<std::uint32_t> &tileList(TileId tile) const
+    {
+        return lists[tile];
+    }
+    std::size_t numPrimitives() const { return prims.size(); }
+    std::uint32_t numTiles() const
+    {
+        return static_cast<std::uint32_t>(lists.size());
+    }
+
+    /** Address of a primitive's attribute record. */
+    Addr
+    attrAddr(std::size_t index) const
+    {
+        return addr_map::kParamBufferBase +
+               static_cast<Addr>(index) * kAttrRecordBytes;
+    }
+
+    /** Address of entry @p n of tile @p tile's list. */
+    Addr
+    listEntryAddr(TileId tile, std::size_t n) const
+    {
+        return listsBase +
+               (static_cast<Addr>(tile) * kListRegionEntries + n) *
+                   kListEntryBytes;
+    }
+
+    /** Total footprint in bytes (attribute records + list entries). */
+    std::uint64_t footprintBytes() const;
+
+    /** Drop all contents for the next frame. */
+    void clear();
+
+  private:
+    std::vector<Primitive> prims;
+    std::vector<std::vector<std::uint32_t>> lists;
+    Addr listsBase;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_TILING_PARAM_BUFFER_HH

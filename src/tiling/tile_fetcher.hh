@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Tile Fetcher (Figure 3): walks tiles in the configured traversal
+ * order and reads each tile's primitive list + attribute records back
+ * from the Parameter Buffer, producing the primitive stream the Raster
+ * Pipeline consumes.
+ */
+
+#ifndef DTEXL_TILING_TILE_FETCHER_HH
+#define DTEXL_TILING_TILE_FETCHER_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/hierarchy.hh"
+#include "sfc/tile_order.hh"
+#include "tiling/param_buffer.hh"
+
+namespace dtexl {
+
+/** One fetched tile: its identity and primitive stream. */
+struct FetchedTile
+{
+    TileId tile = 0;
+    Coord2 coord;
+    std::uint32_t sequence = 0;  ///< position in the traversal
+    std::vector<const Primitive *> prims;
+    Cycle readyAt = 0;  ///< cycle the last attribute read completed
+};
+
+/** Timed tile fetching in traversal order. */
+class TileFetcher
+{
+  public:
+    TileFetcher(const GpuConfig &cfg, MemHierarchy &mem,
+                const ParamBuffer &pb);
+
+    /** True when every tile of the frame has been fetched. */
+    bool done() const { return cursor >= traversal.size(); }
+
+    /** Number of tiles in the traversal. */
+    std::size_t numTiles() const { return traversal.size(); }
+
+    /**
+     * Fetch the next tile in traversal order.
+     *
+     * @param now Cycle the fetch may start.
+     * @return The fetched tile; readyAt gives its availability.
+     */
+    FetchedTile fetchNext(Cycle now);
+
+    const std::vector<TileId> &order() const { return traversal; }
+
+  private:
+    /** Fixed per-primitive fetch/decode cost. */
+    static constexpr Cycle kDecodeCost = 1;
+
+    const GpuConfig &cfg;
+    MemHierarchy &mem;
+    const ParamBuffer &pb;
+    std::vector<TileId> traversal;
+    std::size_t cursor = 0;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_TILING_TILE_FETCHER_HH

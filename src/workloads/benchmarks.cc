@@ -1,0 +1,239 @@
+#include "workloads/benchmarks.hh"
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+namespace {
+
+std::vector<BenchmarkParams>
+makeTable()
+{
+    std::vector<BenchmarkParams> t;
+
+    // Candy Crush Saga: 2D sprite puzzle; heavy alpha blending of
+    // magnified sprites, short shaders.
+    BenchmarkParams ccs;
+    ccs.name = "Candy Crush Saga";
+    ccs.alias = "CCS";
+    ccs.seed = 0xCC50001;
+    ccs.textureFootprintMiB = 2.4;
+    ccs.is3D = false;
+    ccs.numTextures = 10;
+    ccs.overdrawFactor = 3.0;
+    ccs.clusterFactor = 0.5;
+    ccs.horizontalBias = 1.2;
+    ccs.aluOpsMean = 5;
+    ccs.texSamplesPerFrag = 1;
+    ccs.filter = FilterMode::Bilinear;
+    ccs.compressedFraction = 0.25;
+    ccs.blendFraction = 0.65;
+    ccs.texelsPerPixel = 0.6;
+    ccs.meanPrimArea = 5000.0;
+    t.push_back(ccs);
+
+    // Sonic Dash: 3D runner; mid-size textures, trilinear.
+    BenchmarkParams sod;
+    sod.name = "Sonic Dash";
+    sod.alias = "SoD";
+    sod.seed = 0x50D0002;
+    sod.textureFootprintMiB = 1.4;
+    sod.is3D = true;
+    sod.numTextures = 8;
+    sod.overdrawFactor = 2.2;
+    sod.clusterFactor = 0.55;
+    sod.horizontalBias = 2.2;
+    sod.aluOpsMean = 9;
+    sod.texSamplesPerFrag = 1;
+    sod.filter = FilterMode::Trilinear;
+    sod.compressedFraction = 0.7;
+    sod.blendFraction = 0.2;
+    sod.texelsPerPixel = 0.8;
+    sod.meanPrimArea = 4000.0;
+    t.push_back(sod);
+
+    // Temple Run: 3D runner; tiny footprint, strongly clustered
+    // corridor geometry (the paper's worst-case imbalance benchmark).
+    BenchmarkParams tru;
+    tru.name = "Temple Run";
+    tru.alias = "TRu";
+    tru.seed = 0x7120003;
+    tru.textureFootprintMiB = 0.4;
+    tru.is3D = true;
+    tru.numTextures = 5;
+    tru.overdrawFactor = 2.8;
+    tru.clusterFactor = 0.85;
+    tru.horizontalBias = 2.5;
+    tru.aluOpsMean = 7;
+    tru.texSamplesPerFrag = 1;
+    tru.filter = FilterMode::Trilinear;
+    tru.compressedFraction = 0.7;
+    tru.blendFraction = 0.15;
+    tru.texelsPerPixel = 0.9;
+    tru.meanPrimArea = 6000.0;
+    t.push_back(tru);
+
+    // Shoot Strike War Fire: 3D shooter; smallest footprint.
+    BenchmarkParams swa;
+    swa.name = "Shoot Strike War Fire";
+    swa.alias = "SWa";
+    swa.seed = 0x5AA0004;
+    swa.textureFootprintMiB = 0.2;
+    swa.is3D = true;
+    swa.numTextures = 4;
+    swa.overdrawFactor = 2.0;
+    swa.clusterFactor = 0.45;
+    swa.horizontalBias = 1.8;
+    swa.aluOpsMean = 10;
+    swa.texSamplesPerFrag = 1;
+    swa.filter = FilterMode::Bilinear;
+    swa.compressedFraction = 0.6;
+    swa.blendFraction = 0.2;
+    swa.texelsPerPixel = 0.7;
+    swa.meanPrimArea = 3500.0;
+    t.push_back(swa);
+
+    // City Racing 3D: road rendering with anisotropic sampling.
+    BenchmarkParams cra;
+    cra.name = "City Racing 3D";
+    cra.alias = "CRa";
+    cra.seed = 0xC1A0005;
+    cra.textureFootprintMiB = 2.8;
+    cra.is3D = true;
+    cra.numTextures = 10;
+    cra.overdrawFactor = 2.0;
+    cra.clusterFactor = 0.5;
+    cra.horizontalBias = 2.8;
+    cra.aluOpsMean = 9;
+    cra.texSamplesPerFrag = 1;
+    cra.filter = FilterMode::Aniso2x;
+    cra.compressedFraction = 0.7;
+    cra.blendFraction = 0.15;
+    cra.texelsPerPixel = 0.8;
+    cra.meanPrimArea = 5500.0;
+    t.push_back(cra);
+
+    // Rise of Kingdoms: 2D strategy; the largest atlas footprint.
+    BenchmarkParams rok;
+    rok.name = "Rise of Kingdoms: Lost Crusade";
+    rok.alias = "RoK";
+    rok.seed = 0x20C0006;
+    rok.textureFootprintMiB = 6.8;
+    rok.is3D = false;
+    rok.numTextures = 14;
+    rok.overdrawFactor = 2.4;
+    rok.clusterFactor = 0.4;
+    rok.horizontalBias = 1.5;
+    rok.aluOpsMean = 6;
+    rok.texSamplesPerFrag = 1;
+    rok.filter = FilterMode::Bilinear;
+    rok.compressedFraction = 0.3;
+    rok.blendFraction = 0.5;
+    rok.texelsPerPixel = 0.75;
+    rok.meanPrimArea = 4500.0;
+    t.push_back(rok);
+
+    // Derby Destruction Simulator: 3D racing.
+    BenchmarkParams dds;
+    dds.name = "Derby Destruction Simulator";
+    dds.alias = "DDS";
+    dds.seed = 0xDD50007;
+    dds.textureFootprintMiB = 1.4;
+    dds.is3D = true;
+    dds.numTextures = 8;
+    dds.overdrawFactor = 2.1;
+    dds.clusterFactor = 0.5;
+    dds.horizontalBias = 2.0;
+    dds.aluOpsMean = 8;
+    dds.texSamplesPerFrag = 1;
+    dds.filter = FilterMode::Trilinear;
+    dds.compressedFraction = 0.7;
+    dds.blendFraction = 0.2;
+    dds.texelsPerPixel = 0.75;
+    dds.meanPrimArea = 4200.0;
+    t.push_back(dds);
+
+    // Sniper 3D: 3D shooter; scoped scenes, mid overdraw.
+    BenchmarkParams snp;
+    snp.name = "Sniper 3D";
+    snp.alias = "Snp";
+    snp.seed = 0x5A90008;
+    snp.textureFootprintMiB = 1.8;
+    snp.is3D = true;
+    snp.numTextures = 9;
+    snp.overdrawFactor = 2.3;
+    snp.clusterFactor = 0.6;
+    snp.horizontalBias = 1.8;
+    snp.aluOpsMean = 10;
+    snp.texSamplesPerFrag = 1;
+    snp.filter = FilterMode::Trilinear;
+    snp.compressedFraction = 0.65;
+    snp.blendFraction = 0.25;
+    snp.texelsPerPixel = 0.8;
+    snp.meanPrimArea = 3800.0;
+    t.push_back(snp);
+
+    // 3D Maze 2: corridor crawler, clustered walls.
+    BenchmarkParams mze;
+    mze.name = "3D Maze 2: Diamonds & Ghosts";
+    mze.alias = "Mze";
+    mze.seed = 0x3E20009;
+    mze.textureFootprintMiB = 2.4;
+    mze.is3D = true;
+    mze.numTextures = 8;
+    mze.overdrawFactor = 2.6;
+    mze.clusterFactor = 0.7;
+    mze.horizontalBias = 1.6;
+    mze.aluOpsMean = 7;
+    mze.texSamplesPerFrag = 1;
+    mze.filter = FilterMode::Trilinear;
+    mze.compressedFraction = 0.7;
+    mze.blendFraction = 0.2;
+    mze.texelsPerPixel = 0.9;
+    mze.meanPrimArea = 5000.0;
+    t.push_back(mze);
+
+    // Gravitytetris: physics puzzle; the most texture-bound shader
+    // mix (two samples per fragment, short ALU) — the paper's best
+    // case for DTexL.
+    BenchmarkParams gtr;
+    gtr.name = "Gravitytetris";
+    gtr.alias = "GTr";
+    gtr.seed = 0x672000A;
+    gtr.textureFootprintMiB = 0.7;
+    gtr.is3D = true;
+    gtr.numTextures = 6;
+    gtr.overdrawFactor = 2.4;
+    gtr.clusterFactor = 0.6;
+    gtr.horizontalBias = 1.4;
+    gtr.aluOpsMean = 4;
+    gtr.texSamplesPerFrag = 2;
+    gtr.filter = FilterMode::Bilinear;
+    gtr.compressedFraction = 0.5;
+    gtr.blendFraction = 0.3;
+    gtr.texelsPerPixel = 0.9;
+    gtr.meanPrimArea = 3000.0;
+    t.push_back(gtr);
+
+    return t;
+}
+
+} // namespace
+
+const std::vector<BenchmarkParams> &
+tableOneBenchmarks()
+{
+    static const std::vector<BenchmarkParams> table = makeTable();
+    return table;
+}
+
+const BenchmarkParams &
+benchmarkByAlias(const std::string &alias)
+{
+    for (const auto &b : tableOneBenchmarks())
+        if (b.alias == alias)
+            return b;
+    fatal("unknown benchmark alias '%s'", alias.c_str());
+}
+
+} // namespace dtexl

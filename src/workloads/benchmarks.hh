@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The benchmark suite of the paper's Table I: ten commercial Android
+ * games, reproduced here as parameterised synthetic workloads (the GLES
+ * traces are not redistributable — see DESIGN.md substitutions).
+ *
+ * The published texture footprints seed the texture working sets; the
+ * remaining parameters (overdraw, clustering, shader length, filter
+ * mix) are chosen per genre so the suite spans the same behaviour
+ * space the paper characterises: 2D vs 3D, tiny vs large footprints,
+ * and "the reuse of texture memory blocks also varies greatly".
+ */
+
+#ifndef DTEXL_WORKLOADS_BENCHMARKS_HH
+#define DTEXL_WORKLOADS_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "texture/sampler.hh"
+
+namespace dtexl {
+
+/** Generator parameters for one synthetic game workload. */
+struct BenchmarkParams
+{
+    std::string name;            ///< Table I full name
+    std::string alias;           ///< Table I alias (CCS, SoD, ...)
+    std::uint64_t seed = 1;      ///< deterministic scene seed
+    double textureFootprintMiB = 1.0;  ///< Table I footprint
+    bool is3D = true;            ///< Table I type
+    std::uint32_t numTextures = 8;
+
+    /** Mean covered layers per screen pixel (drives overdraw). */
+    double overdrawFactor = 2.0;
+    /** Fraction of object primitives placed near cluster hot-spots. */
+    double clusterFactor = 0.5;
+    /** Width/height ratio of object primitives (paper: scenes are
+     *  horizontally structured). */
+    double horizontalBias = 2.0;
+
+    std::uint16_t aluOpsMean = 16;       ///< shader length
+    std::uint8_t texSamplesPerFrag = 1;  ///< texture instructions
+    FilterMode filter = FilterMode::Bilinear;
+    /**
+     * Fraction of the texture set stored block-compressed (ETC2), the
+     * norm for 3D assets on mobile; 2D/UI-heavy games keep more
+     * uncompressed RGBA8 for quality.
+     */
+    double compressedFraction = 0.5;
+    double blendFraction = 0.2;          ///< transparent draw share
+    double texelsPerPixel = 1.0;         ///< uv-to-screen scale
+    double meanPrimArea = 4096.0;        ///< px^2 per object triangle
+};
+
+/** The ten Table I games, in table order. */
+const std::vector<BenchmarkParams> &tableOneBenchmarks();
+
+/** Lookup by alias ("CCS", "GTr", ...); fatal() on unknown alias. */
+const BenchmarkParams &benchmarkByAlias(const std::string &alias);
+
+} // namespace dtexl
+
+#endif // DTEXL_WORKLOADS_BENCHMARKS_HH

@@ -1,0 +1,255 @@
+#include "workloads/scene_io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+namespace {
+
+constexpr const char *kMagic = "DTEXL_SCENE";
+constexpr int kVersion = 1;
+
+const char *
+filterName(FilterMode f)
+{
+    switch (f) {
+      case FilterMode::Nearest:   return "nearest";
+      case FilterMode::Bilinear:  return "bilinear";
+      case FilterMode::Trilinear: return "trilinear";
+      case FilterMode::Aniso2x:   return "aniso2x";
+    }
+    panic("unknown FilterMode %d", static_cast<int>(f));
+}
+
+FilterMode
+filterFromName(const std::string &name)
+{
+    if (name == "nearest")
+        return FilterMode::Nearest;
+    if (name == "bilinear")
+        return FilterMode::Bilinear;
+    if (name == "trilinear")
+        return FilterMode::Trilinear;
+    if (name == "aniso2x")
+        return FilterMode::Aniso2x;
+    fatal("scene file: unknown filter '%s'", name.c_str());
+}
+
+TexFormat
+formatFromName(const std::string &name)
+{
+    if (name == "RGBA8")
+        return TexFormat::RGBA8;
+    if (name == "RGB565")
+        return TexFormat::RGB565;
+    if (name == "ETC2")
+        return TexFormat::ETC2;
+    fatal("scene file: unknown texture format '%s'", name.c_str());
+}
+
+/** Read one non-empty, non-comment line; fatal() at EOF. */
+std::string
+nextLine(std::istream &is, const char *what)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        return line.substr(start);
+    }
+    fatal("scene file: unexpected end of file while reading %s", what);
+}
+
+} // namespace
+
+void
+saveScene(std::ostream &os, const Scene &scene)
+{
+    os << kMagic << " v" << kVersion << "\n";
+    os << "# textures: id base side format\n";
+    os << "textures " << scene.textures.size() << "\n";
+    for (const TextureDesc &t : scene.textures) {
+        os << "  " << t.id() << " " << t.baseAddr() << " " << t.side()
+           << " " << toString(t.format()) << "\n";
+    }
+    os << "draws " << scene.draws.size() << "\n";
+    os << std::setprecision(9);
+    for (const DrawCommand &d : scene.draws) {
+        os << "draw tex=" << d.texture << " vb=" << d.vertexBufferAddr
+           << " alu=" << d.shader.aluOps
+           << " samples=" << static_cast<int>(d.shader.texSamples)
+           << " filter=" << filterName(d.shader.filter)
+           << " blends=" << (d.shader.blends ? 1 : 0)
+           << " modifies_depth=" << (d.shader.modifiesDepth ? 1 : 0)
+           << "\n";
+        os << "  verts " << d.vertices.size() << "\n";
+        for (const Vertex &v : d.vertices) {
+            os << "    " << v.pos.x << " " << v.pos.y << " " << v.pos.z
+               << " " << v.pos.w << " " << v.uv.x << " " << v.uv.y
+               << "\n";
+        }
+        os << "  indices " << d.indices.size() << "\n    ";
+        for (std::size_t i = 0; i < d.indices.size(); ++i)
+            os << d.indices[i]
+               << (i + 1 == d.indices.size() ? "\n" : " ");
+        if (d.indices.empty())
+            os << "\n";
+    }
+}
+
+Scene
+loadScene(std::istream &is)
+{
+    Scene scene;
+    {
+        std::istringstream header(nextLine(is, "header"));
+        std::string magic, version;
+        header >> magic >> version;
+        if (magic != kMagic || version != "v1")
+            fatal("scene file: bad header '%s %s'", magic.c_str(),
+                  version.c_str());
+    }
+    {
+        std::istringstream ts(nextLine(is, "texture count"));
+        std::string kw;
+        std::size_t n = 0;
+        ts >> kw >> n;
+        if (kw != "textures")
+            fatal("scene file: expected 'textures', got '%s'",
+                  kw.c_str());
+        for (std::size_t i = 0; i < n; ++i) {
+            std::istringstream ls(nextLine(is, "texture"));
+            TextureId id;
+            Addr base;
+            std::uint32_t side;
+            std::string fmt;
+            ls >> id >> base >> side >> fmt;
+            if (!ls)
+                fatal("scene file: malformed texture line");
+            if (id != i)
+                fatal("scene file: texture ids must be dense");
+            scene.textures.emplace_back(id, base, side,
+                                        formatFromName(fmt));
+        }
+    }
+    std::size_t n_draws = 0;
+    {
+        std::istringstream ds(nextLine(is, "draw count"));
+        std::string kw;
+        ds >> kw >> n_draws;
+        if (kw != "draws")
+            fatal("scene file: expected 'draws', got '%s'", kw.c_str());
+    }
+    for (std::size_t i = 0; i < n_draws; ++i) {
+        DrawCommand d;
+        {
+            std::istringstream ls(nextLine(is, "draw"));
+            std::string kw;
+            ls >> kw;
+            if (kw != "draw")
+                fatal("scene file: expected 'draw', got '%s'",
+                      kw.c_str());
+            std::string kv;
+            while (ls >> kv) {
+                const std::size_t eq = kv.find('=');
+                if (eq == std::string::npos)
+                    fatal("scene file: bad draw attribute '%s'",
+                          kv.c_str());
+                const std::string key = kv.substr(0, eq);
+                const std::string value = kv.substr(eq + 1);
+                if (key == "tex")
+                    d.texture = static_cast<TextureId>(
+                        std::stoul(value));
+                else if (key == "vb")
+                    d.vertexBufferAddr = std::stoull(value);
+                else if (key == "alu")
+                    d.shader.aluOps =
+                        static_cast<std::uint16_t>(std::stoul(value));
+                else if (key == "samples")
+                    d.shader.texSamples =
+                        static_cast<std::uint8_t>(std::stoul(value));
+                else if (key == "filter")
+                    d.shader.filter = filterFromName(value);
+                else if (key == "blends")
+                    d.shader.blends = value == "1";
+                else if (key == "modifies_depth")
+                    d.shader.modifiesDepth = value == "1";
+                else
+                    fatal("scene file: unknown draw attribute '%s'",
+                          key.c_str());
+            }
+            if (d.texture >= scene.textures.size())
+                fatal("scene file: draw references texture %u of %zu",
+                      d.texture, scene.textures.size());
+        }
+        {
+            std::istringstream vs(nextLine(is, "verts"));
+            std::string kw;
+            std::size_t n = 0;
+            vs >> kw >> n;
+            if (kw != "verts")
+                fatal("scene file: expected 'verts', got '%s'",
+                      kw.c_str());
+            for (std::size_t v = 0; v < n; ++v) {
+                std::istringstream ls(nextLine(is, "vertex"));
+                Vertex vert;
+                ls >> vert.pos.x >> vert.pos.y >> vert.pos.z >>
+                    vert.pos.w >> vert.uv.x >> vert.uv.y;
+                if (!ls)
+                    fatal("scene file: malformed vertex line");
+                d.vertices.push_back(vert);
+            }
+        }
+        {
+            std::istringstream isz(nextLine(is, "indices"));
+            std::string kw;
+            std::size_t n = 0;
+            isz >> kw >> n;
+            if (kw != "indices")
+                fatal("scene file: expected 'indices', got '%s'",
+                      kw.c_str());
+            if (n % 3 != 0)
+                fatal("scene file: index count %zu not a triangle "
+                      "list", n);
+            std::istringstream ls(n > 0 ? nextLine(is, "index data")
+                                        : std::string());
+            for (std::size_t k = 0; k < n; ++k) {
+                std::uint32_t idx;
+                if (!(ls >> idx))
+                    fatal("scene file: missing index data");
+                if (idx >= d.vertices.size())
+                    fatal("scene file: index %u out of range", idx);
+                d.indices.push_back(idx);
+            }
+        }
+        scene.draws.push_back(std::move(d));
+    }
+    return scene;
+}
+
+void
+saveSceneFile(const std::string &path, const Scene &scene)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    saveScene(os, scene);
+    if (!os.good())
+        fatal("error writing '%s'", path.c_str());
+}
+
+Scene
+loadSceneFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    return loadScene(is);
+}
+
+} // namespace dtexl

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Scene serialization: a versioned, human-readable text format for
+ * saving and loading frame scenes. Serves the role the paper's GLES
+ * traces play — a captured workload that can be re-run bit-identically
+ * across machines and simulator versions — and lets users feed their
+ * own content to the simulator without writing C++.
+ */
+
+#ifndef DTEXL_WORKLOADS_SCENE_IO_HH
+#define DTEXL_WORKLOADS_SCENE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "geom/scene.hh"
+
+namespace dtexl {
+
+/** Serialize a scene to the DTexL scene text format. */
+void saveScene(std::ostream &os, const Scene &scene);
+
+/** Convenience: serialize to a file; fatal() on I/O failure. */
+void saveSceneFile(const std::string &path, const Scene &scene);
+
+/**
+ * Parse a scene from the DTexL scene text format; fatal() on a syntax
+ * or semantic error (unknown version, bad references).
+ */
+Scene loadScene(std::istream &is);
+
+/** Convenience: parse from a file; fatal() on I/O failure. */
+Scene loadSceneFile(const std::string &path);
+
+} // namespace dtexl
+
+#endif // DTEXL_WORKLOADS_SCENE_IO_HH

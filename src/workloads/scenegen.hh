@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic synthetic scene generation (the stand-in for the
+ * paper's GLES game traces; see DESIGN.md). A scene is built from the
+ * benchmark parameters and the target screen:
+ *
+ *  - a full-screen textured background layer with a continuous
+ *    uv-to-screen mapping (adjacent tiles sample adjacent texture
+ *    regions — the cross-tile locality tile orders exploit);
+ *  - object primitives whose total area realises the overdraw factor,
+ *    spatially clustered (the overdraw-clustering that makes
+ *    coarse-grained groupings imbalanced, Section II-B), horizontally
+ *    biased, and depth-ordered per the 2D/3D style of the game.
+ */
+
+#ifndef DTEXL_WORKLOADS_SCENEGEN_HH
+#define DTEXL_WORKLOADS_SCENEGEN_HH
+
+#include "common/config.hh"
+#include "geom/scene.hh"
+#include "workloads/benchmarks.hh"
+
+namespace dtexl {
+
+/**
+ * Build the frame scene for a benchmark on a given screen. Pure
+ * function of (params.seed, screen size, frame): repeated calls are
+ * bit-identical.
+ *
+ * @param frame Animation frame index. Successive frames scroll the
+ *              camera (background uv window and object positions
+ *              shift), emulating the temporal coherence of a running
+ *              game: most texture data is re-referenced, a strip of
+ *              new texels becomes visible.
+ */
+Scene generateScene(const BenchmarkParams &params, const GpuConfig &cfg,
+                    std::uint32_t frame = 0);
+
+/**
+ * A minimal hand-rolled scene for tests/examples: a handful of
+ * triangles over one small texture.
+ */
+Scene makeTinyScene(const GpuConfig &cfg);
+
+} // namespace dtexl
+
+#endif // DTEXL_WORKLOADS_SCENEGEN_HH

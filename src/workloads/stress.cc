@@ -1,0 +1,228 @@
+#include "workloads/stress.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "mem/address_map.hh"
+
+namespace dtexl {
+
+namespace {
+
+/** Shared scene-building helpers (mirrors scenegen's conventions). */
+class Builder
+{
+  public:
+    explicit Builder(const GpuConfig &cfg) : cfg(cfg) {}
+
+    TextureId
+    addTexture(std::uint32_t side, TexFormat fmt = TexFormat::RGBA8)
+    {
+        const auto id =
+            static_cast<TextureId>(scene.textures.size());
+        scene.textures.emplace_back(id, next_tex, side, fmt);
+        next_tex += scene.textures.back().totalBytes();
+        next_tex = (next_tex + 4095) & ~Addr{4095};
+        return id;
+    }
+
+    void
+    rect(float x0, float y0, float x1, float y1, float depth,
+         TextureId tex, float u0, float v0, float u1, float v1,
+         const ShaderDesc &sh)
+    {
+        DrawCommand d;
+        d.texture = tex;
+        d.shader = sh;
+        d.vertices = {vert(x0, y0, depth, u0, v0),
+                      vert(x1, y0, depth, u1, v0),
+                      vert(x0, y1, depth, u0, v1),
+                      vert(x1, y1, depth, u1, v1)};
+        d.indices = {0, 1, 2, 2, 1, 3};
+        d.vertexBufferAddr = next_vb;
+        next_vb += d.vertices.size() * kVertexFetchBytes;
+        scene.draws.push_back(std::move(d));
+    }
+
+    void
+    tri(float x0, float y0, float x1, float y1, float x2, float y2,
+        float depth, TextureId tex, const ShaderDesc &sh)
+    {
+        DrawCommand d;
+        d.texture = tex;
+        d.shader = sh;
+        d.vertices = {vert(x0, y0, depth, 0.0f, 0.0f),
+                      vert(x1, y1, depth, 0.05f, 0.0f),
+                      vert(x2, y2, depth, 0.0f, 0.05f)};
+        d.indices = {0, 1, 2};
+        d.vertexBufferAddr = next_vb;
+        next_vb += d.vertices.size() * kVertexFetchBytes;
+        scene.draws.push_back(std::move(d));
+    }
+
+    Scene take() { return std::move(scene); }
+
+    float width() const { return static_cast<float>(cfg.screenWidth); }
+    float height() const
+    {
+        return static_cast<float>(cfg.screenHeight);
+    }
+
+  private:
+    Vertex
+    vert(float px, float py, float depth, float u, float v)
+    {
+        Vertex out;
+        out.pos.x = px / (width() * 0.5f) - 1.0f;
+        out.pos.y = py / (height() * 0.5f) - 1.0f;
+        out.pos.z = depth * 2.0f - 1.0f;
+        out.uv = {u, v};
+        return out;
+    }
+
+    const GpuConfig &cfg;
+    Scene scene;
+    Addr next_tex = addr_map::kTextureBase;
+    Addr next_vb = addr_map::kVertexBase;
+};
+
+ShaderDesc
+basicShader(std::uint16_t alu = 8, bool blends = false)
+{
+    ShaderDesc sh;
+    sh.aluOps = alu;
+    sh.texSamples = 1;
+    sh.filter = FilterMode::Bilinear;
+    sh.blends = blends;
+    return sh;
+}
+
+Scene
+subtileHotspot(const GpuConfig &cfg)
+{
+    // Overdraw pinned to the top-left quadrant of EVERY tile: under
+    // CG-square all the extra quads of each tile land on one subtile
+    // (one SC), the worst case for the coupled pipeline. Fine-grained
+    // groupings spread them evenly.
+    Builder b(cfg);
+    const TextureId bg = b.addTexture(1024);
+    const TextureId obj = b.addTexture(256, TexFormat::ETC2);
+    const float w = b.width(), h = b.height();
+    b.rect(0, 0, w, h, 0.98f, bg, 0.0f, 0.0f, w / 1024.0f, h / 1024.0f,
+           basicShader(6));
+    Rng rng(0x57e5501);
+    const float ts = static_cast<float>(cfg.tileSize);
+    const float half = ts / 2.0f;
+    for (float ty = 0.0f; ty < h; ty += ts) {
+        for (float tx = 0.0f; tx < w; tx += ts) {
+            for (int layer = 0; layer < 6; ++layer) {
+                const float u0 =
+                    static_cast<float>(rng.nextDouble(0.0, 0.6));
+                b.rect(tx, ty, std::min(tx + half, w),
+                       std::min(ty + half, h),
+                       static_cast<float>(rng.nextDouble(0.1, 0.9)),
+                       obj, u0, u0, u0 + 0.2f, u0 + 0.2f,
+                       basicShader(10));
+            }
+        }
+    }
+    return b.take();
+}
+
+Scene
+uniformNoise(const GpuConfig &cfg)
+{
+    Builder b(cfg);
+    const TextureId tex = b.addTexture(256);
+    const float w = b.width(), h = b.height();
+    Rng rng(0x401532);
+    const int n = static_cast<int>(w * h / 300.0f);
+    for (int i = 0; i < n; ++i) {
+        const auto x = static_cast<float>(rng.nextDouble() * w);
+        const auto y = static_cast<float>(rng.nextDouble() * h);
+        b.tri(x, y, x + 12.0f, y + 2.0f, x + 3.0f, y + 11.0f,
+              static_cast<float>(rng.nextDouble(0.1, 0.9)), tex,
+              basicShader(6));
+    }
+    return b.take();
+}
+
+Scene
+singleFullscreen(const GpuConfig &cfg)
+{
+    Builder b(cfg);
+    const TextureId tex = b.addTexture(2048);
+    const float w = b.width(), h = b.height();
+    ShaderDesc sh = basicShader(4);
+    sh.filter = FilterMode::Trilinear;
+    b.rect(0, 0, w, h, 0.5f, tex, 0.0f, 0.0f, w / 2048.0f, h / 2048.0f,
+           sh);
+    return b.take();
+}
+
+Scene
+uiText(const GpuConfig &cfg)
+{
+    Builder b(cfg);
+    const TextureId atlas = b.addTexture(128);  // glyph atlas
+    const float w = b.width(), h = b.height();
+    ShaderDesc sh = basicShader(4, /*blends=*/true);
+    Rng rng(0x731);
+    for (float y = 4.0f; y + 10.0f < h; y += 14.0f) {
+        for (float x = 4.0f; x + 7.0f < w; x += 9.0f) {
+            // A glyph: small quad sampling a random atlas cell.
+            const auto cell =
+                static_cast<float>(rng.nextBounded(64));
+            const float u0 = (cell - std::floor(cell / 8.0f) * 8.0f) /
+                             8.0f;
+            const float v0 = std::floor(cell / 8.0f) / 8.0f;
+            b.rect(x, y, x + 7.0f, y + 10.0f, 0.4f, atlas, u0, v0,
+                   u0 + 0.1f, v0 + 0.1f, sh);
+        }
+    }
+    return b.take();
+}
+
+Scene
+deepOverdraw(const GpuConfig &cfg)
+{
+    Builder b(cfg);
+    const TextureId tex = b.addTexture(512);
+    const float w = b.width(), h = b.height();
+    // Eight opaque full-screen layers drawn far-to-near: the Early-Z
+    // worst case (nothing can be culled).
+    for (int layer = 0; layer < 8; ++layer) {
+        const float z = 0.9f - 0.1f * static_cast<float>(layer);
+        const float u = 0.1f * static_cast<float>(layer);
+        b.rect(0, 0, w, h, z, tex, u, u, u + w / 512.0f,
+               u + h / 512.0f, basicShader(8));
+    }
+    return b.take();
+}
+
+} // namespace
+
+std::vector<StressCase>
+makeStressSuite(const GpuConfig &cfg)
+{
+    std::vector<StressCase> out;
+    out.push_back({"subtile-hotspot",
+                   "overdraw pinned to one subtile of every tile "
+                   "(CG worst case)",
+                   subtileHotspot(cfg)});
+    out.push_back({"uniform-noise",
+                   "thousands of scattered tiny triangles",
+                   uniformNoise(cfg)});
+    out.push_back({"single-fullscreen",
+                   "one screen-sized textured quad",
+                   singleFullscreen(cfg)});
+    out.push_back({"ui-text", "glyph quads from a small atlas",
+                   uiText(cfg)});
+    out.push_back({"deep-overdraw",
+                   "8 opaque layers painted back-to-front",
+                   deepOverdraw(cfg)});
+    return out;
+}
+
+} // namespace dtexl

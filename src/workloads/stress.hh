@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Stress workloads beyond the Table I suite: adversarial scenes that
+ * probe the corners of the scheduler design space — a robustness
+ * check the paper's evaluation motivates but does not include.
+ */
+
+#ifndef DTEXL_WORKLOADS_STRESS_HH
+#define DTEXL_WORKLOADS_STRESS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "geom/scene.hh"
+
+namespace dtexl {
+
+/** A named adversarial scene. */
+struct StressCase
+{
+    std::string name;
+    std::string description;
+    Scene scene;
+};
+
+/**
+ * Build the stress suite for a screen:
+ *  - "corner-hotspot": all overdraw concentrated in one screen
+ *    quadrant (worst case for CG-square with coupled barriers);
+ *  - "uniform-noise": thousands of tiny scattered triangles (best
+ *    case for fine-grained grouping, minimal texture locality);
+ *  - "single-fullscreen": one pair of triangles covering the screen
+ *    from one giant texture (maximum cross-tile texture locality);
+ *  - "ui-text": rows of tiny glyph quads from a small atlas
+ *    (high temporal texture reuse, trivial geometry);
+ *  - "deep-overdraw": many full-screen opaque layers back-to-front
+ *    (Early-Z worst case, none culled).
+ */
+std::vector<StressCase> makeStressSuite(const GpuConfig &cfg);
+
+} // namespace dtexl
+
+#endif // DTEXL_WORKLOADS_STRESS_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the subtile-to-SC assignment schemes (Figure 8): validity
+ * (always a permutation), the shared-edge property of the flip
+ * schemes (adjacent subtiles of adjacent tiles land on the same SC),
+ * and the fairness that distinguishes Flip2/Flip3 from Flip1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sched/subtile_assigner.hh"
+#include "sfc/tile_order.hh"
+
+namespace dtexl {
+namespace {
+
+constexpr std::uint32_t kSide = 16;
+
+/**
+ * Walk a traversal and verify the shared-edge property between every
+ * adjacent pair of consecutive tiles: each subtile touching the shared
+ * edge in the new tile is assigned to the same SC as its mirror
+ * neighbour in the previous tile.
+ *
+ * @return Per-SC count of shared-edge adjacencies enjoyed.
+ */
+std::array<int, 4>
+sharedEdgeCounts(QuadGrouping grouping, SubtileAssignment scheme,
+                 TileOrder order, std::uint32_t tx, std::uint32_t ty,
+                 bool expect_property)
+{
+    SubtileLayout layout(grouping, kSide);
+    SubtileAssigner assigner(scheme, layout);
+    const auto trav = makeTileOrder(order, tx, ty);
+
+    std::array<int, 4> counts{};
+    std::array<CoreId, 4> prev_perm{};
+    Coord2 prev_coord{};
+    bool have_prev = false;
+
+    for (TileId tile : trav) {
+        const Coord2 coord = tileCoord(tile, tx);
+        const auto perm = assigner.next(coord);
+        // Validity: a permutation of {0..3}.
+        std::set<CoreId> scs(perm.begin(), perm.end());
+        EXPECT_EQ(scs.size(), 4u);
+
+        if (have_prev &&
+            isEdgeAdjacent(prev_coord, coord)) {
+            const Coord2 delta{coord.x - prev_coord.x,
+                               coord.y - prev_coord.y};
+            const auto &mirror = delta.x != 0 ? layout.mirrorX()
+                                              : layout.mirrorY();
+            // Subtiles whose mirror image differs sit on the shared
+            // edge axis; check the SC follows the content.
+            for (std::uint8_t s = 0; s < 4; ++s) {
+                const std::uint8_t ms = mirror[s];
+                // Is subtile s of the new tile adjacent to subtile ms
+                // of the previous tile across the shared edge? With a
+                // bijective mirror, yes by construction when s is on
+                // the edge-facing side.
+                const auto &c = layout.centroid(s);
+                const double mid = (kSide - 1) / 2.0;
+                const bool facing =
+                    (delta.x > 0 && c.x < mid) ||
+                    (delta.x < 0 && c.x > mid) ||
+                    (delta.y > 0 && c.y < mid) ||
+                    (delta.y < 0 && c.y > mid);
+                if (!facing)
+                    continue;
+                if (expect_property) {
+                    EXPECT_EQ(perm[s], prev_perm[ms])
+                        << "tile (" << coord.x << "," << coord.y
+                        << ")";
+                }
+                if (perm[s] == prev_perm[ms])
+                    ++counts[perm[s]];
+            }
+        }
+        prev_perm = perm;
+        prev_coord = coord;
+        have_prev = true;
+    }
+    return counts;
+}
+
+TEST(Assigner, ConstantIsIdentityEverywhere)
+{
+    SubtileLayout layout(QuadGrouping::CGSquare, kSide);
+    SubtileAssigner a(SubtileAssignment::Constant, layout);
+    const auto trav = makeTileOrder(TileOrder::RectHilbert, 8, 8);
+    for (TileId t : trav) {
+        const auto perm = a.next(tileCoord(t, 8));
+        EXPECT_EQ(perm, (std::array<CoreId, 4>{0, 1, 2, 3}));
+    }
+}
+
+TEST(Assigner, Flip1SharedEdgePropertyHilbert)
+{
+    sharedEdgeCounts(QuadGrouping::CGSquare, SubtileAssignment::Flip1,
+                     TileOrder::RectHilbert, 8, 8, true);
+}
+
+TEST(Assigner, Flip1SharedEdgePropertySOrderYRect)
+{
+    sharedEdgeCounts(QuadGrouping::CGYRect, SubtileAssignment::Flip1,
+                     TileOrder::SOrder, 12, 6, true);
+}
+
+TEST(Assigner, ConstantHasNoSharedEdges)
+{
+    // With the constant assignment on CG-square, mirrored neighbours
+    // are never the same SC (Figure 8a/8c).
+    const auto counts = sharedEdgeCounts(
+        QuadGrouping::CGSquare, SubtileAssignment::Constant,
+        TileOrder::RectHilbert, 8, 8, false);
+    EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], 0);
+}
+
+TEST(Assigner, Flip1FavorsSomeSC)
+{
+    // Figure 8(d): Flip1 always gives the shared edge to the same SCs.
+    const auto counts = sharedEdgeCounts(
+        QuadGrouping::CGSquare, SubtileAssignment::Flip1,
+        TileOrder::RectHilbert, 8, 8, false);
+    int mn = counts[0], mx = counts[0];
+    for (int c : counts) {
+        mn = std::min(mn, c);
+        mx = std::max(mx, c);
+    }
+    EXPECT_GT(mx, 0);
+    // Strong skew: the most-favored SC gets a large multiple of the
+    // least-favored.
+    EXPECT_GT(mx, 2 * std::max(mn, 1));
+}
+
+TEST(Assigner, Flip2IsFairerThanFlip1)
+{
+    const auto f1 = sharedEdgeCounts(
+        QuadGrouping::CGSquare, SubtileAssignment::Flip1,
+        TileOrder::RectHilbert, 8, 8, false);
+    const auto f2 = sharedEdgeCounts(
+        QuadGrouping::CGSquare, SubtileAssignment::Flip2,
+        TileOrder::RectHilbert, 8, 8, false);
+    auto spread = [](const std::array<int, 4> &c) {
+        int mn = c[0], mx = c[0];
+        for (int x : c) {
+            mn = std::min(mn, x);
+            mx = std::max(mx, x);
+        }
+        return mx - mn;
+    };
+    EXPECT_LT(spread(f2), spread(f1));
+    // Every SC gets some shared edges under Flip2.
+    for (int c : f2)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Assigner, Flip3StaysValidAndFair)
+{
+    const auto f3 = sharedEdgeCounts(
+        QuadGrouping::CGSquare, SubtileAssignment::Flip3,
+        TileOrder::RectHilbert, 16, 16, false);
+    for (int c : f3)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Assigner, ResetRestartsTraversal)
+{
+    SubtileLayout layout(QuadGrouping::CGSquare, kSide);
+    SubtileAssigner a(SubtileAssignment::Flip2, layout);
+    std::vector<std::array<CoreId, 4>> first;
+    const auto trav = makeTileOrder(TileOrder::ZOrder, 4, 4);
+    for (TileId t : trav)
+        first.push_back(a.next(tileCoord(t, 4)));
+    a.reset();
+    for (std::size_t i = 0; i < trav.size(); ++i)
+        EXPECT_EQ(a.next(tileCoord(trav[i], 4)), first[i]) << i;
+}
+
+TEST(Assigner, NonAdjacentJumpKeepsAssignment)
+{
+    SubtileLayout layout(QuadGrouping::CGSquare, kSide);
+    SubtileAssigner a(SubtileAssignment::Flip1, layout);
+    const auto p0 = a.next({0, 0});
+    const auto p1 = a.next({5, 5});  // jump: no shared edge
+    EXPECT_EQ(p0, p1);
+}
+
+TEST(Assigner, FlipSchemesDegradeGracefullyOnFG)
+{
+    // FG-xshift patterns have non-bijective vertical mirrors; the
+    // assigner must still produce valid permutations.
+    SubtileLayout layout(QuadGrouping::FGXShift1, kSide);
+    SubtileAssigner a(SubtileAssignment::Flip2, layout);
+    const auto trav = makeTileOrder(TileOrder::SOrder, 6, 6);
+    for (TileId t : trav) {
+        const auto perm = a.next(tileCoord(t, 6));
+        std::set<CoreId> s(perm.begin(), perm.end());
+        EXPECT_EQ(s.size(), 4u);
+    }
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model: hit/miss behaviour,
+ * LRU replacement, write-back of dirty victims, MSHR merging and
+ * capacity stalls, port arbitration, and timing-vs-contents resets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "mem/cache.hh"
+
+namespace dtexl {
+namespace {
+
+/** A perfect backing store with fixed latency, recording accesses. */
+class FakeMem : public MemLevel
+{
+  public:
+    explicit FakeMem(Cycle latency) : latency(latency) {}
+
+    Cycle
+    access(Addr addr, AccessType type, Cycle now) override
+    {
+        ++count;
+        lastAddr = addr;
+        lastType = type;
+        if (type == AccessType::Write)
+            ++writes;
+        return now + latency;
+    }
+
+    Cycle latency;
+    std::uint64_t count = 0;
+    std::uint64_t writes = 0;
+    Addr lastAddr = 0;
+    AccessType lastType = AccessType::Read;
+};
+
+CacheConfig
+smallCache()
+{
+    // 4 sets x 2 ways x 64 B = 512 B.
+    CacheConfig c;
+    c.sizeBytes = 512;
+    c.lineBytes = 64;
+    c.ways = 2;
+    c.hitLatency = 1;
+    c.numMshrs = 4;
+    return c;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    FakeMem mem(100);
+    Cache c("t", smallCache(), 4, mem);
+
+    const Cycle t1 = c.access(0x1000, AccessType::Read, 0);
+    EXPECT_EQ(t1, 101u);  // 1 cycle tag + 100 backing
+    EXPECT_EQ(mem.count, 1u);
+    EXPECT_EQ(c.misses(), 1u);
+
+    // Second access at a later time hits in 1 cycle.
+    const Cycle t2 = c.access(0x1000, AccessType::Read, 200);
+    EXPECT_EQ(t2, 201u);
+    EXPECT_EQ(mem.count, 1u);
+    EXPECT_EQ(c.stats().get("read_hit"), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    FakeMem mem(50);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x1000, AccessType::Read, 0);
+    c.access(0x103F, AccessType::Read, 100);  // last byte of the line
+    EXPECT_EQ(mem.count, 1u);
+}
+
+TEST(Cache, HitUnderFillWaitsForData)
+{
+    FakeMem mem(100);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x1000, AccessType::Read, 0);  // fill completes at 101
+    // A second access to the same line at cycle 10 must not complete
+    // before the line arrives.
+    const Cycle t = c.access(0x1010, AccessType::Read, 10);
+    EXPECT_GE(t, 101u);
+    EXPECT_EQ(mem.count, 1u);  // merged, no extra downstream traffic
+    EXPECT_EQ(c.stats().get("hit_under_fill"), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    FakeMem mem(10);
+    Cache c("t", smallCache(), 4, mem);
+    // Three lines mapping to the same set (set stride = 4 sets * 64 B
+    // = 256 B): 0x0, 0x100, 0x200.
+    c.access(0x000, AccessType::Read, 0);
+    c.access(0x100, AccessType::Read, 100);
+    // Touch 0x000 so 0x100 becomes LRU.
+    c.access(0x000, AccessType::Read, 200);
+    c.access(0x200, AccessType::Read, 300);  // evicts 0x100
+    EXPECT_TRUE(c.contains(0x000));
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_TRUE(c.contains(0x200));
+}
+
+TEST(Cache, DirtyVictimWritesBack)
+{
+    FakeMem mem(10);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x000, AccessType::Write, 0);  // allocates + dirties
+    c.access(0x100, AccessType::Read, 100);
+    EXPECT_EQ(mem.writes, 0u);
+    c.access(0x200, AccessType::Read, 200);  // evicts dirty 0x000
+    EXPECT_EQ(mem.writes, 1u);
+    EXPECT_EQ(c.stats().get("writeback"), 1u);
+}
+
+TEST(Cache, CleanVictimSilentlyDropped)
+{
+    FakeMem mem(10);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x000, AccessType::Read, 0);
+    c.access(0x100, AccessType::Read, 100);
+    c.access(0x200, AccessType::Read, 200);
+    EXPECT_EQ(mem.writes, 0u);
+}
+
+TEST(Cache, MshrCapacityStalls)
+{
+    FakeMem mem(1000);
+    CacheConfig cfg = smallCache();
+    cfg.numMshrs = 2;
+    Cache c("t", cfg, 4, mem);
+    // Two outstanding misses fill the MSHRs.
+    c.access(0x0000, AccessType::Read, 0);
+    c.access(0x1000, AccessType::Read, 0);
+    // Third miss at cycle 1 must wait for an MSHR (~cycle 1001+).
+    const Cycle t = c.access(0x2000, AccessType::Read, 1);
+    EXPECT_GT(t, 1000u);
+    EXPECT_GE(c.stats().get("mshr_stall"), 1u);
+}
+
+TEST(Cache, PortBandwidthBoundsBursts)
+{
+    // Ports are a sliding-window rate limit: a 1-port cache admits up
+    // to 8 accesses in any 8-cycle window; the 9th is pushed a full
+    // window out.
+    FakeMem mem(10);
+    CacheConfig cfg = smallCache();
+    Cache c("t", cfg, 1, mem);  // single port
+    c.access(0x000, AccessType::Read, 0);  // warm the line
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(c.access(0x000, AccessType::Read, 100), 101u) << i;
+    const Cycle pushed = c.access(0x000, AccessType::Read, 100);
+    EXPECT_EQ(pushed, 109u);
+    EXPECT_GE(c.stats().get("port_stall"), 1u);
+}
+
+TEST(Cache, WidePortAllowsParallelHits)
+{
+    FakeMem mem(10);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x000, AccessType::Read, 0);
+    c.access(0x040, AccessType::Read, 50);
+    const Cycle a = c.access(0x000, AccessType::Read, 100);
+    const Cycle b = c.access(0x040, AccessType::Read, 100);
+    EXPECT_EQ(a, 101u);
+    EXPECT_EQ(b, 101u);
+}
+
+TEST(Cache, WriteLineAllocatesWithoutFill)
+{
+    FakeMem mem(100);
+    Cache c("t", smallCache(), 4, mem);
+    // A full-line streaming store allocates without reading below.
+    const Cycle t = c.writeLine(0x000, 10);
+    EXPECT_EQ(t, 11u);  // port + hit latency only
+    EXPECT_EQ(mem.count, 0u);
+    EXPECT_TRUE(c.contains(0x000));
+    // It left the line dirty: conflicting it out writes back.
+    c.access(0x100, AccessType::Read, 100);
+    c.access(0x200, AccessType::Read, 200);
+    EXPECT_EQ(mem.writes, 1u);
+}
+
+TEST(Cache, WriteLineHitIsCheap)
+{
+    FakeMem mem(100);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x000, AccessType::Read, 0);
+    const Cycle t = c.writeLine(0x000, 500);
+    EXPECT_EQ(t, 501u);
+    EXPECT_EQ(c.stats().get("write_hit"), 1u);
+    EXPECT_EQ(c.stats().get("write_validate"), 0u);
+}
+
+TEST(Cache, MshrIntervalsDoNotBlockEarlierAccesses)
+{
+    // Misses registered at late cycles must not stall a
+    // logically-earlier miss whose lifetime does not overlap theirs.
+    FakeMem mem(100);
+    CacheConfig cfg = smallCache();
+    cfg.numMshrs = 1;
+    Cache c("t", cfg, 4, mem);
+    c.access(0x0000, AccessType::Read, 10'000);  // in flight 10k..10.1k
+    // A miss at cycle 0 completes long before: no stall.
+    const Cycle t = c.access(0x1000, AccessType::Read, 0);
+    EXPECT_EQ(t, 101u);
+    EXPECT_EQ(c.stats().get("mshr_stall"), 0u);
+}
+
+TEST(Cache, PrefetchNextLineOnMiss)
+{
+    FakeMem mem(50);
+    CacheConfig cfg = smallCache();
+    cfg.prefetchNextLine = true;
+    Cache c("t", cfg, 4, mem);
+
+    c.access(0x000, AccessType::Read, 0);
+    // The demand miss also fetched line 0x040.
+    EXPECT_EQ(mem.count, 2u);
+    EXPECT_TRUE(c.contains(0x040));
+    EXPECT_EQ(c.stats().get("prefetch_issued"), 1u);
+
+    // The prefetched line hits (possibly under fill).
+    const Cycle t = c.access(0x040, AccessType::Read, 200);
+    EXPECT_EQ(t, 201u);
+    EXPECT_EQ(mem.count, 2u);
+}
+
+TEST(Cache, PrefetchSkipsResidentLines)
+{
+    FakeMem mem(50);
+    CacheConfig cfg = smallCache();
+    cfg.prefetchNextLine = true;
+    Cache c("t", cfg, 4, mem);
+    c.access(0x040, AccessType::Read, 0);   // fetches 0x040 + 0x080
+    mem.count = 0;
+    c.access(0x000, AccessType::Read, 500); // next line 0x040 resident
+    EXPECT_EQ(mem.count, 1u);  // only the demand fetch
+}
+
+TEST(Cache, PrefetchDisabledByDefault)
+{
+    FakeMem mem(50);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x000, AccessType::Read, 0);
+    EXPECT_EQ(mem.count, 1u);
+    EXPECT_FALSE(c.contains(0x040));
+}
+
+TEST(Cache, FlushAllDropsContents)
+{
+    FakeMem mem(10);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x000, AccessType::Read, 0);
+    EXPECT_TRUE(c.contains(0x000));
+    c.flushAll();
+    EXPECT_FALSE(c.contains(0x000));
+    // Stats survive the flush.
+    EXPECT_EQ(c.reads(), 1u);
+}
+
+TEST(Cache, ResetTimingKeepsContents)
+{
+    FakeMem mem(100);
+    Cache c("t", smallCache(), 1, mem);
+    c.access(0x000, AccessType::Read, 1'000'000);
+    c.resetTiming();
+    EXPECT_TRUE(c.contains(0x000));
+    // After a timing reset, an access at cycle 0 is not pushed behind
+    // the old port cycle.
+    const Cycle t = c.access(0x000, AccessType::Read, 0);
+    EXPECT_EQ(t, 1u);
+}
+
+TEST(Cache, MissRateAccounting)
+{
+    FakeMem mem(10);
+    Cache c("t", smallCache(), 4, mem);
+    c.access(0x000, AccessType::Read, 0);
+    c.access(0x000, AccessType::Read, 100);
+    c.access(0x000, AccessType::Read, 200);
+    c.access(0x040, AccessType::Read, 300);
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+/** Associativity sweep: with W ways, W conflicting lines fit. */
+class CacheWaysTest : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(CacheWaysTest, WaysLinesCoResident)
+{
+    const std::uint32_t ways = GetParam();
+    FakeMem mem(10);
+    CacheConfig cfg;
+    cfg.sizeBytes = 64 * 4 * ways;  // 4 sets
+    cfg.lineBytes = 64;
+    cfg.ways = ways;
+    cfg.numMshrs = 16;
+    Cache c("t", cfg, 4, mem);
+
+    const Addr stride = 4 * 64;  // same set
+    for (std::uint32_t i = 0; i < ways; ++i)
+        c.access(i * stride, AccessType::Read, i * 100);
+    for (std::uint32_t i = 0; i < ways; ++i)
+        EXPECT_TRUE(c.contains(i * stride)) << "way " << i;
+    // One more conflicts out exactly the LRU line (line 0).
+    c.access(ways * stride, AccessType::Read, ways * 100);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(stride));
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativity, CacheWaysTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace dtexl

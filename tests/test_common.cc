@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for the common module: statistics, RNG, bounded FIFO,
+ * configuration validation and policy naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hh"
+#include "common/fixed_queue.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dtexl {
+namespace {
+
+// ---------- types ----------
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(1960, 32), 62u);
+    EXPECT_EQ(divCeil(768, 32), 24u);
+}
+
+TEST(Types, EdgeAdjacency)
+{
+    EXPECT_TRUE(isEdgeAdjacent({0, 0}, {1, 0}));
+    EXPECT_TRUE(isEdgeAdjacent({3, 4}, {3, 3}));
+    EXPECT_FALSE(isEdgeAdjacent({0, 0}, {1, 1}));  // diagonal
+    EXPECT_FALSE(isEdgeAdjacent({2, 2}, {2, 2}));  // equal
+    EXPECT_FALSE(isEdgeAdjacent({0, 0}, {2, 0}));  // distance 2
+}
+
+// ---------- stats ----------
+
+TEST(Stats, MeanAndGeoMean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_NEAR(geoMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geoMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, NormMeanDeviationBalanced)
+{
+    // Perfect balance -> zero deviation.
+    EXPECT_DOUBLE_EQ(normMeanDeviation({5.0, 5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, NormMeanDeviationKnownValue)
+{
+    // Samples 0 and 2: mean 1, |dev| = 1 each -> 1.0 normalized.
+    EXPECT_DOUBLE_EQ(normMeanDeviation({0.0, 2.0}), 1.0);
+    // One SC does all the work of four: mean 1, devs {3,1,1,1}/4=1.5.
+    EXPECT_DOUBLE_EQ(normMeanDeviation({4.0, 0.0, 0.0, 0.0}), 1.5);
+}
+
+TEST(Stats, NormMeanDeviationDegenerate)
+{
+    EXPECT_DOUBLE_EQ(normMeanDeviation({}), 0.0);
+    EXPECT_DOUBLE_EQ(normMeanDeviation({0.0, 0.0}), 0.0);
+}
+
+TEST(Stats, DistributionQuantiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_EQ(d.count(), 100u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_NEAR(d.quantile(0.5), 50.5, 1e-9);
+    EXPECT_NEAR(d.mean(), 50.5, 1e-9);
+    EXPECT_LE(d.quantile(0.25), d.quantile(0.75));
+}
+
+TEST(Stats, DistributionInterleavedAddAndQuery)
+{
+    Distribution d;
+    d.add(10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 10.0);
+    d.add(20.0);  // must invalidate the cached sort
+    EXPECT_DOUBLE_EQ(d.max(), 20.0);
+    d.add(5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+}
+
+TEST(Stats, StatSetCounters)
+{
+    StatSet s("unit");
+    EXPECT_EQ(s.get("x"), 0u);
+    s.inc("x");
+    s.inc("x", 41);
+    EXPECT_EQ(s.get("x"), 42u);
+    s.inc("y", 7);
+    EXPECT_NE(s.dump().find("unit.x = 42"), std::string::npos);
+    EXPECT_NE(s.dump().find("unit.y = 7"), std::string::npos);
+    s.clear();
+    EXPECT_EQ(s.get("x"), 0u);
+}
+
+// ---------- rng ----------
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundedInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    EXPECT_LT(lo, 0.1);  // should spread over the interval
+    EXPECT_GT(hi, 0.9);
+}
+
+TEST(Rng, GeometricMeanApproximate)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.nextGeometric(4.0));
+    EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(13);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        auto v = r.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---------- fixed queue ----------
+
+TEST(FixedQueue, FifoOrder)
+{
+    FixedQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    q.push(4);
+    q.push(5);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.pop(), 4);
+    EXPECT_EQ(q.pop(), 5);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, FullAndWrapAround)
+{
+    FixedQueue<int> q(2);
+    q.push(1);
+    q.push(2);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_FALSE(q.full());
+    q.push(3);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.front(), 2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+// ---------- config ----------
+
+TEST(Config, TableTwoDefaults)
+{
+    GpuConfig cfg;
+    EXPECT_EQ(cfg.clockHz, 600'000'000u);
+    EXPECT_EQ(cfg.screenWidth, 1960u);
+    EXPECT_EQ(cfg.screenHeight, 768u);
+    EXPECT_EQ(cfg.tileSize, 32u);
+    EXPECT_EQ(cfg.numPipelines, 4u);
+    EXPECT_EQ(cfg.vertexCache.sizeBytes, 8u * 1024);
+    EXPECT_EQ(cfg.textureCache.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.tileCache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(cfg.l2Cache.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(cfg.l2Cache.ways, 8u);
+    EXPECT_EQ(cfg.l2Cache.hitLatency, 12u);
+    EXPECT_EQ(cfg.numTiles(), 62u * 24u);
+    EXPECT_EQ(cfg.quadsPerTileSide(), 16u);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(Config, Presets)
+{
+    GpuConfig base = makeBaselineConfig();
+    EXPECT_EQ(base.grouping, QuadGrouping::FGXShift2);
+    EXPECT_EQ(base.tileOrder, TileOrder::ZOrder);
+    EXPECT_FALSE(base.decoupledBarriers);
+
+    GpuConfig dt = makeDTexLConfig();
+    EXPECT_EQ(dt.grouping, QuadGrouping::CGSquare);
+    EXPECT_EQ(dt.tileOrder, TileOrder::RectHilbert);
+    EXPECT_EQ(dt.assignment, SubtileAssignment::Flip2);
+    EXPECT_TRUE(dt.decoupledBarriers);
+
+    GpuConfig ub = makeUpperBoundConfig();
+    EXPECT_EQ(ub.numPipelines, 1u);
+    EXPECT_EQ(ub.textureCache.sizeBytes, 4u * 16 * 1024);
+    EXPECT_NO_FATAL_FAILURE(ub.validate());
+}
+
+TEST(Config, DescribeMentionsKeyParameters)
+{
+    const std::string d = GpuConfig{}.describe();
+    EXPECT_NE(d.find("600 MHz"), std::string::npos);
+    EXPECT_NE(d.find("1960x768"), std::string::npos);
+    EXPECT_NE(d.find("32x32"), std::string::npos);
+    EXPECT_NE(d.find("1024 KiB"), std::string::npos);
+}
+
+TEST(Policies, Names)
+{
+    EXPECT_EQ(toString(QuadGrouping::FGXShift2), "FG-xshift2");
+    EXPECT_EQ(toString(QuadGrouping::CGSquare), "CG-square");
+    EXPECT_EQ(toString(TileOrder::RectHilbert), "Hilbert");
+    EXPECT_EQ(toString(SubtileAssignment::Flip2), "flp2");
+}
+
+TEST(Policies, CoarseGrainedClassification)
+{
+    int coarse = 0;
+    for (QuadGrouping g : kAllQuadGroupings)
+        coarse += isCoarseGrained(g) ? 1 : 0;
+    EXPECT_EQ(coarse, 4);
+    EXPECT_FALSE(isCoarseGrained(QuadGrouping::FGXShift2));
+    EXPECT_TRUE(isCoarseGrained(QuadGrouping::CGYRect));
+}
+
+} // namespace
+} // namespace dtexl

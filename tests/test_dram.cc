@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the banked DRAM model: row-buffer hit/miss latencies
+ * (Table II's 50-100 cycle window), bank conflicts, channel bandwidth,
+ * and stat accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace dtexl {
+namespace {
+
+DramConfig
+cfg()
+{
+    DramConfig c;
+    c.numBanks = 4;
+    c.rowBytes = 2048;
+    c.rowHitLatency = 50;
+    c.rowMissLatency = 100;
+    c.bytesPerCycle = 16;
+    return c;
+}
+
+TEST(Dram, FirstAccessIsRowMiss)
+{
+    Dram d(cfg());
+    EXPECT_EQ(d.access(0, AccessType::Read, 0), 100u);
+    EXPECT_EQ(d.stats().get("row_miss"), 1u);
+}
+
+TEST(Dram, SameRowHits)
+{
+    Dram d(cfg());
+    const Cycle t1 = d.access(0, AccessType::Read, 0);
+    // Next access in the same 2 KiB row: open-row latency.
+    const Cycle t2 = d.access(1024, AccessType::Read, t1);
+    EXPECT_EQ(t2, t1 + 50);
+    EXPECT_EQ(d.stats().get("row_hit"), 1u);
+}
+
+TEST(Dram, RowConflictReopens)
+{
+    Dram d(cfg());
+    const Cycle t1 = d.access(0, AccessType::Read, 0);
+    // Row-linear 9 XOR-folds back onto bank 0 (9 ^ (9/4) = 11, 11 % 4
+    // = 3... pick a row that collides: search below finds one), with a
+    // different row id: the open row must be reopened.
+    // With numBanks=4: row 0 -> fold 0 -> bank 0. Find r>0, bank 0.
+    std::uint64_t r = 1;
+    while (((r ^ (r / 4) ^ (r / 16)) % 4) != 0)
+        ++r;
+    const Cycle t2 = d.access(r * 2048, AccessType::Read, t1);
+    EXPECT_EQ(t2, t1 + 100);
+    EXPECT_EQ(d.stats().get("row_miss"), 2u);
+}
+
+TEST(Dram, DifferentBanksOverlap)
+{
+    Dram d(cfg());
+    const Cycle t1 = d.access(0, AccessType::Read, 0);       // bank 0
+    const Cycle t2 = d.access(2048, AccessType::Read, 0);    // bank 1
+    EXPECT_EQ(t1, 100u);
+    // Independent banks overlap fully within the channel window.
+    EXPECT_EQ(t2, 100u);
+}
+
+TEST(Dram, ChannelBandwidthBoundsBursts)
+{
+    // The channel admits 16 transfers per 16-burst window; the 17th
+    // concurrent transfer is pushed a whole window out.
+    DramConfig c = cfg();
+    c.numBanks = 32;  // isolate the channel from bank conflicts
+    Dram d(c);
+    // 17 accesses to 17 distinct banks, all issued at cycle 0.
+    std::vector<Cycle> done;
+    for (std::uint64_t i = 0; i < 17; ++i)
+        done.push_back(d.access(i * 2048, AccessType::Read, 0));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(done[i], 100u) << i;
+    // burst = 64/16 = 4 cycles; window = 16 * 4 = 64.
+    EXPECT_EQ(done[16], 164u);
+    EXPECT_GE(d.stats().get("channel_stall"), 1u);
+}
+
+TEST(Dram, RowMissOccupiesBankForActivate)
+{
+    Dram d(cfg());
+    const Cycle t1 = d.access(0, AccessType::Read, 0);
+    EXPECT_EQ(t1, 100u);
+    // Same bank, same row, issued before the activate window ends
+    // (burst 4 + activate 50): starts at 54, open-row latency 50.
+    const Cycle t2 = d.access(64, AccessType::Read, 10);
+    EXPECT_EQ(t2, 104u);
+}
+
+TEST(Dram, OpenRowReadsPipelineAtBurstRate)
+{
+    Dram d(cfg());
+    d.access(0, AccessType::Read, 0);
+    // After the activate window, back-to-back open-row reads stream
+    // one burst (4 cycles) apart despite the 50-cycle latency.
+    Cycle prev = d.access(64, AccessType::Read, 60);
+    for (int i = 2; i < 8; ++i) {
+        const Cycle t =
+            d.access(static_cast<Addr>(i) * 64, AccessType::Read, 60);
+        EXPECT_EQ(t, prev + 4);
+        prev = t;
+    }
+}
+
+TEST(Dram, AccessCountsByType)
+{
+    Dram d(cfg());
+    d.access(0, AccessType::Read, 0);
+    d.access(64, AccessType::Write, 200);
+    d.access(128, AccessType::Read, 400);
+    EXPECT_EQ(d.stats().get("read"), 2u);
+    EXPECT_EQ(d.stats().get("write"), 1u);
+    EXPECT_EQ(d.accesses(), 3u);
+}
+
+TEST(Dram, ResetClearsTimingNotStats)
+{
+    Dram d(cfg());
+    d.access(0, AccessType::Read, 0);
+    d.reset();
+    // After reset the bank has no open row again.
+    EXPECT_EQ(d.access(0, AccessType::Read, 0), 100u);
+    EXPECT_EQ(d.accesses(), 2u);
+}
+
+TEST(Dram, LatencyWithinTableTwoWindow)
+{
+    Dram d(cfg());
+    Cycle now = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Addr a = static_cast<Addr>(i) * 977 * 64;
+        const Cycle done = d.access(a, AccessType::Read, now);
+        const Cycle lat = done - now;
+        EXPECT_GE(lat, 50u);
+        now = done;
+    }
+}
+
+} // namespace
+} // namespace dtexl

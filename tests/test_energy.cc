@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the energy model: the breakdown sums, scales with its
+ * inputs, and behaves sensibly on real frame statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gpu.hh"
+#include "power/energy_model.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+FrameStats
+syntheticStats()
+{
+    FrameStats fs;
+    fs.totalCycles = 1'000'000;
+    fs.shaderInstructions = 2'000'000;
+    fs.textureSamples = 400'000;
+    fs.l1TexAccesses = 500'000;
+    fs.l1VertexAccesses = 10'000;
+    fs.l1TileAccesses = 50'000;
+    fs.l2Accesses = 100'000;
+    fs.dramAccesses = 20'000;
+    fs.quadsRasterized = 120'000;
+    fs.earlyZTests = 120'000;
+    fs.blendOps = 100'000;
+    fs.verticesProcessed = 5'000;
+    fs.primitivesBinned = 2'000;
+    return fs;
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EnergyModel model;
+    GpuConfig cfg;
+    const EnergyBreakdown e = model.compute(cfg, syntheticStats());
+    EXPECT_NEAR(e.total(),
+                e.shaderDynamic + e.l1 + e.l2 + e.dram +
+                    e.fixedFunction + e.staticEnergy,
+                1e-15);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(Energy, StaticScalesWithCycles)
+{
+    EnergyModel model;
+    GpuConfig cfg;
+    FrameStats fs = syntheticStats();
+    const double e1 = model.compute(cfg, fs).staticEnergy;
+    fs.totalCycles *= 2;
+    const double e2 = model.compute(cfg, fs).staticEnergy;
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+}
+
+TEST(Energy, L2ComponentScalesWithAccesses)
+{
+    EnergyModel model;
+    GpuConfig cfg;
+    FrameStats fs = syntheticStats();
+    const double e1 = model.compute(cfg, fs).l2;
+    fs.l2Accesses /= 2;
+    const double e2 = model.compute(cfg, fs).l2;
+    EXPECT_NEAR(e2, 0.5 * e1, 1e-12);
+}
+
+TEST(Energy, FewerL2AccessesAndCyclesReduceTotal)
+{
+    // The DTexL effect in miniature: -46.8% L2 accesses and -16% time
+    // must lower total energy.
+    EnergyModel model;
+    GpuConfig cfg;
+    FrameStats base = syntheticStats();
+    FrameStats dtexl = base;
+    dtexl.l2Accesses = static_cast<std::uint64_t>(
+        static_cast<double>(base.l2Accesses) * 0.532);
+    dtexl.totalCycles = static_cast<std::uint64_t>(
+        static_cast<double>(base.totalCycles) / 1.193);
+    EXPECT_LT(model.compute(cfg, dtexl).total(),
+              model.compute(cfg, base).total());
+}
+
+TEST(Energy, CustomParamsRespected)
+{
+    EnergyParams p;
+    p.staticWatts = 0.0;
+    p.l2AccessPj = 100.0;
+    EnergyModel model(p);
+    GpuConfig cfg;
+    FrameStats fs;
+    fs.l2Accesses = 1'000'000;
+    const EnergyBreakdown e = model.compute(cfg, fs);
+    EXPECT_DOUBLE_EQ(e.staticEnergy, 0.0);
+    EXPECT_NEAR(e.l2, 1e-12 * 100.0 * 1e6, 1e-15);
+}
+
+TEST(Energy, DescribeListsComponents)
+{
+    EnergyModel model;
+    GpuConfig cfg;
+    const std::string d =
+        model.compute(cfg, syntheticStats()).describe();
+    EXPECT_NE(d.find("L2"), std::string::npos);
+    EXPECT_NE(d.find("DRAM"), std::string::npos);
+    EXPECT_NE(d.find("total"), std::string::npos);
+}
+
+TEST(Energy, RealFrameHasPlausibleComposition)
+{
+    GpuConfig cfg;
+    cfg.screenWidth = 512;
+    cfg.screenHeight = 256;
+    const Scene scene = generateScene(benchmarkByAlias("SoD"), cfg);
+    GpuSimulator gpu(cfg, scene);
+    const FrameStats fs = gpu.renderFrame();
+    EnergyModel model;
+    const EnergyBreakdown e = model.compute(cfg, fs);
+    EXPECT_GT(e.total(), 0.0);
+    // Every component participates.
+    EXPECT_GT(e.shaderDynamic, 0.0);
+    EXPECT_GT(e.l1, 0.0);
+    EXPECT_GT(e.l2, 0.0);
+    EXPECT_GT(e.dram, 0.0);
+    EXPECT_GT(e.fixedFunction, 0.0);
+    EXPECT_GT(e.staticEnergy, 0.0);
+    // Static power is significant but not dominant past all dynamic
+    // components combined being negligible.
+    EXPECT_LT(e.staticEnergy, 0.9 * e.total());
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for texture formats: storage rates, block addressing, mip
+ * chain footprints, and the locality consequence the paper cares
+ * about — compressed textures pack a wider texel region per cache
+ * line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "texture/sampler.hh"
+#include "texture/texture.hh"
+
+namespace dtexl {
+namespace {
+
+TEST(Format, StorageRates)
+{
+    EXPECT_EQ(levelBytes(TexFormat::RGBA8, 256), 256u * 256 * 4);
+    EXPECT_EQ(levelBytes(TexFormat::RGB565, 256), 256u * 256 * 2);
+    EXPECT_EQ(levelBytes(TexFormat::ETC2, 256), 256u * 256 / 2);
+    // Sub-block mips round up to whole blocks.
+    EXPECT_EQ(levelBytes(TexFormat::ETC2, 2), 8u);
+    EXPECT_EQ(levelBytes(TexFormat::ETC2, 1), 8u);
+}
+
+TEST(Format, Names)
+{
+    EXPECT_EQ(toString(TexFormat::RGBA8), "RGBA8");
+    EXPECT_EQ(toString(TexFormat::ETC2), "ETC2");
+}
+
+TEST(Format, ChainSmallerWhenCompressed)
+{
+    const TextureDesc rgba(0, 0, 512, TexFormat::RGBA8);
+    const TextureDesc etc(1, 0, 512, TexFormat::ETC2);
+    EXPECT_GT(rgba.totalBytes(), 7u * etc.totalBytes());
+    EXPECT_EQ(rgba.numMipLevels(), etc.numMipLevels());
+}
+
+TEST(Format, Rgb565HalvesLineDensity)
+{
+    // A 64 B line holds 32 RGB565 texels: a Morton 8x4 region.
+    TextureDesc t(0, 0, 64, TexFormat::RGB565);
+    std::set<Addr> lines;
+    for (std::uint32_t y = 0; y < 4; ++y)
+        for (std::uint32_t x = 0; x < 8; ++x)
+            lines.insert(t.texelAddr(0, x, y) / 64);
+    EXPECT_EQ(lines.size(), 1u);
+    EXPECT_NE(t.texelAddr(0, 8, 0) / 64, t.texelAddr(0, 0, 0) / 64);
+}
+
+TEST(Format, Etc2LineCoversEightByEightTexels)
+{
+    // 64 B = 8 ETC2 blocks = a Morton 4x2 block region = 16x8 texels.
+    TextureDesc t(0, 0, 128, TexFormat::ETC2);
+    std::set<Addr> lines;
+    for (std::uint32_t y = 0; y < 8; ++y)
+        for (std::uint32_t x = 0; x < 16; ++x)
+            lines.insert(t.texelAddr(0, x, y) / 64);
+    EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(Format, BlockAddressingSharedWithinBlock)
+{
+    TextureDesc t(0, 0, 64, TexFormat::ETC2);
+    // All 16 texels of a 4x4 block resolve to the same address.
+    const Addr a = t.texelAddr(0, 4, 8);
+    for (std::uint32_t dy = 0; dy < 4; ++dy)
+        for (std::uint32_t dx = 0; dx < 4; ++dx)
+            EXPECT_EQ(t.texelAddr(0, 4 + dx, 8 + dy), a);
+    EXPECT_NE(t.texelAddr(0, 8, 8), a);
+}
+
+TEST(Format, SamplerWorksOnCompressedTextures)
+{
+    TextureDesc t(0, 0x1000, 128, TexFormat::ETC2);
+    const SampleFootprint fp =
+        sampleFootprint(t, FilterMode::Trilinear, 0.4f, 0.6f, 0.8f);
+    EXPECT_EQ(fp.count, 8u);
+    for (std::uint32_t i = 0; i < fp.count; ++i) {
+        EXPECT_GE(fp.texels[i], 0x1000u);
+        EXPECT_LT(fp.texels[i], 0x1000u + t.totalBytes());
+    }
+    // A bilinear tap interior to one block needs exactly one line.
+    std::array<Addr, SampleFootprint::kMaxTexels> lines;
+    const SampleFootprint interior = sampleFootprint(
+        t, FilterMode::Bilinear, 1.5f / 128.0f, 1.5f / 128.0f, 0.0f);
+    EXPECT_EQ(footprintLines(interior, 64, lines), 1u);
+}
+
+TEST(Format, CompressionWidensQuadSharing)
+{
+    // The locality consequence: at 1 texel/pixel, the screen area
+    // mapping to one line is ~2x2 quads for RGBA8 but ~8x4 quads for
+    // ETC2, so more adjacent quads share a line.
+    const TextureDesc rgba(0, 0, 256, TexFormat::RGBA8);
+    const TextureDesc etc(1, 0, 256, TexFormat::ETC2);
+    auto lines_for_region = [&](const TextureDesc &t, int quads) {
+        std::set<Addr> lines;
+        for (int qy = 0; qy < quads; ++qy)
+            for (int qx = 0; qx < quads; ++qx)
+                for (int k = 0; k < 4; ++k) {
+                    const float u = (static_cast<float>(qx * 2 + k % 2) +
+                                     0.5f) /
+                                    256.0f;
+                    const float v = (static_cast<float>(qy * 2 + k / 2) +
+                                     0.5f) /
+                                    256.0f;
+                    const SampleFootprint fp = sampleFootprint(
+                        t, FilterMode::Bilinear, u, v, 0.0f);
+                    for (std::uint32_t i = 0; i < fp.count; ++i)
+                        lines.insert(fp.texels[i] / 64);
+                }
+        return lines.size();
+    };
+    // Same 8x8-quad screen region touches far fewer lines compressed.
+    EXPECT_GT(lines_for_region(rgba, 8),
+              3 * lines_for_region(etc, 8));
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the geometry module: vector/matrix math, the timed Vertex
+ * Stage (viewport mapping + vertex-cache traffic) and the Primitive
+ * Assembler (culling, LOD setup).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/prim_assembler.hh"
+#include "geom/scene.hh"
+#include "geom/vertex_stage.hh"
+#include "mem/address_map.hh"
+#include "mem/hierarchy.hh"
+
+namespace dtexl {
+namespace {
+
+TEST(Vec, CrossAndDot)
+{
+    EXPECT_FLOAT_EQ(cross2({1, 0}, {0, 1}), 1.0f);
+    EXPECT_FLOAT_EQ(cross2({0, 1}, {1, 0}), -1.0f);
+    EXPECT_FLOAT_EQ(dot(Vec2f{3, 4}, Vec2f{3, 4}), 25.0f);
+    EXPECT_FLOAT_EQ(dot(Vec3f{1, 2, 3}, Vec3f{4, 5, 6}), 32.0f);
+}
+
+TEST(Mat4, IdentityAndTranslate)
+{
+    const Vec4f v{1, 2, 3, 1};
+    const Vec4f i = Mat4::identity().apply(v);
+    EXPECT_EQ(i, v);
+    const Vec4f t = Mat4::translate(10, 20, 30).apply(v);
+    EXPECT_EQ(t, (Vec4f{11, 22, 33, 1}));
+}
+
+TEST(Mat4, ComposeScaleTranslate)
+{
+    const Mat4 m = Mat4::translate(1, 0, 0) * Mat4::scale(2, 2, 2);
+    const Vec4f r = m.apply({1, 1, 1, 1});
+    EXPECT_EQ(r, (Vec4f{3, 2, 2, 1}));
+}
+
+GpuConfig
+smallCfg()
+{
+    GpuConfig cfg;
+    cfg.screenWidth = 128;
+    cfg.screenHeight = 64;
+    return cfg;
+}
+
+TEST(VertexStage, ViewportMapping)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    VertexStage vs(cfg, mem);
+
+    DrawCommand draw;
+    draw.vertexBufferAddr = addr_map::kVertexBase;
+    draw.vertices = {
+        Vertex{{-1.0f, -1.0f, 0.0f, 1.0f}, {0.0f, 0.0f}},
+        Vertex{{1.0f, 1.0f, 1.0f, 1.0f}, {1.0f, 1.0f}},
+        Vertex{{0.0f, 0.0f, -1.0f, 1.0f}, {0.5f, 0.5f}},
+    };
+    std::vector<TransformedVertex> out;
+    vs.processDraw(draw, 0, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_FLOAT_EQ(out[0].screen.x, 0.0f);
+    EXPECT_FLOAT_EQ(out[0].screen.y, 0.0f);
+    EXPECT_FLOAT_EQ(out[0].depth, 0.5f);
+    EXPECT_FLOAT_EQ(out[1].screen.x, 128.0f);
+    EXPECT_FLOAT_EQ(out[1].screen.y, 64.0f);
+    EXPECT_FLOAT_EQ(out[1].depth, 1.0f);
+    EXPECT_FLOAT_EQ(out[2].screen.x, 64.0f);
+    EXPECT_FLOAT_EQ(out[2].depth, 0.0f);
+    EXPECT_EQ(vs.verticesProcessed(), 3u);
+}
+
+TEST(VertexStage, TransformApplies)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    VertexStage vs(cfg, mem);
+
+    DrawCommand draw;
+    draw.vertexBufferAddr = addr_map::kVertexBase;
+    draw.transform = Mat4::scale(0.5f, 0.5f, 1.0f);
+    draw.vertices = {Vertex{{1.0f, 1.0f, 0.0f, 1.0f}, {0, 0}}};
+    std::vector<TransformedVertex> out;
+    vs.processDraw(draw, 0, out);
+    EXPECT_FLOAT_EQ(out[0].screen.x, 96.0f);  // ndc 0.5 -> 3/4 width
+    EXPECT_FLOAT_EQ(out[0].screen.y, 48.0f);
+}
+
+TEST(VertexStage, PerspectiveDivide)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    VertexStage vs(cfg, mem);
+
+    DrawCommand draw;
+    draw.vertexBufferAddr = addr_map::kVertexBase;
+    // w = 2: clip (1, 1, 1, 2) -> ndc (0.5, 0.5, 0.5).
+    draw.vertices = {Vertex{{1.0f, 1.0f, 1.0f, 2.0f}, {0, 0}}};
+    std::vector<TransformedVertex> out;
+    vs.processDraw(draw, 0, out);
+    EXPECT_FLOAT_EQ(out[0].screen.x, 96.0f);   // 3/4 of 128
+    EXPECT_FLOAT_EQ(out[0].screen.y, 48.0f);   // 3/4 of 64
+    EXPECT_FLOAT_EQ(out[0].depth, 0.75f);
+}
+
+TEST(VertexStage, DepthClampedToUnitRange)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    VertexStage vs(cfg, mem);
+    DrawCommand draw;
+    draw.vertexBufferAddr = addr_map::kVertexBase;
+    draw.vertices = {Vertex{{0.0f, 0.0f, 5.0f, 1.0f}, {0, 0}},
+                     Vertex{{0.0f, 0.0f, -5.0f, 1.0f}, {0, 0}}};
+    std::vector<TransformedVertex> out;
+    vs.processDraw(draw, 0, out);
+    EXPECT_FLOAT_EQ(out[0].depth, 1.0f);
+    EXPECT_FLOAT_EQ(out[1].depth, 0.0f);
+}
+
+TEST(VertexStage, FetchesThroughVertexCache)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    VertexStage vs(cfg, mem);
+
+    DrawCommand draw;
+    draw.vertexBufferAddr = addr_map::kVertexBase;
+    for (int i = 0; i < 16; ++i)
+        draw.vertices.push_back(Vertex{{0, 0, 0, 1}, {0, 0}});
+    std::vector<TransformedVertex> out;
+    const Cycle end = vs.processDraw(draw, 0, out);
+    EXPECT_GT(mem.vertexCache().accesses(), 0u);
+    // 16 vertices x 24 B = 384 B = 6 lines -> at most 6 misses.
+    EXPECT_LE(mem.vertexCache().misses(), 7u);
+    EXPECT_GT(end, 0u);
+}
+
+TEST(VertexStage, PostTransformCacheReusesIndices)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    VertexStage vs(cfg, mem);
+
+    // A quad as an indexed triangle list: 6 indices, 4 vertices, two
+    // shared — the classic post-transform reuse case.
+    DrawCommand draw;
+    draw.vertexBufferAddr = addr_map::kVertexBase;
+    draw.vertices.assign(4, Vertex{{0, 0, 0, 1}, {0, 0}});
+    draw.indices = {0, 1, 2, 2, 1, 3};
+    std::vector<TransformedVertex> out;
+    vs.processDraw(draw, 0, out);
+    EXPECT_EQ(vs.verticesProcessed(), 4u);
+    EXPECT_EQ(vs.transformsReused(), 2u);
+}
+
+TEST(VertexStage, FifoEvictionForcesReshade)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    VertexStage vs(cfg, mem);
+
+    // Reference vertex 0, then more vertices than the FIFO holds,
+    // then vertex 0 again: the second reference must re-shade.
+    DrawCommand draw;
+    draw.vertexBufferAddr = addr_map::kVertexBase;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(VertexStage::kPostTransformEntries) +
+        4;
+    draw.vertices.assign(n, Vertex{{0, 0, 0, 1}, {0, 0}});
+    for (std::uint32_t i = 0; i < n; ++i)
+        draw.indices.push_back(i);
+    draw.indices.push_back(0);
+    // Pad to a multiple of 3 (triangle list).
+    while (draw.indices.size() % 3 != 0)
+        draw.indices.push_back(1);
+    std::vector<TransformedVertex> out;
+    vs.processDraw(draw, 0, out);
+    EXPECT_EQ(vs.verticesProcessed(), static_cast<std::uint64_t>(n) + 1);
+}
+
+// ---------- Primitive assembly ----------
+
+Primitive
+makePrim(Vec2f a, Vec2f b, Vec2f c)
+{
+    Primitive p;
+    p.v[0].screen = a;
+    p.v[1].screen = b;
+    p.v[2].screen = c;
+    p.v[0].uv = {0.0f, 0.0f};
+    p.v[1].uv = {0.1f, 0.0f};
+    p.v[2].uv = {0.0f, 0.1f};
+    return p;
+}
+
+TEST(PrimAssembler, AssemblesTriangleList)
+{
+    GpuConfig cfg = smallCfg();
+    PrimAssembler pa(cfg);
+    DrawCommand draw;
+    draw.indices = {0, 1, 2, 0, 2, 3};
+    std::vector<TransformedVertex> tv(4);
+    tv[0].screen = {10, 10};
+    tv[1].screen = {50, 10};
+    tv[2].screen = {50, 50};
+    tv[3].screen = {10, 50};
+    std::vector<Primitive> out;
+    EXPECT_EQ(pa.assemble(draw, tv, 256, out), 2u);
+    EXPECT_EQ(out[0].id, 0u);
+    EXPECT_EQ(out[1].id, 1u);
+}
+
+TEST(PrimAssembler, CullsDegenerateAndOffscreen)
+{
+    GpuConfig cfg = smallCfg();
+    PrimAssembler pa(cfg);
+    DrawCommand draw;
+    draw.indices = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<TransformedVertex> tv(9);
+    // Degenerate (collinear).
+    tv[0].screen = {0, 0};
+    tv[1].screen = {10, 10};
+    tv[2].screen = {20, 20};
+    // Fully offscreen (x < 0).
+    tv[3].screen = {-50, 0};
+    tv[4].screen = {-10, 0};
+    tv[5].screen = {-10, 30};
+    // Visible.
+    tv[6].screen = {5, 5};
+    tv[7].screen = {30, 5};
+    tv[8].screen = {5, 30};
+    std::vector<Primitive> out;
+    EXPECT_EQ(pa.assemble(draw, tv, 256, out), 1u);
+    EXPECT_EQ(pa.culled(), 2u);
+}
+
+TEST(PrimAssembler, PrimIdsMonotonicAcrossDraws)
+{
+    GpuConfig cfg = smallCfg();
+    PrimAssembler pa(cfg);
+    DrawCommand draw;
+    draw.indices = {0, 1, 2};
+    std::vector<TransformedVertex> tv(3);
+    tv[0].screen = {5, 5};
+    tv[1].screen = {30, 5};
+    tv[2].screen = {5, 30};
+    std::vector<Primitive> out;
+    pa.assemble(draw, tv, 256, out);
+    pa.assemble(draw, tv, 256, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id + 1, out[1].id);
+}
+
+TEST(PrimAssembler, LodFromUvScale)
+{
+    // A triangle mapping 1 uv unit across `span` pixels of a
+    // `side`-texel texture: texels/pixel = side * uvrate.
+    Primitive p = makePrim({0, 0}, {64, 0}, {0, 64});
+    p.v[1].uv = {1.0f, 0.0f};
+    p.v[2].uv = {0.0f, 1.0f};
+    // 256 texels over 64 px -> 4 texels/px -> lod = 2.
+    EXPECT_NEAR(PrimAssembler::computeLod(p, 256), 2.0f, 1e-4f);
+    // 64 texels over 64 px -> 1 texel/px -> lod = 0 (magnification
+    // clamps at 0 too).
+    EXPECT_NEAR(PrimAssembler::computeLod(p, 64), 0.0f, 1e-4f);
+    EXPECT_FLOAT_EQ(PrimAssembler::computeLod(p, 16), 0.0f);
+}
+
+} // namespace
+} // namespace dtexl

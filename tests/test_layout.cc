@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the subtile layouts (Figure 6): equal-sized partitions,
+ * bijective slot numbering, the adjacency properties that define
+ * fine-grained vs coarse-grained groupings, and mirror permutations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sched/subtile_layout.hh"
+
+namespace dtexl {
+namespace {
+
+constexpr std::uint32_t kSide = 16;  // 32x32 tile in quads
+
+class AllGroupingsTest : public ::testing::TestWithParam<QuadGrouping>
+{};
+
+TEST_P(AllGroupingsTest, PartitionIsEqualSized)
+{
+    SubtileLayout layout(GetParam(), kSide);
+    std::array<std::uint32_t, kNumSubtiles> counts{};
+    for (std::uint32_t y = 0; y < kSide; ++y) {
+        for (std::uint32_t x = 0; x < kSide; ++x) {
+            const std::uint8_t s = layout.subtileOf(
+                {static_cast<std::int32_t>(x),
+                 static_cast<std::int32_t>(y)});
+            ASSERT_LT(s, kNumSubtiles);
+            ++counts[s];
+        }
+    }
+    for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+        EXPECT_EQ(counts[s], kSide * kSide / 4) << toString(GetParam());
+}
+
+TEST_P(AllGroupingsTest, SlotsAreBijectivePerSubtile)
+{
+    SubtileLayout layout(GetParam(), kSide);
+    std::array<std::set<std::uint16_t>, kNumSubtiles> slots;
+    for (std::uint32_t y = 0; y < kSide; ++y) {
+        for (std::uint32_t x = 0; x < kSide; ++x) {
+            const Coord2 q{static_cast<std::int32_t>(x),
+                           static_cast<std::int32_t>(y)};
+            EXPECT_TRUE(
+                slots[layout.subtileOf(q)].insert(layout.slotOf(q))
+                    .second);
+        }
+    }
+    for (std::uint8_t s = 0; s < kNumSubtiles; ++s) {
+        EXPECT_EQ(slots[s].size(), layout.quadsPerSubtile());
+        EXPECT_EQ(*slots[s].rbegin(), layout.quadsPerSubtile() - 1);
+    }
+}
+
+TEST_P(AllGroupingsTest, SmallerTilesAlsoBalanced)
+{
+    // 8x8 and 4x4 tiles (16x16 and 8x8 pixels).
+    for (std::uint32_t side : {4u, 8u}) {
+        SubtileLayout layout(GetParam(), side);
+        std::array<std::uint32_t, kNumSubtiles> counts{};
+        for (std::uint32_t y = 0; y < side; ++y)
+            for (std::uint32_t x = 0; x < side; ++x)
+                ++counts[layout.subtileOf(
+                    {static_cast<std::int32_t>(x),
+                     static_cast<std::int32_t>(y)})];
+        for (std::uint8_t s = 0; s < kNumSubtiles; ++s)
+            EXPECT_EQ(counts[s], side * side / 4)
+                << toString(GetParam()) << " side " << side;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure6, AllGroupingsTest,
+                         ::testing::ValuesIn(kAllQuadGroupings));
+
+// ---------- FG adjacency properties ----------
+
+TEST(Layout, FGCheckerNoAdjacentSharing)
+{
+    SubtileLayout layout(QuadGrouping::FGChecker, kSide);
+    for (std::int32_t y = 0; y < static_cast<std::int32_t>(kSide); ++y) {
+        for (std::int32_t x = 0;
+             x + 1 < static_cast<std::int32_t>(kSide); ++x) {
+            EXPECT_NE(layout.subtileOf({x, y}),
+                      layout.subtileOf({x + 1, y}));
+        }
+    }
+    for (std::int32_t y = 0; y + 1 < static_cast<std::int32_t>(kSide);
+         ++y)
+        for (std::int32_t x = 0; x < static_cast<std::int32_t>(kSide);
+             ++x)
+            EXPECT_NE(layout.subtileOf({x, y}),
+                      layout.subtileOf({x, y + 1}));
+}
+
+TEST(Layout, FGXShift2NoAdjacentSharing)
+{
+    SubtileLayout layout(QuadGrouping::FGXShift2, kSide);
+    for (std::int32_t y = 0; y < 16; ++y) {
+        for (std::int32_t x = 0; x < 16; ++x) {
+            if (x + 1 < 16) {
+                EXPECT_NE(layout.subtileOf({x, y}),
+                          layout.subtileOf({x + 1, y}));
+            }
+            if (y + 1 < 16) {
+                EXPECT_NE(layout.subtileOf({x, y}),
+                          layout.subtileOf({x, y + 1}));
+            }
+        }
+    }
+}
+
+TEST(Layout, FGVDominoAtMostTwoVerticalRun)
+{
+    SubtileLayout layout(QuadGrouping::FGVDomino, kSide);
+    for (std::int32_t x = 0; x < 16; ++x) {
+        int run = 1;
+        for (std::int32_t y = 1; y < 16; ++y) {
+            if (layout.subtileOf({x, y}) == layout.subtileOf({x, y - 1}))
+                ++run;
+            else
+                run = 1;
+            EXPECT_LE(run, 2);
+        }
+    }
+    // Horizontal neighbours always differ.
+    for (std::int32_t y = 0; y < 16; ++y)
+        for (std::int32_t x = 0; x + 1 < 16; ++x)
+            EXPECT_NE(layout.subtileOf({x, y}),
+                      layout.subtileOf({x + 1, y}));
+}
+
+// ---------- CG shape properties ----------
+
+TEST(Layout, CGSquareIsQuadrants)
+{
+    SubtileLayout layout(QuadGrouping::CGSquare, kSide);
+    EXPECT_EQ(layout.subtileOf({0, 0}), 0);
+    EXPECT_EQ(layout.subtileOf({15, 0}), 1);
+    EXPECT_EQ(layout.subtileOf({0, 15}), 2);
+    EXPECT_EQ(layout.subtileOf({15, 15}), 3);
+    EXPECT_EQ(layout.subtileOf({7, 7}), 0);
+    EXPECT_EQ(layout.subtileOf({8, 8}), 3);
+}
+
+TEST(Layout, CGRectsAreBands)
+{
+    // CG-yrect: horizontal strips (split along y).
+    SubtileLayout yr(QuadGrouping::CGYRect, kSide);
+    for (std::int32_t x = 0; x < 16; ++x) {
+        EXPECT_EQ(yr.subtileOf({x, 0}), 0);
+        EXPECT_EQ(yr.subtileOf({x, 5}), 1);
+        EXPECT_EQ(yr.subtileOf({x, 10}), 2);
+        EXPECT_EQ(yr.subtileOf({x, 15}), 3);
+    }
+    // CG-xrect: vertical strips (split along x).
+    SubtileLayout xr(QuadGrouping::CGXRect, kSide);
+    for (std::int32_t y = 0; y < 16; ++y) {
+        EXPECT_EQ(xr.subtileOf({0, y}), 0);
+        EXPECT_EQ(xr.subtileOf({15, y}), 3);
+    }
+}
+
+/**
+ * Contiguity metric: fraction of quads with at least one edge-adjacent
+ * quad in the same subtile. CG layouts must score near 1; FG layouts
+ * with no-adjacent-sharing must score 0.
+ */
+double
+contiguity(QuadGrouping g)
+{
+    SubtileLayout layout(g, kSide);
+    int with_friend = 0;
+    for (std::int32_t y = 0; y < 16; ++y) {
+        for (std::int32_t x = 0; x < 16; ++x) {
+            const std::uint8_t s = layout.subtileOf({x, y});
+            const Coord2 nbrs[4] = {
+                {x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}};
+            for (const Coord2 &n : nbrs) {
+                if (n.x < 0 || n.x >= 16 || n.y < 0 || n.y >= 16)
+                    continue;
+                if (layout.subtileOf(n) == s) {
+                    ++with_friend;
+                    break;
+                }
+            }
+        }
+    }
+    return with_friend / 256.0;
+}
+
+TEST(Layout, CoarseGroupingsAreContiguous)
+{
+    EXPECT_GT(contiguity(QuadGrouping::CGSquare), 0.99);
+    EXPECT_GT(contiguity(QuadGrouping::CGXRect), 0.99);
+    EXPECT_GT(contiguity(QuadGrouping::CGYRect), 0.99);
+    EXPECT_GT(contiguity(QuadGrouping::CGTriangle), 0.9);
+    EXPECT_EQ(contiguity(QuadGrouping::FGChecker), 0.0);
+    EXPECT_EQ(contiguity(QuadGrouping::FGXShift2), 0.0);
+}
+
+// ---------- mirrors and centroids ----------
+
+TEST(Layout, CGSquareMirrors)
+{
+    SubtileLayout layout(QuadGrouping::CGSquare, kSide);
+    ASSERT_TRUE(layout.mirrorXBijective());
+    ASSERT_TRUE(layout.mirrorYBijective());
+    EXPECT_EQ(layout.mirrorX(),
+              (std::array<std::uint8_t, 4>{1, 0, 3, 2}));
+    EXPECT_EQ(layout.mirrorY(),
+              (std::array<std::uint8_t, 4>{2, 3, 0, 1}));
+}
+
+TEST(Layout, CGYRectMirrors)
+{
+    // Horizontal bands: x-mirror maps each band to itself, y-mirror
+    // reverses the band order.
+    SubtileLayout layout(QuadGrouping::CGYRect, kSide);
+    ASSERT_TRUE(layout.mirrorXBijective());
+    ASSERT_TRUE(layout.mirrorYBijective());
+    EXPECT_EQ(layout.mirrorX(),
+              (std::array<std::uint8_t, 4>{0, 1, 2, 3}));
+    EXPECT_EQ(layout.mirrorY(),
+              (std::array<std::uint8_t, 4>{3, 2, 1, 0}));
+}
+
+TEST(Layout, CGSquareCentroids)
+{
+    SubtileLayout layout(QuadGrouping::CGSquare, kSide);
+    EXPECT_LT(layout.centroid(0).x, layout.centroid(1).x);
+    EXPECT_LT(layout.centroid(0).y, layout.centroid(2).y);
+    EXPECT_DOUBLE_EQ(layout.centroid(0).x, 3.5);
+    EXPECT_DOUBLE_EQ(layout.centroid(3).x, 11.5);
+}
+
+TEST(Layout, GroupQuadMatchesLayoutForRegularPatterns)
+{
+    // The standalone mapping function and the layout agree except for
+    // CG-triangle, whose layout applies the balance fix-up.
+    for (QuadGrouping g : kAllQuadGroupings) {
+        if (g == QuadGrouping::CGTriangle)
+            continue;
+        SubtileLayout layout(g, kSide);
+        for (std::int32_t y = 0; y < 16; ++y)
+            for (std::int32_t x = 0; x < 16; ++x)
+                EXPECT_EQ(layout.subtileOf({x, y}),
+                          groupQuad(g, {x, y}, kSide))
+                    << toString(g);
+    }
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Cross-cutting pipeline properties: work invariance across scheduling
+ * policies, odd screen sizes (the paper's own 1960x768 has partial
+ * tiles), alternative tile sizes, degenerate scenes, and FIFO
+ * back-pressure behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/gpu.hh"
+#include "mem/address_map.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+GpuConfig
+smallCfg()
+{
+    GpuConfig cfg;
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    return cfg;
+}
+
+TEST(PipelineProps, WorkInvariantAcrossPolicies)
+{
+    // Rasterized/culled/shaded quad counts are a function of the
+    // scene, not of the scheduler: every grouping, order, assignment
+    // and barrier mode must report identical work.
+    GpuConfig base = smallCfg();
+    const Scene scene = generateScene(benchmarkByAlias("DDS"), base);
+    GpuSimulator ref(base, scene);
+    const FrameStats r = ref.renderFrame();
+
+    auto check = [&](GpuConfig cfg, const char *what) {
+        GpuSimulator gpu(cfg, scene);
+        const FrameStats fs = gpu.renderFrame();
+        EXPECT_EQ(fs.quadsRasterized, r.quadsRasterized) << what;
+        EXPECT_EQ(fs.quadsCulledEarlyZ, r.quadsCulledEarlyZ) << what;
+        EXPECT_EQ(fs.quadsShaded, r.quadsShaded) << what;
+        EXPECT_EQ(fs.fragmentsShaded, r.fragmentsShaded) << what;
+        EXPECT_EQ(fs.imageHash, r.imageHash) << what;
+    };
+
+    for (QuadGrouping g :
+         {QuadGrouping::CGSquare, QuadGrouping::CGTriangle,
+          QuadGrouping::FGChecker}) {
+        GpuConfig cfg = base;
+        cfg.grouping = g;
+        check(cfg, toString(g).c_str());
+    }
+    for (TileOrder o : kAllTileOrders) {
+        GpuConfig cfg = base;
+        cfg.tileOrder = o;
+        check(cfg, toString(o).c_str());
+    }
+    {
+        GpuConfig cfg = base;
+        cfg.decoupledBarriers = true;
+        cfg.assignment = SubtileAssignment::Flip3;
+        check(cfg, "decoupled flip3");
+    }
+}
+
+using ScreenParam = std::tuple<std::uint32_t, std::uint32_t>;
+
+class OddScreenTest : public ::testing::TestWithParam<ScreenParam>
+{};
+
+TEST_P(OddScreenTest, PartialEdgeTilesRenderCorrectly)
+{
+    // Screens that are not tile multiples (like the paper's 1960x768
+    // width: 61.25 tiles) must render identically on the baseline and
+    // DTexL machines.
+    const auto [w, h] = GetParam();
+    GpuConfig cfg;
+    cfg.screenWidth = w;
+    cfg.screenHeight = h;
+    const Scene scene = generateScene(benchmarkByAlias("SWa"), cfg);
+
+    GpuConfig dt = cfg;
+    dt.grouping = QuadGrouping::CGSquare;
+    dt.tileOrder = TileOrder::RectHilbert;
+    dt.assignment = SubtileAssignment::Flip2;
+    dt.decoupledBarriers = true;
+
+    GpuSimulator a(cfg, scene), b(dt, scene);
+    const FrameStats fa = a.renderFrame();
+    const FrameStats fb = b.renderFrame();
+    EXPECT_EQ(fa.imageHash, fb.imageHash);
+    EXPECT_GT(fa.quadsShaded, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Screens, OddScreenTest,
+                         ::testing::Values(ScreenParam{100, 40},
+                                           ScreenParam{130, 70},
+                                           ScreenParam{96, 96},
+                                           ScreenParam{245, 96}));
+
+class TileSizeTest : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(TileSizeTest, AlternativeTileSizesWork)
+{
+    GpuConfig cfg = smallCfg();
+    cfg.tileSize = GetParam();
+    cfg.validate();
+    const Scene scene = generateScene(benchmarkByAlias("SWa"), cfg);
+
+    GpuConfig ref_cfg = smallCfg();  // 32x32 tiles
+    GpuSimulator ref(ref_cfg, scene);
+    GpuSimulator gpu(cfg, scene);
+    // The image must not depend on the tile size.
+    EXPECT_EQ(gpu.renderFrame().imageHash,
+              ref.renderFrame().imageHash);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TileSizeTest,
+                         ::testing::Values(8u, 16u, 64u));
+
+TEST(PipelineProps, HierarchicalZPreservesImageAndCulls)
+{
+    GpuConfig cfg = smallCfg();
+    const Scene scene = generateScene(benchmarkByAlias("TRu"), cfg);
+    GpuConfig hiz = cfg;
+    hiz.hierarchicalZ = true;
+
+    GpuSimulator a(cfg, scene), b(hiz, scene);
+    const FrameStats fa = a.renderFrame();
+    const FrameStats fb = b.renderFrame();
+    EXPECT_EQ(fa.imageHash, fb.imageHash);
+    EXPECT_EQ(fa.quadsCulledHiZ, 0u);
+    // TRu is heavily overdrawn: HiZ must catch some quads early, and
+    // every one it catches is one Early-Z would have culled anyway.
+    EXPECT_GT(fb.quadsCulledHiZ, 0u);
+    EXPECT_EQ(fb.quadsCulledHiZ + fb.quadsCulledEarlyZ +
+                  fb.quadsShaded,
+              fb.quadsRasterized);
+    EXPECT_EQ(fb.quadsShaded, fa.quadsShaded);
+    // Culling earlier can only help performance.
+    EXPECT_LE(fb.rasterCycles, fa.rasterCycles + fa.rasterCycles / 100);
+}
+
+TEST(PipelineProps, HierarchicalZDisabledUnderLateZ)
+{
+    GpuConfig cfg = smallCfg();
+    cfg.hierarchicalZ = true;
+    Scene scene = generateScene(benchmarkByAlias("TRu"), cfg);
+    for (DrawCommand &d : scene.draws)
+        d.shader.modifiesDepth = true;
+    GpuSimulator gpu(cfg, scene);
+    const FrameStats fs = gpu.renderFrame();
+    EXPECT_EQ(fs.quadsCulledHiZ, 0u);
+    EXPECT_EQ(fs.quadsCulledEarlyZ, 0u);
+}
+
+TEST(PipelineProps, TransactionEliminationSkipsStaticFlushes)
+{
+    GpuConfig cfg = smallCfg();
+    cfg.transactionElimination = true;
+    const Scene scene = generateScene(benchmarkByAlias("SWa"), cfg);
+    GpuSimulator gpu(cfg, scene);
+
+    const FrameStats f1 = gpu.renderFrame();
+    EXPECT_EQ(f1.flushesEliminated, 0u);  // nothing to compare yet
+
+    // The identical frame again: every bank flush is eliminated.
+    const FrameStats f2 = gpu.renderFrame();
+    EXPECT_EQ(f2.flushesEliminated,
+              static_cast<std::uint64_t>(cfg.numTiles()) * 4);
+    EXPECT_LT(f2.flushLineWrites, f1.flushLineWrites / 10 + 1);
+    EXPECT_EQ(f2.imageHash, f1.imageHash);
+
+    // An animated frame re-flushes what changed.
+    const Scene moved = generateScene(benchmarkByAlias("SWa"), cfg, 1);
+    gpu.setScene(moved);
+    const FrameStats f3 = gpu.renderFrame();
+    EXPECT_LT(f3.flushesEliminated,
+              static_cast<std::uint64_t>(cfg.numTiles()) * 4);
+
+    // And the image still matches a TE-less render.
+    GpuConfig plain = cfg;
+    plain.transactionElimination = false;
+    GpuSimulator ref(plain, moved);
+    EXPECT_EQ(ref.renderFrame().imageHash, f3.imageHash);
+}
+
+TEST(PipelineProps, EmptySceneRendersClear)
+{
+    GpuConfig cfg = smallCfg();
+    Scene scene;
+    scene.textures.emplace_back(0, addr_map::kTextureBase, 64);
+    GpuSimulator gpu(cfg, scene);
+    const FrameStats fs = gpu.renderFrame();
+    EXPECT_EQ(fs.quadsRasterized, 0u);
+    EXPECT_EQ(fs.quadsShaded, 0u);
+    for (std::uint32_t y = 0; y < cfg.screenHeight; y += 17)
+        for (std::uint32_t x = 0; x < cfg.screenWidth; x += 13)
+            ASSERT_EQ(gpu.framebuffer().pixel(x, y), kClearColor);
+}
+
+TEST(PipelineProps, SinglePixelPrimitive)
+{
+    GpuConfig cfg = smallCfg();
+    Scene scene;
+    scene.textures.emplace_back(0, addr_map::kTextureBase, 64);
+    DrawCommand d;
+    d.texture = 0;
+    d.shader.aluOps = 4;
+    d.shader.texSamples = 1;
+    d.vertexBufferAddr = addr_map::kVertexBase;
+    // A triangle covering exactly the centre of pixel (10, 10).
+    auto v = [&](float px, float py) {
+        Vertex out;
+        out.pos.x = px / 128.0f - 1.0f;
+        out.pos.y = py / 64.0f - 1.0f;
+        out.pos.z = 0.0f;
+        out.uv = {0.5f, 0.5f};
+        return out;
+    };
+    d.vertices = {v(10.0f, 10.0f), v(11.5f, 10.0f), v(10.0f, 11.5f)};
+    d.indices = {0, 1, 2};
+    scene.draws.push_back(d);
+
+    GpuSimulator gpu(cfg, scene);
+    const FrameStats fs = gpu.renderFrame();
+    EXPECT_EQ(fs.quadsShaded, 1u);
+    EXPECT_EQ(fs.fragmentsShaded, 1u);
+    EXPECT_NE(gpu.framebuffer().pixel(10, 10), kClearColor);
+    EXPECT_EQ(gpu.framebuffer().pixel(11, 10), kClearColor);
+}
+
+TEST(PipelineProps, TinyFifoStillCorrectJustSlower)
+{
+    GpuConfig cfg = smallCfg();
+    const Scene scene = generateScene(benchmarkByAlias("TRu"), cfg);
+
+    GpuConfig tiny = cfg;
+    tiny.stageFifoDepth = 2;
+    GpuSimulator a(cfg, scene), b(tiny, scene);
+    const FrameStats fa = a.renderFrame();
+    const FrameStats fb = b.renderFrame();
+    EXPECT_EQ(fa.imageHash, fb.imageHash);
+    // Back-pressure can only slow things down.
+    EXPECT_GE(fb.rasterCycles, fa.rasterCycles);
+}
+
+TEST(PipelineProps, FrameStatsFullyDeterministic)
+{
+    GpuConfig cfg = smallCfg();
+    cfg.decoupledBarriers = true;
+    cfg.grouping = QuadGrouping::CGSquare;
+    const Scene scene = generateScene(benchmarkByAlias("Mze"), cfg);
+    GpuSimulator a(cfg, scene), b(cfg, scene);
+    const FrameStats fa = a.renderFrame();
+    const FrameStats fb = b.renderFrame();
+    EXPECT_EQ(fa.totalCycles, fb.totalCycles);
+    EXPECT_EQ(fa.geometryCycles, fb.geometryCycles);
+    EXPECT_EQ(fa.l2Accesses, fb.l2Accesses);
+    EXPECT_EQ(fa.dramAccesses, fb.dramAccesses);
+    EXPECT_EQ(fa.l1TexAccesses, fb.l1TexAccesses);
+    EXPECT_EQ(fa.shaderInstructions, fb.shaderInstructions);
+    EXPECT_EQ(fa.quadsPerSc, fb.quadsPerSc);
+    EXPECT_EQ(fa.imageHash, fb.imageHash);
+}
+
+TEST(PipelineProps, UpperBoundSlowerButFewerL2)
+{
+    // The Figure 16 upper-bound machine is only used for its L2
+    // count; sanity-check both directions.
+    GpuConfig cfg = smallCfg();
+    const Scene scene = generateScene(benchmarkByAlias("SoD"), cfg);
+    GpuConfig ub = makeUpperBoundConfig();
+    ub.screenWidth = cfg.screenWidth;
+    ub.screenHeight = cfg.screenHeight;
+    GpuSimulator four(cfg, scene), one(ub, scene);
+    const FrameStats f4 = four.renderFrame();
+    const FrameStats f1 = one.renderFrame();
+    EXPECT_LT(f1.l2Accesses, f4.l2Accesses);
+    EXPECT_GT(f1.rasterCycles, f4.rasterCycles);  // 1 SC vs 4
+}
+
+} // namespace
+} // namespace dtexl

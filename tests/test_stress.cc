@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the stress-workload suite: structural validity,
+ * determinism, scheduler-independence of the rendered images, and the
+ * adversarial properties each scene is designed to have.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gpu.hh"
+#include "workloads/stress.hh"
+
+namespace dtexl {
+namespace {
+
+GpuConfig
+smallCfg()
+{
+    GpuConfig cfg;
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    return cfg;
+}
+
+const StressCase &
+byName(const std::vector<StressCase> &suite, const std::string &name)
+{
+    for (const StressCase &c : suite)
+        if (c.name == name)
+            return c;
+    ADD_FAILURE() << "missing stress case " << name;
+    static StressCase empty;
+    return empty;
+}
+
+TEST(Stress, SuiteStructure)
+{
+    const auto suite = makeStressSuite(smallCfg());
+    ASSERT_EQ(suite.size(), 5u);
+    for (const StressCase &c : suite) {
+        EXPECT_FALSE(c.name.empty());
+        EXPECT_FALSE(c.scene.draws.empty()) << c.name;
+        EXPECT_FALSE(c.scene.textures.empty()) << c.name;
+        for (const DrawCommand &d : c.scene.draws) {
+            EXPECT_LT(d.texture, c.scene.textures.size()) << c.name;
+            for (std::uint32_t idx : d.indices)
+                EXPECT_LT(idx, d.vertices.size()) << c.name;
+        }
+    }
+}
+
+TEST(Stress, Deterministic)
+{
+    const GpuConfig cfg = smallCfg();
+    const auto a = makeStressSuite(cfg);
+    const auto b = makeStressSuite(cfg);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].scene.draws.size(), b[i].scene.draws.size());
+        for (std::size_t d = 0; d < a[i].scene.draws.size(); ++d)
+            EXPECT_EQ(a[i].scene.draws[d].vertices[0].pos,
+                      b[i].scene.draws[d].vertices[0].pos);
+    }
+}
+
+TEST(Stress, ImagesSchedulerIndependent)
+{
+    const GpuConfig base = smallCfg();
+    GpuConfig dtexl_cfg = makeDTexLConfig();
+    dtexl_cfg.screenWidth = base.screenWidth;
+    dtexl_cfg.screenHeight = base.screenHeight;
+    dtexl_cfg.hierarchicalZ = true;
+
+    for (const StressCase &c : makeStressSuite(base)) {
+        GpuSimulator a(base, c.scene), b(dtexl_cfg, c.scene);
+        EXPECT_EQ(a.renderFrame().imageHash, b.renderFrame().imageHash)
+            << c.name;
+    }
+}
+
+TEST(Stress, SubtileHotspotImbalancesCoarseGroupingOnly)
+{
+    // The hotspot sits in the top-left quadrant of every tile: under
+    // CG-square one SC gets all of it (big per-tile deviation); under
+    // FG-xshift2 the quads spread evenly.
+    const GpuConfig base = smallCfg();
+    GpuConfig cg = base;
+    cg.grouping = QuadGrouping::CGSquare;
+    const auto suite = makeStressSuite(base);
+    const StressCase &hot = byName(suite, "subtile-hotspot");
+
+    GpuSimulator fg_gpu(base, hot.scene);
+    GpuSimulator cg_gpu(cg, hot.scene);
+    const FrameStats f_fg = fg_gpu.renderFrame();
+    const FrameStats f_cg = cg_gpu.renderFrame();
+    EXPECT_GT(f_cg.tileQuadDeviation.mean(), 0.5);
+    EXPECT_LT(f_fg.tileQuadDeviation.mean(), 0.1);
+}
+
+TEST(Stress, DeepOverdrawDefeatsEarlyZ)
+{
+    // Back-to-front opaque layers: every quad passes the depth test.
+    const GpuConfig cfg = smallCfg();
+    const auto suite = makeStressSuite(cfg);
+    const StressCase &deep = byName(suite, "deep-overdraw");
+    GpuSimulator gpu(cfg, deep.scene);
+    const FrameStats fs = gpu.renderFrame();
+    EXPECT_EQ(fs.quadsCulledEarlyZ, 0u);
+    // 8 layers over the whole screen.
+    EXPECT_GE(fs.quadsShaded,
+              8u * (cfg.screenWidth / 2) * (cfg.screenHeight / 2));
+}
+
+TEST(Stress, SingleFullscreenMaximisesLocalityGain)
+{
+    // The giant textured quad is the best case for CG grouping: the
+    // L2 decrease must exceed the noise scene's.
+    const GpuConfig base = smallCfg();
+    GpuConfig cg = base;
+    cg.grouping = QuadGrouping::CGSquare;
+    const auto suite = makeStressSuite(base);
+
+    auto l2_decrease = [&](const StressCase &c) {
+        GpuSimulator a(base, c.scene), b(cg, c.scene);
+        const double base_l2 =
+            static_cast<double>(a.renderFrame().l2Accesses);
+        const double cg_l2 =
+            static_cast<double>(b.renderFrame().l2Accesses);
+        return 1.0 - cg_l2 / base_l2;
+    };
+    EXPECT_GT(l2_decrease(byName(suite, "single-fullscreen")),
+              l2_decrease(byName(suite, "uniform-noise")) + 0.2);
+}
+
+TEST(Stress, HiZHelpsFrontToBackNotBackToFront)
+{
+    // deep-overdraw paints back-to-front: HiZ can cull nothing.
+    const GpuConfig base = smallCfg();
+    GpuConfig hiz = base;
+    hiz.hierarchicalZ = true;
+    const auto suite = makeStressSuite(base);
+    const StressCase &deep = byName(suite, "deep-overdraw");
+    GpuSimulator gpu(hiz, deep.scene);
+    EXPECT_EQ(gpu.renderFrame().quadsCulledHiZ, 0u);
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for texture descriptors (mip chains, Morton-tiled layout) and
+ * sampling footprints (filter widths, wrap addressing, cache-line
+ * dedup, and the adjacent-quad line-sharing property that underpins
+ * the whole paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "texture/sampler.hh"
+#include "texture/texture.hh"
+
+namespace dtexl {
+namespace {
+
+TEST(Texture, MipChainGeometry)
+{
+    TextureDesc t(0, 0x1000, 256);
+    EXPECT_EQ(t.numMipLevels(), 9u);  // 256..1
+    EXPECT_EQ(t.levelSide(0), 256u);
+    EXPECT_EQ(t.levelSide(1), 128u);
+    EXPECT_EQ(t.levelSide(8), 1u);
+    // Total = 4 * (256^2 + 128^2 + ... + 1).
+    std::uint64_t expect = 0;
+    for (std::uint32_t s = 256; s >= 1; s /= 2) {
+        expect += std::uint64_t{s} * s * 4;
+        if (s == 1)
+            break;
+    }
+    EXPECT_EQ(t.totalBytes(), expect);
+}
+
+TEST(Texture, MipLevelsDisjointAndOrdered)
+{
+    TextureDesc t(0, 0x1000, 64);
+    const Addr l0_first = t.texelAddr(0, 0, 0);
+    const Addr l0_last = t.texelAddr(0, 63, 63);
+    const Addr l1_first = t.texelAddr(1, 0, 0);
+    EXPECT_EQ(l0_first, 0x1000u);
+    EXPECT_LT(l0_last, l1_first);
+    EXPECT_EQ(l1_first, 0x1000u + 64 * 64 * 4);
+}
+
+TEST(Texture, MortonTiledLayout)
+{
+    TextureDesc t(0, 0, 64);
+    // A 4x4 texel block occupies exactly one 64 B line.
+    std::set<Addr> lines;
+    for (std::uint32_t y = 8; y < 12; ++y)
+        for (std::uint32_t x = 4; x < 8; ++x)
+            lines.insert(t.texelAddr(0, x, y) / 64);
+    EXPECT_EQ(lines.size(), 1u);
+
+    // Crossing the block boundary switches line.
+    EXPECT_NE(t.texelAddr(0, 3, 8) / 64, t.texelAddr(0, 4, 8) / 64);
+}
+
+TEST(Sampler, TexelsPerSample)
+{
+    EXPECT_EQ(texelsPerSample(FilterMode::Nearest), 1u);
+    EXPECT_EQ(texelsPerSample(FilterMode::Bilinear), 4u);
+    EXPECT_EQ(texelsPerSample(FilterMode::Trilinear), 8u);
+    EXPECT_EQ(texelsPerSample(FilterMode::Aniso2x), 8u);
+}
+
+class FilterFootprintTest
+    : public ::testing::TestWithParam<FilterMode>
+{};
+
+TEST_P(FilterFootprintTest, FootprintSizeMatchesFilter)
+{
+    TextureDesc t(0, 0, 128);
+    const SampleFootprint fp =
+        sampleFootprint(t, GetParam(), 0.37f, 0.61f, 0.0f);
+    EXPECT_EQ(fp.count, texelsPerSample(GetParam()));
+    for (std::uint32_t i = 0; i < fp.count; ++i) {
+        EXPECT_GE(fp.texels[i], t.baseAddr());
+        EXPECT_LT(fp.texels[i], t.baseAddr() + t.totalBytes());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, FilterFootprintTest,
+                         ::testing::Values(FilterMode::Nearest,
+                                           FilterMode::Bilinear,
+                                           FilterMode::Trilinear,
+                                           FilterMode::Aniso2x));
+
+TEST(Sampler, BilinearTapIsTwoByTwo)
+{
+    TextureDesc t(0, 0, 64);
+    // Sample exactly between texels (10,20),(11,20),(10,21),(11,21).
+    const float u = 11.0f / 64.0f;
+    const float v = 21.0f / 64.0f;
+    const SampleFootprint fp =
+        sampleFootprint(t, FilterMode::Bilinear, u, v, 0.0f);
+    std::set<Addr> expect = {
+        t.texelAddr(0, 10, 20), t.texelAddr(0, 11, 20),
+        t.texelAddr(0, 10, 21), t.texelAddr(0, 11, 21)};
+    std::set<Addr> got(fp.texels.begin(), fp.texels.begin() + fp.count);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(Sampler, TrilinearTouchesTwoMips)
+{
+    TextureDesc t(0, 0, 64);
+    const SampleFootprint fp =
+        sampleFootprint(t, FilterMode::Trilinear, 0.5f, 0.5f, 1.3f);
+    bool in_l1 = false, in_l2 = false;
+    const Addr l1_base = t.texelAddr(1, 0, 0);
+    const Addr l2_base = t.texelAddr(2, 0, 0);
+    const Addr l3_base = t.texelAddr(3, 0, 0);
+    for (std::uint32_t i = 0; i < fp.count; ++i) {
+        in_l1 |= fp.texels[i] >= l1_base && fp.texels[i] < l2_base;
+        in_l2 |= fp.texels[i] >= l2_base && fp.texels[i] < l3_base;
+    }
+    EXPECT_TRUE(in_l1);
+    EXPECT_TRUE(in_l2);
+}
+
+TEST(Sampler, WrapAddressing)
+{
+    TextureDesc t(0, 0, 32);
+    // u slightly negative wraps to the right edge; no out-of-range
+    // texels (the descriptor asserts internally).
+    const SampleFootprint fp =
+        sampleFootprint(t, FilterMode::Bilinear, -0.01f, 0.5f, 0.0f);
+    EXPECT_EQ(fp.count, 4u);
+    const SampleFootprint fp2 =
+        sampleFootprint(t, FilterMode::Bilinear, 1.49f, 2.75f, 0.0f);
+    EXPECT_EQ(fp2.count, 4u);
+}
+
+TEST(Sampler, LodClampsToChain)
+{
+    TextureDesc t(0, 0, 16);  // 5 levels
+    const SampleFootprint fp =
+        sampleFootprint(t, FilterMode::Trilinear, 0.5f, 0.5f, 99.0f);
+    // All texels must fall in the last levels, never past the chain.
+    for (std::uint32_t i = 0; i < fp.count; ++i)
+        EXPECT_LT(fp.texels[i], t.totalBytes());
+}
+
+TEST(Sampler, FootprintLinesDedup)
+{
+    TextureDesc t(0, 0, 64);
+    // A bilinear tap interior to one 4x4 Morton block: 4 texels, one
+    // line.
+    const float u = 1.5f / 64.0f;
+    const float v = 1.5f / 64.0f;
+    const SampleFootprint fp =
+        sampleFootprint(t, FilterMode::Bilinear, u, v, 0.0f);
+    std::array<Addr, SampleFootprint::kMaxTexels> lines;
+    EXPECT_EQ(footprintLines(fp, 64, lines), 1u);
+}
+
+TEST(Sampler, AdjacentQuadsShareCacheLines)
+{
+    // The paper's core claim (Section II-B): at ~1 texel/pixel,
+    // adjacent quads' footprints overlap in cache lines.
+    TextureDesc t(0, 0, 256);
+    const float scale = 1.0f / 256.0f;  // 1 texel per pixel
+    auto lines_at = [&](float px, float py) {
+        std::set<Addr> s;
+        for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+                const SampleFootprint fp = sampleFootprint(
+                    t, FilterMode::Bilinear,
+                    (px + static_cast<float>(dx) + 0.5f) * scale,
+                    (py + static_cast<float>(dy) + 0.5f) * scale, 0.0f);
+                for (std::uint32_t i = 0; i < fp.count; ++i)
+                    s.insert(fp.texels[i] / 64);
+            }
+        }
+        return s;
+    };
+    int shared_pairs = 0;
+    for (int q = 0; q < 16; ++q) {
+        const float px = static_cast<float>(16 + q * 2);
+        const std::set<Addr> a = lines_at(px, 32.0f);
+        const std::set<Addr> b = lines_at(px + 2.0f, 32.0f);
+        for (Addr l : a)
+            if (b.count(l)) {
+                ++shared_pairs;
+                break;
+            }
+    }
+    // Most horizontally adjacent quads share at least one line.
+    EXPECT_GE(shared_pairs, 10);
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the Tiling Engine: Parameter Buffer layout/accounting,
+ * Polygon List Builder binning (exact overlap, program order), and the
+ * Tile Fetcher (traversal order, timed reads).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "tiling/param_buffer.hh"
+#include "tiling/poly_list_builder.hh"
+#include "tiling/tile_fetcher.hh"
+
+namespace dtexl {
+namespace {
+
+GpuConfig
+smallCfg()
+{
+    GpuConfig cfg;
+    cfg.screenWidth = 128;   // 4x2 tiles of 32px
+    cfg.screenHeight = 64;
+    return cfg;
+}
+
+Primitive
+makeTri(PrimId id, Vec2f a, Vec2f b, Vec2f c)
+{
+    Primitive p;
+    p.id = id;
+    p.v[0].screen = a;
+    p.v[1].screen = b;
+    p.v[2].screen = c;
+    return p;
+}
+
+TEST(ParamBuffer, AddressesDisjointAndStable)
+{
+    ParamBuffer pb(8);
+    Primitive p = makeTri(0, {0, 0}, {10, 0}, {0, 10});
+    const std::size_t i0 = pb.addPrimitive(p);
+    const std::size_t i1 = pb.addPrimitive(p);
+    EXPECT_EQ(i0, 0u);
+    EXPECT_EQ(i1, 1u);
+    EXPECT_EQ(pb.attrAddr(1) - pb.attrAddr(0),
+              ParamBuffer::kAttrRecordBytes);
+    // List entries of different tiles never alias.
+    EXPECT_NE(pb.listEntryAddr(0, 0), pb.listEntryAddr(1, 0));
+    EXPECT_GT(pb.listEntryAddr(0, 0), pb.attrAddr(1'000'000));
+}
+
+TEST(ParamBuffer, FootprintAccounting)
+{
+    ParamBuffer pb(4);
+    Primitive p = makeTri(0, {0, 0}, {10, 0}, {0, 10});
+    pb.addPrimitive(p);
+    pb.appendToTile(0, 0);
+    pb.appendToTile(1, 0);
+    EXPECT_EQ(pb.footprintBytes(),
+              ParamBuffer::kAttrRecordBytes +
+                  2 * ParamBuffer::kListEntryBytes);
+    pb.clear();
+    EXPECT_EQ(pb.footprintBytes(), 0u);
+    EXPECT_EQ(pb.numPrimitives(), 0u);
+}
+
+TEST(PolyListBuilder, BinsToExactlyOverlappedTiles)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    ParamBuffer pb(cfg.numTiles());
+    PolyListBuilder builder(cfg, mem, pb);
+
+    // Small triangle inside tile (1,0) only.
+    builder.binPrimitive(makeTri(0, {40, 8}, {56, 8}, {40, 24}), 0);
+    for (TileId t = 0; t < cfg.numTiles(); ++t)
+        EXPECT_EQ(pb.tileList(t).size(), t == 1 ? 1u : 0u) << t;
+}
+
+TEST(PolyListBuilder, BboxFalsePositivesExcluded)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    ParamBuffer pb(cfg.numTiles());
+    PolyListBuilder builder(cfg, mem, pb);
+
+    // A thin diagonal spanning tiles (0,0) to (3,1): its bbox covers
+    // all 8 tiles but the triangle itself misses the off-diagonal
+    // corners.
+    builder.binPrimitive(makeTri(0, {0, 0}, {8, 0}, {127, 63}), 0);
+    EXPECT_GT(pb.tileList(0).size(), 0u);       // tile (0,0)
+    EXPECT_EQ(pb.tileList(3).size(), 0u);       // tile (3,0): off-diag
+    EXPECT_EQ(pb.tileList(4).size(), 0u);       // tile (0,1): off-diag
+    EXPECT_GT(pb.tileList(7).size(), 0u);       // tile (3,1)
+}
+
+TEST(PolyListBuilder, ProgramOrderPreservedPerTile)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    ParamBuffer pb(cfg.numTiles());
+    PolyListBuilder builder(cfg, mem, pb);
+
+    Cycle now = 0;
+    for (PrimId i = 0; i < 5; ++i) {
+        Primitive p = makeTri(i, {4, 4}, {20, 4}, {4, 20});
+        now = builder.binPrimitive(p, now);
+    }
+    const auto &list = pb.tileList(0);
+    ASSERT_EQ(list.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(pb.primitive(list[i]).id, i);
+}
+
+TEST(PolyListBuilder, TimedWritesAdvanceCursor)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    ParamBuffer pb(cfg.numTiles());
+    PolyListBuilder builder(cfg, mem, pb);
+    const Cycle end =
+        builder.binPrimitive(makeTri(0, {0, 0}, {127, 0}, {0, 63}), 0);
+    EXPECT_GT(end, 0u);
+    EXPECT_GT(mem.tileCache().accesses(), 0u);
+    EXPECT_GT(builder.tileEntriesWritten(), 0u);
+}
+
+TEST(TileFetcher, VisitsTilesInTraversalOrder)
+{
+    GpuConfig cfg = smallCfg();
+    cfg.tileOrder = TileOrder::SOrder;
+    MemHierarchy mem(cfg);
+    ParamBuffer pb(cfg.numTiles());
+    TileFetcher fetcher(cfg, mem, pb);
+
+    const auto expect = makeTileOrder(TileOrder::SOrder, cfg.tilesX(),
+                                      cfg.tilesY());
+    ASSERT_EQ(fetcher.numTiles(), expect.size());
+    Cycle now = 0;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        ASSERT_FALSE(fetcher.done());
+        FetchedTile t = fetcher.fetchNext(now);
+        EXPECT_EQ(t.tile, expect[i]);
+        EXPECT_EQ(t.sequence, i);
+        now = t.readyAt;
+    }
+    EXPECT_TRUE(fetcher.done());
+}
+
+TEST(TileFetcher, DeliversBinnedPrimitives)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    ParamBuffer pb(cfg.numTiles());
+    PolyListBuilder builder(cfg, mem, pb);
+    builder.binPrimitive(makeTri(7, {40, 8}, {56, 8}, {40, 24}), 0);
+
+    TileFetcher fetcher(cfg, mem, pb);
+    std::size_t with_prims = 0;
+    Cycle now = 0;
+    while (!fetcher.done()) {
+        FetchedTile t = fetcher.fetchNext(now);
+        now = t.readyAt;
+        if (!t.prims.empty()) {
+            ++with_prims;
+            EXPECT_EQ(t.tile, 1u);
+            EXPECT_EQ(t.prims[0]->id, 7u);
+        }
+    }
+    EXPECT_EQ(with_prims, 1u);
+}
+
+TEST(TileFetcher, FetchReadsConsumeTime)
+{
+    GpuConfig cfg = smallCfg();
+    MemHierarchy mem(cfg);
+    ParamBuffer pb(cfg.numTiles());
+    PolyListBuilder builder(cfg, mem, pb);
+    for (PrimId i = 0; i < 20; ++i)
+        builder.binPrimitive(makeTri(i, {4, 4}, {20, 4}, {4, 20}), 0);
+
+    TileFetcher fetcher(cfg, mem, pb);
+    FetchedTile t = fetcher.fetchNext(1000);
+    EXPECT_EQ(t.prims.size(), 20u);
+    EXPECT_GT(t.readyAt, 1000u);
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the synthetic workload suite: Table I coverage,
+ * determinism, texture footprints near the published values, and the
+ * structural scene properties the scheduler experiments rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+GpuConfig
+cfg()
+{
+    GpuConfig c;
+    c.screenWidth = 512;
+    c.screenHeight = 256;
+    return c;
+}
+
+TEST(Benchmarks, TableOneRoster)
+{
+    const auto &t = tableOneBenchmarks();
+    ASSERT_EQ(t.size(), 10u);
+    const char *aliases[] = {"CCS", "SoD", "TRu", "SWa", "CRa",
+                             "RoK", "DDS", "Snp", "Mze", "GTr"};
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(t[i].alias, aliases[i]);
+    // Table I footprints.
+    EXPECT_DOUBLE_EQ(benchmarkByAlias("CCS").textureFootprintMiB, 2.4);
+    EXPECT_DOUBLE_EQ(benchmarkByAlias("SWa").textureFootprintMiB, 0.2);
+    EXPECT_DOUBLE_EQ(benchmarkByAlias("RoK").textureFootprintMiB, 6.8);
+    EXPECT_DOUBLE_EQ(benchmarkByAlias("GTr").textureFootprintMiB, 0.7);
+    // Types.
+    EXPECT_FALSE(benchmarkByAlias("CCS").is3D);
+    EXPECT_FALSE(benchmarkByAlias("RoK").is3D);
+    EXPECT_TRUE(benchmarkByAlias("TRu").is3D);
+}
+
+TEST(Benchmarks, SeedsDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &b : tableOneBenchmarks())
+        EXPECT_TRUE(seeds.insert(b.seed).second) << b.alias;
+}
+
+class PerBenchmarkTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(PerBenchmarkTest, SceneDeterministic)
+{
+    const BenchmarkParams &p = benchmarkByAlias(GetParam());
+    const Scene a = generateScene(p, cfg());
+    const Scene b = generateScene(p, cfg());
+    ASSERT_EQ(a.draws.size(), b.draws.size());
+    ASSERT_EQ(a.textures.size(), b.textures.size());
+    for (std::size_t i = 0; i < a.draws.size(); ++i) {
+        EXPECT_EQ(a.draws[i].vertices.size(),
+                  b.draws[i].vertices.size());
+        for (std::size_t v = 0; v < a.draws[i].vertices.size(); ++v) {
+            EXPECT_EQ(a.draws[i].vertices[v].pos,
+                      b.draws[i].vertices[v].pos);
+            EXPECT_EQ(a.draws[i].vertices[v].uv,
+                      b.draws[i].vertices[v].uv);
+        }
+    }
+}
+
+TEST_P(PerBenchmarkTest, FootprintNearTableOne)
+{
+    const BenchmarkParams &p = benchmarkByAlias(GetParam());
+    const Scene s = generateScene(p, cfg());
+    const double mib =
+        static_cast<double>(s.textureFootprintBytes()) / (1024 * 1024);
+    // Power-of-two texture sides quantize the footprint; the paper's
+    // figure must be matched within a factor of ~2 either way.
+    EXPECT_GT(mib, p.textureFootprintMiB * 0.4) << p.alias;
+    EXPECT_LT(mib, p.textureFootprintMiB * 2.1) << p.alias;
+}
+
+TEST_P(PerBenchmarkTest, SceneStructureValid)
+{
+    const BenchmarkParams &p = benchmarkByAlias(GetParam());
+    const GpuConfig c = cfg();
+    const Scene s = generateScene(p, c);
+    EXPECT_GT(s.draws.size(), 10u);
+    std::set<Addr> vbufs;
+    for (const DrawCommand &d : s.draws) {
+        EXPECT_LT(d.texture, s.textures.size());
+        EXPECT_EQ(d.indices.size() % 3, 0u);
+        for (std::uint32_t idx : d.indices)
+            EXPECT_LT(idx, d.vertices.size());
+        EXPECT_TRUE(vbufs.insert(d.vertexBufferAddr).second)
+            << "vertex buffers must not alias";
+        EXPECT_GT(d.shader.aluOps + d.shader.texSamples, 0u);
+    }
+}
+
+TEST_P(PerBenchmarkTest, OverdrawNearTarget)
+{
+    // Total on-screen primitive area relative to the screen should
+    // land near the configured overdraw factor.
+    const BenchmarkParams &p = benchmarkByAlias(GetParam());
+    const GpuConfig c = cfg();
+    const Scene s = generateScene(p, c);
+    double covered = 0.0;
+    const double w = c.screenWidth, h = c.screenHeight;
+    for (const DrawCommand &d : s.draws) {
+        for (std::size_t i = 0; i + 2 < d.indices.size(); i += 3) {
+            const auto &v0 = d.vertices[d.indices[i]].pos;
+            const auto &v1 = d.vertices[d.indices[i + 1]].pos;
+            const auto &v2 = d.vertices[d.indices[i + 2]].pos;
+            auto sx = [&](float x) {
+                return std::min(std::max((x * 0.5 + 0.5) * w, 0.0), w);
+            };
+            auto sy = [&](float y) {
+                return std::min(std::max((y * 0.5 + 0.5) * h, 0.0), h);
+            };
+            const double x0 = sx(v0.x), y0 = sy(v0.y);
+            const double x1 = sx(v1.x), y1 = sy(v1.y);
+            const double x2 = sx(v2.x), y2 = sy(v2.y);
+            covered += std::abs((x1 - x0) * (y2 - y0) -
+                                (x2 - x0) * (y1 - y0)) / 2.0;
+        }
+    }
+    const double overdraw = covered / (w * h);
+    EXPECT_GT(overdraw, p.overdrawFactor * 0.7) << p.alias;
+    EXPECT_LT(overdraw, p.overdrawFactor * 1.5) << p.alias;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, PerBenchmarkTest,
+    ::testing::Values("CCS", "SoD", "TRu", "SWa", "CRa", "RoK", "DDS",
+                      "Snp", "Mze", "GTr"));
+
+TEST(SceneGen, AnimationFramesShareTextureLayout)
+{
+    const BenchmarkParams &p = benchmarkByAlias("SoD");
+    const GpuConfig c = cfg();
+    const Scene f0 = generateScene(p, c, 0);
+    const Scene f3 = generateScene(p, c, 3);
+    ASSERT_EQ(f0.textures.size(), f3.textures.size());
+    for (std::size_t i = 0; i < f0.textures.size(); ++i) {
+        EXPECT_EQ(f0.textures[i].baseAddr(), f3.textures[i].baseAddr());
+        EXPECT_EQ(f0.textures[i].side(), f3.textures[i].side());
+    }
+}
+
+TEST(SceneGen, AnimationFramesDiffer)
+{
+    const BenchmarkParams &p = benchmarkByAlias("SoD");
+    const GpuConfig c = cfg();
+    const Scene f0 = generateScene(p, c, 0);
+    const Scene f1 = generateScene(p, c, 1);
+    // The background uvs scroll between frames.
+    ASSERT_FALSE(f0.draws.empty());
+    EXPECT_NE(f0.draws[0].vertices[0].uv, f1.draws[0].vertices[0].uv);
+    // Same structure though.
+    EXPECT_EQ(f0.draws.size(), f1.draws.size());
+}
+
+TEST(SceneGen, TinySceneUsable)
+{
+    const GpuConfig c = cfg();
+    const Scene s = makeTinyScene(c);
+    EXPECT_EQ(s.textures.size(), 1u);
+    EXPECT_EQ(s.draws.size(), 2u);
+    EXPECT_TRUE(s.draws[1].shader.blends);
+}
+
+TEST(SceneGen, TwoDScenesPaintBackToFront)
+{
+    const BenchmarkParams &p = benchmarkByAlias("CCS");
+    const GpuConfig c = cfg();
+    const Scene s = generateScene(p, c);
+    // Skip the background cells; object draws must have monotonically
+    // non-increasing depth (later draw = nearer).
+    float prev = 2.0f;
+    bool in_objects = false;
+    int checked = 0;
+    for (const DrawCommand &d : s.draws) {
+        const float z = d.vertices[0].pos.z;
+        if (!in_objects) {
+            if (z < 0.9f)
+                in_objects = true;  // first object draw
+            else
+                continue;
+        }
+        EXPECT_LE(z, prev + 1e-6f);
+        prev = z;
+        ++checked;
+    }
+    EXPECT_GT(checked, 10);
+}
+
+} // namespace
+} // namespace dtexl
