@@ -130,34 +130,40 @@ main(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
+    // Every (benchmark x step) cell is an independent job; fan the
+    // whole grid over the batch driver (--jobs=N; identical results
+    // for any N). The cumulative "baseline" step doubles as the
+    // normalization run.
+    std::vector<GridJob> jobs;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        for (const Step &s : kCumulative)
+            jobs.push_back({b, s.make(opt),
+                            b.alias + "/" + s.name});
+        for (const Step &s : kIsolated)
+            jobs.push_back({b, s.make(opt),
+                            b.alias + "/" + s.name});
+    }
+    const std::vector<RunOutput> runs = runGrid(jobs, opt);
+
     printHeader("DTexL ablation: cumulative ingredients "
                 "(geomean over suite)",
                 {"normL2", "speedup"});
-    std::vector<std::vector<double>> l2(std::size(kCumulative) +
-                                        std::size(kIsolated));
+    const std::size_t steps_per_bench =
+        std::size(kCumulative) + std::size(kIsolated);
+    std::vector<std::vector<double>> l2(steps_per_bench);
     std::vector<std::vector<double>> sp(l2.size());
 
-    for (const BenchmarkParams &b : opt.benchmarks()) {
-        const RunOutput base = runOne(b, opt.baseline());
+    for (std::size_t bi = 0; bi < opt.benchmarks().size(); ++bi) {
+        const RunOutput &base = runs[bi * steps_per_bench];
         const double base_l2 = static_cast<double>(base.fs.l2Accesses);
         const double base_cy =
             static_cast<double>(base.fs.totalCycles);
-        std::size_t idx = 0;
-        for (const Step &s : kCumulative) {
-            const RunOutput r = runOne(b, s.make(opt));
+        for (std::size_t idx = 0; idx < steps_per_bench; ++idx) {
+            const RunOutput &r = runs[bi * steps_per_bench + idx];
             l2[idx].push_back(
                 static_cast<double>(r.fs.l2Accesses) / base_l2);
             sp[idx].push_back(
                 base_cy / static_cast<double>(r.fs.totalCycles));
-            ++idx;
-        }
-        for (const Step &s : kIsolated) {
-            const RunOutput r = runOne(b, s.make(opt));
-            l2[idx].push_back(
-                static_cast<double>(r.fs.l2Accesses) / base_l2);
-            sp[idx].push_back(
-                base_cy / static_cast<double>(r.fs.totalCycles));
-            ++idx;
         }
     }
 

@@ -52,23 +52,35 @@ main(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
+    // Per benchmark: baseline, the eight mappings, the upper bound —
+    // fanned over the batch driver (--jobs=N; identical for any N).
+    std::vector<GridJob> jobs;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        jobs.push_back({b, opt.baseline(), b.alias + "/base"});
+        for (const Mapping &m : kMappings) {
+            GpuConfig cfg = opt.baseline();
+            cfg.grouping = m.grouping;
+            cfg.tileOrder = m.order;
+            cfg.assignment = m.assignment;
+            jobs.push_back({b, cfg, b.alias + "/" + m.name});
+        }
+        jobs.push_back({b, opt.upperBound(), b.alias + "/bound"});
+    }
+    const std::vector<RunOutput> runs = runGrid(jobs, opt);
+
     std::vector<std::vector<double>> decreases(std::size(kMappings));
     std::vector<double> bound_decrease;
-
-    for (const BenchmarkParams &b : opt.benchmarks()) {
-        const RunOutput base = runOne(b, opt.baseline());
+    std::size_t i = 0;
+    for (std::size_t bi = 0; bi < opt.benchmarks().size(); ++bi) {
+        const RunOutput &base = runs[i++];
         const double base_l2 = static_cast<double>(base.fs.l2Accesses);
         for (std::size_t m = 0; m < std::size(kMappings); ++m) {
-            GpuConfig cfg = opt.baseline();
-            cfg.grouping = kMappings[m].grouping;
-            cfg.tileOrder = kMappings[m].order;
-            cfg.assignment = kMappings[m].assignment;
-            const RunOutput r = runOne(b, cfg);
+            const RunOutput &r = runs[i++];
             decreases[m].push_back(
                 100.0 *
                 (1.0 - static_cast<double>(r.fs.l2Accesses) / base_l2));
         }
-        const RunOutput ub = runOne(b, opt.upperBound());
+        const RunOutput &ub = runs[i++];
         bound_decrease.push_back(
             100.0 *
             (1.0 - static_cast<double>(ub.fs.l2Accesses) / base_l2));

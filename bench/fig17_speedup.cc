@@ -4,6 +4,9 @@
  *  (a) DTexL = CG-square + Hilbert order + flp2 + decoupled barriers
  *      (paper: 1.2x average, ~1.4x on GTr), and
  *  (b) FG-xshift2 + Z-order with decoupled barriers (paper: 1.09x).
+ *
+ * The (benchmark x config) grid is fanned over the batch driver; pass
+ * --jobs=N to use N worker threads (results are identical for any N).
  */
 
 #include <cstdio>
@@ -18,16 +21,26 @@ main(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
+    GpuConfig fg_dec = opt.baseline();
+    fg_dec.decoupledBarriers = true;
+
+    // Three configs per benchmark, in a fixed per-benchmark order.
+    std::vector<GridJob> jobs;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        jobs.push_back({b, opt.baseline(), b.alias + "/base"});
+        jobs.push_back({b, opt.dtexl(), b.alias + "/dtexl"});
+        jobs.push_back({b, fg_dec, b.alias + "/fg+dec"});
+    }
+    const std::vector<RunOutput> runs = runGrid(jobs, opt);
+
     printHeader("Figure 17: speedup w.r.t. non-decoupled FG-xshift2",
                 {"DTexL", "FG+dec"});
     std::vector<double> dt, fgd;
+    std::size_t i = 0;
     for (const BenchmarkParams &b : opt.benchmarks()) {
-        const RunOutput base = runOne(b, opt.baseline());
-
-        const RunOutput d = runOne(b, opt.dtexl());
-        GpuConfig fg_dec = opt.baseline();
-        fg_dec.decoupledBarriers = true;
-        const RunOutput f = runOne(b, fg_dec);
+        const RunOutput &base = runs[i++];
+        const RunOutput &d = runs[i++];
+        const RunOutput &f = runs[i++];
 
         const double s_d = static_cast<double>(base.fs.totalCycles) /
                            static_cast<double>(d.fs.totalCycles);

@@ -6,6 +6,9 @@
  *
  * Paper: DTexL -6.3% average (-8.8% CCS, -10.6% GTr); FG+decoupled
  * -3%.
+ *
+ * The (benchmark x config) grid is fanned over the batch driver; pass
+ * --jobs=N to use N worker threads (results are identical for any N).
  */
 
 #include <cstdio>
@@ -20,15 +23,25 @@ main(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
+    GpuConfig fg_dec = opt.baseline();
+    fg_dec.decoupledBarriers = true;
+
+    std::vector<GridJob> jobs;
+    for (const BenchmarkParams &b : opt.benchmarks()) {
+        jobs.push_back({b, opt.baseline(), b.alias + "/base"});
+        jobs.push_back({b, opt.dtexl(), b.alias + "/dtexl"});
+        jobs.push_back({b, fg_dec, b.alias + "/fg+dec"});
+    }
+    const std::vector<RunOutput> runs = runGrid(jobs, opt);
+
     printHeader("Figure 18: %decrease in total GPU energy vs baseline",
                 {"DTexL%", "FG+dec%"});
     std::vector<double> dt, fgd;
+    std::size_t i = 0;
     for (const BenchmarkParams &b : opt.benchmarks()) {
-        const RunOutput base = runOne(b, opt.baseline());
-        const RunOutput d = runOne(b, opt.dtexl());
-        GpuConfig fg_dec = opt.baseline();
-        fg_dec.decoupledBarriers = true;
-        const RunOutput f = runOne(b, fg_dec);
+        const RunOutput &base = runs[i++];
+        const RunOutput &d = runs[i++];
+        const RunOutput &f = runs[i++];
 
         const double e_base = base.energy.total();
         const double dec_d = 100.0 * (1.0 - d.energy.total() / e_base);

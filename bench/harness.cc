@@ -5,18 +5,27 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
+#include <sstream>
 
 namespace dtexl {
 namespace bench {
 
 namespace {
-/** Optional CSV sink for printHeader/printRow. */
+/**
+ * CSV sink for printHeader/printRow. Guarded by a mutex so rows from
+ * concurrent writers cannot interleave mid-line; the figure binaries
+ * print from the collector after the batch completes, but the sink
+ * must stay safe if a binary reports progress from workers.
+ */
+std::mutex csv_mu;
 FILE *csv_file = nullptr;
 } // namespace
 
 void
 setCsvOutput(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(csv_mu);
     if (csv_file) {
         std::fclose(csv_file);
         csv_file = nullptr;
@@ -48,15 +57,44 @@ BenchOptions::parse(int argc, char **argv)
         } else if (arg.rfind("--csv=", 0) == 0) {
             opt.csvPath = arg.substr(6);
             setCsvOutput(opt.csvPath);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            const long n = std::atol(arg.c_str() + 7);
+            if (n < 1 || n > 256)
+                fatal("--jobs must be in [1, 256]");
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.tracePath = arg.substr(8);
+            if (opt.tracePath.empty())
+                fatal("--trace needs a file path");
+            TraceWriter::global().enable(opt.tracePath);
         } else if (arg.rfind("--benchmarks=", 0) == 0) {
-            std::string list = arg.substr(13);
+            const std::string list = arg.substr(13);
             std::size_t pos = 0;
-            while (pos != std::string::npos) {
+            while (pos <= list.size()) {
                 const std::size_t comma = list.find(',', pos);
-                opt.aliases.push_back(list.substr(
-                    pos, comma == std::string::npos ? comma
-                                                    : comma - pos));
-                pos = comma == std::string::npos ? comma : comma + 1;
+                const std::size_t end =
+                    comma == std::string::npos ? list.size() : comma;
+                // Skip empty segments (trailing comma, ",,").
+                if (end > pos)
+                    opt.aliases.push_back(list.substr(pos, end - pos));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            if (opt.aliases.empty())
+                fatal("--benchmarks needs at least one alias");
+            // Validate every alias now, with the full list in the
+            // message, instead of dying on first lookup mid-run.
+            std::string valid;
+            for (const BenchmarkParams &b : tableOneBenchmarks())
+                valid += (valid.empty() ? "" : ", ") + b.alias;
+            for (const std::string &a : opt.aliases) {
+                bool known = false;
+                for (const BenchmarkParams &b : tableOneBenchmarks())
+                    known |= b.alias == a;
+                if (!known)
+                    fatal("unknown benchmark alias '%s' (valid: %s)",
+                          a.c_str(), valid.c_str());
             }
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
@@ -64,7 +102,11 @@ BenchOptions::parse(int argc, char **argv)
                 "  --full              Table II screen (1960x768)\n"
                 "  --scale=F           fraction of the full screen\n"
                 "  --benchmarks=A,B,.. subset of Table I aliases\n"
-                "  --csv=FILE          append tables as CSV\n");
+                "  --csv=FILE          append tables as CSV\n"
+                "  --jobs=N            worker threads for the batch "
+                "driver\n"
+                "  --trace=FILE        write Chrome-trace JSON "
+                "(chrome://tracing)\n");
             std::exit(0);
         } else {
             fatal("unknown option '%s'", arg.c_str());
@@ -114,22 +156,66 @@ BenchOptions::upperBound() const
     return cfg;
 }
 
-RunOutput
-runOne(const BenchmarkParams &params, const GpuConfig &cfg)
+const Scene &
+sceneFor(const BenchmarkParams &params, const GpuConfig &cfg)
 {
     // Scene cache: key on alias + screen; configs share the scene.
+    // Shared across worker threads: the mutex covers lookup AND
+    // generation, so a scene is generated exactly once and concurrent
+    // first-touchers of the same key wait for it. std::map nodes are
+    // stable, so returned references survive later insertions.
+    static std::mutex mu;
     static std::map<std::string, Scene> cache;
     const std::string key = params.alias + ":" +
                             std::to_string(cfg.screenWidth) + "x" +
                             std::to_string(cfg.screenHeight);
+    std::lock_guard<std::mutex> lock(mu);
     auto it = cache.find(key);
     if (it == cache.end())
         it = cache.emplace(key, generateScene(params, cfg)).first;
+    return it->second;
+}
 
-    GpuSimulator gpu(cfg, it->second);
+RunOutput
+runOne(const BenchmarkParams &params, const GpuConfig &cfg)
+{
+    GpuSimulator gpu(cfg, sceneFor(params, cfg));
     RunOutput out;
     out.fs = gpu.renderFrame();
     out.energy = EnergyModel{}.compute(cfg, out.fs);
+    return out;
+}
+
+std::vector<RunOutput>
+runGrid(const std::vector<GridJob> &jobs, const BenchOptions &opt)
+{
+    std::vector<BatchJob> batch;
+    batch.reserve(jobs.size());
+    for (const GridJob &j : jobs) {
+        BatchJob bj;
+        bj.label = j.label.empty() ? j.bench.alias : j.label;
+        bj.cfg = j.cfg;
+        // The provider captures by value; generation happens on the
+        // worker through the shared cache.
+        const BenchmarkParams bench = j.bench;
+        const GpuConfig cfg = j.cfg;
+        bj.scene = [bench, cfg](std::uint32_t) -> const Scene & {
+            return sceneFor(bench, cfg);
+        };
+        bj.frames = 1;
+        batch.push_back(std::move(bj));
+    }
+
+    const std::vector<BatchResult> raw = runBatch(batch, opt.jobs);
+
+    std::vector<RunOutput> out(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        dtexl_assert(!raw[i].frames.empty(),
+                     "batch job '%s' produced no frames",
+                     raw[i].label.c_str());
+        out[i].fs = raw[i].frames.front();
+        out[i].energy = EnergyModel{}.compute(jobs[i].cfg, out[i].fs);
+    }
     return out;
 }
 
@@ -151,6 +237,7 @@ printHeader(const std::string &title,
     for (std::size_t i = 0; i < 10 + 13 * columns.size(); ++i)
         std::printf("-");
     std::printf("\n");
+    std::lock_guard<std::mutex> lock(csv_mu);
     if (csv_file) {
         std::fprintf(csv_file, "# %s\nlabel", title.c_str());
         for (const std::string &c : columns)
@@ -167,11 +254,19 @@ printRow(const std::string &label, const std::vector<double> &cells,
     for (double c : cells)
         std::printf(" %12.*f", precision, c);
     std::printf("\n");
+    std::lock_guard<std::mutex> lock(csv_mu);
     if (csv_file) {
-        std::fprintf(csv_file, "%s", label.c_str());
-        for (double c : cells)
-            std::fprintf(csv_file, ",%.*f", precision + 3, c);
-        std::fprintf(csv_file, "\n");
+        // Build the whole row first so one fprintf hits the stream:
+        // rows stay atomic even with FILE-level buffering quirks.
+        std::ostringstream row;
+        row << label;
+        char cell[64];
+        for (double c : cells) {
+            std::snprintf(cell, sizeof cell, ",%.*f", precision + 3, c);
+            row << cell;
+        }
+        row << "\n";
+        std::fputs(row.str().c_str(), csv_file);
         std::fflush(csv_file);
     }
 }

@@ -1,9 +1,11 @@
 /**
  * @file
  * Shared experiment harness for the figure/table reproduction
- * binaries: option parsing (--full, --scale, --benchmarks), scene
- * caching, config construction for the paper's named configurations,
- * and table formatting.
+ * binaries: option parsing (--full, --scale, --benchmarks, --jobs,
+ * --trace), a thread-safe scene cache, config construction for the
+ * paper's named configurations, the parallel grid runner the figure
+ * binaries fan their (benchmark x config) matrices over, and table
+ * formatting.
  */
 
 #ifndef DTEXL_BENCH_HARNESS_HH
@@ -31,6 +33,10 @@ struct BenchOptions
     std::vector<std::string> aliases;
     /** When set (--csv=FILE), tables are also appended as CSV. */
     std::string csvPath;
+    /** Worker threads for the batch driver (--jobs=N). */
+    unsigned jobs = 1;
+    /** When set (--trace=FILE), write a Chrome-trace JSON on exit. */
+    std::string tracePath;
 
     /** Parse argv; exits with a message on --help or bad input. */
     static BenchOptions parse(int argc, char **argv);
@@ -56,9 +62,35 @@ struct RunOutput
 /**
  * Render one frame of a benchmark under a configuration. Scenes are
  * cached per (alias, screen), so successive configs over the same
- * benchmark reuse the generated scene.
+ * benchmark reuse the generated scene. Thread-safe.
  */
 RunOutput runOne(const BenchmarkParams &params, const GpuConfig &cfg);
+
+/**
+ * The scene the harness would simulate for (params, cfg): served from
+ * the shared mutex-guarded cache, generated on first touch. The
+ * returned reference is stable for the process lifetime. Thread-safe.
+ */
+const Scene &sceneFor(const BenchmarkParams &params,
+                      const GpuConfig &cfg);
+
+/** One cell of an experiment grid for runGrid(). */
+struct GridJob
+{
+    BenchmarkParams bench;
+    GpuConfig cfg;
+    /** Trace/stat label; defaults to the benchmark alias. */
+    std::string label;
+};
+
+/**
+ * Run every grid job, fanned over opt.jobs worker threads via the
+ * engine's runBatch() (each worker owns its own GpuSimulator; the
+ * scene cache is shared). Results are returned in job order and are
+ * bit-identical for any --jobs value.
+ */
+std::vector<RunOutput> runGrid(const std::vector<GridJob> &jobs,
+                               const BenchOptions &opt);
 
 /** Geometric mean of speedups / ratios. */
 double geoMeanRatio(const std::vector<double> &ratios);

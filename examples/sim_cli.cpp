@@ -1,12 +1,14 @@
 /**
  * @file
  * The production driver: a command-line front end to the whole
- * simulator. Generates or loads a scene, applies arbitrary machine /
- * scheduling options, renders N frames and reports statistics (and
- * optionally saves the scene for later replay).
+ * simulator. Generates or loads scenes, applies arbitrary machine /
+ * scheduling options, renders N frames per benchmark through the
+ * phase-structured engine and reports statistics. Several benchmarks
+ * are fanned over the parallel batch driver.
  *
  * Usage:
- *   sim_cli [--bench=GTr | --scene=file.dscene] [--frames=N]
+ *   sim_cli [--bench=GTr[,CCS,...] | --scene=file.dscene] [--frames=N]
+ *           [--jobs=N] [--trace=trace.json] [--stats]
  *           [--save-scene=file.dscene] [--preset=baseline|dtexl]
  *           [key=value ...]
  *
@@ -27,13 +29,38 @@
 
 using namespace dtexl;
 
+namespace {
+
+void
+printFrame(const std::string &label, std::size_t f,
+           const FrameStats &fs, const EnergyBreakdown &e)
+{
+    std::printf(
+        "%s frame %zu: %llu cycles (%.1f fps) | quads %llu shaded "
+        "(%llu EZ-culled, %llu HiZ-culled) | L1tex %llu  L2 %llu  "
+        "DRAM %llu | repl %.2f | %.1f uJ\n",
+        label.c_str(), f,
+        static_cast<unsigned long long>(fs.totalCycles), fs.fps,
+        static_cast<unsigned long long>(fs.quadsShaded),
+        static_cast<unsigned long long>(fs.quadsCulledEarlyZ),
+        static_cast<unsigned long long>(fs.quadsCulledHiZ),
+        static_cast<unsigned long long>(fs.l1TexAccesses),
+        static_cast<unsigned long long>(fs.l2Accesses),
+        static_cast<unsigned long long>(fs.dramAccesses),
+        fs.textureReplication, e.total() * 1e6);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    std::string bench_alias = "SoD";
+    std::string bench_list = "SoD";
     std::string scene_path;
     std::string save_path;
     int frames = 1;
+    unsigned jobs = 1;
+    bool dump_stats = false;
     GpuConfig cfg = makeBaselineConfig();
     cfg.screenWidth = 640;
     cfg.screenHeight = 288;
@@ -45,13 +72,27 @@ main(int argc, char **argv)
             return arg.substr(std::string(prefix).size());
         };
         if (arg.rfind("--bench=", 0) == 0) {
-            bench_alias = value_of("--bench=");
+            bench_list = value_of("--bench=");
         } else if (arg.rfind("--scene=", 0) == 0) {
             scene_path = value_of("--scene=");
         } else if (arg.rfind("--save-scene=", 0) == 0) {
             save_path = value_of("--save-scene=");
         } else if (arg.rfind("--frames=", 0) == 0) {
             frames = std::atoi(value_of("--frames=").c_str());
+            if (frames < 1)
+                fatal("--frames must be >= 1");
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            const long n = std::atol(value_of("--jobs=").c_str());
+            if (n < 1 || n > 256)
+                fatal("--jobs must be in [1, 256]");
+            jobs = static_cast<unsigned>(n);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            const std::string path = value_of("--trace=");
+            if (path.empty())
+                fatal("--trace needs a file path");
+            TraceWriter::global().enable(path);
+        } else if (arg == "--stats") {
+            dump_stats = true;
         } else if (arg == "--preset=dtexl") {
             const std::uint32_t w = cfg.screenWidth;
             const std::uint32_t h = cfg.screenHeight;
@@ -77,42 +118,77 @@ main(int argc, char **argv)
 
     std::printf("%s\n", cfg.describe().c_str());
 
-    std::vector<Scene> scenes;
+    // Resolve the benchmark list (a saved scene is a single job).
+    std::vector<std::string> aliases;
+    if (scene_path.empty()) {
+        std::size_t pos = 0;
+        while (pos <= bench_list.size()) {
+            const std::size_t comma = bench_list.find(',', pos);
+            const std::size_t end =
+                comma == std::string::npos ? bench_list.size() : comma;
+            if (end > pos)
+                aliases.push_back(bench_list.substr(pos, end - pos));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (aliases.empty())
+            fatal("--bench needs at least one alias");
+    }
+
+    // Pre-generate every job's frame scenes (they must stay valid and
+    // unmutated while workers render from them).
+    std::vector<std::string> labels;
+    std::vector<std::vector<Scene>> job_scenes;
     if (!scene_path.empty()) {
         std::printf("loading scene '%s'\n", scene_path.c_str());
-        scenes.push_back(loadSceneFile(scene_path));
+        labels.push_back(scene_path);
+        job_scenes.emplace_back();
+        job_scenes.back().push_back(loadSceneFile(scene_path));
         frames = 1;
     } else {
-        const BenchmarkParams &bench = benchmarkByAlias(bench_alias);
-        std::printf("generating %d frame(s) of %s\n", frames,
-                    bench.name.c_str());
-        for (int f = 0; f < frames; ++f)
-            scenes.push_back(generateScene(
-                bench, cfg, static_cast<std::uint32_t>(f)));
+        for (const std::string &alias : aliases) {
+            const BenchmarkParams &bench = benchmarkByAlias(alias);
+            std::printf("generating %d frame(s) of %s\n", frames,
+                        bench.name.c_str());
+            labels.push_back(alias);
+            job_scenes.emplace_back();
+            for (int f = 0; f < frames; ++f)
+                job_scenes.back().push_back(generateScene(
+                    bench, cfg, static_cast<std::uint32_t>(f)));
+        }
     }
     if (!save_path.empty()) {
-        saveSceneFile(save_path, scenes[0]);
+        saveSceneFile(save_path, job_scenes[0][0]);
         std::printf("scene saved to '%s'\n", save_path.c_str());
     }
 
-    GpuSimulator gpu(cfg, scenes[0]);
-    EnergyModel energy;
-    for (std::size_t f = 0; f < scenes.size(); ++f) {
-        gpu.setScene(scenes[f]);
-        const FrameStats fs = gpu.renderFrame();
-        const EnergyBreakdown e = energy.compute(cfg, fs);
-        std::printf(
-            "frame %zu: %llu cycles (%.1f fps) | quads %llu shaded "
-            "(%llu EZ-culled, %llu HiZ-culled) | L1tex %llu  L2 %llu  "
-            "DRAM %llu | repl %.2f | %.1f uJ\n",
-            f, static_cast<unsigned long long>(fs.totalCycles), fs.fps,
-            static_cast<unsigned long long>(fs.quadsShaded),
-            static_cast<unsigned long long>(fs.quadsCulledEarlyZ),
-            static_cast<unsigned long long>(fs.quadsCulledHiZ),
-            static_cast<unsigned long long>(fs.l1TexAccesses),
-            static_cast<unsigned long long>(fs.l2Accesses),
-            static_cast<unsigned long long>(fs.dramAccesses),
-            fs.textureReplication, e.total() * 1e6);
+    // Fan the jobs over the batch driver; results come back in job
+    // order whatever --jobs is.
+    StatRegistry registry("sim_cli");
+    std::vector<BatchJob> batch;
+    for (std::size_t j = 0; j < job_scenes.size(); ++j) {
+        BatchJob bj;
+        bj.label = labels[j];
+        bj.cfg = cfg;
+        const std::vector<Scene> *scenes = &job_scenes[j];
+        bj.scene = [scenes](std::uint32_t f) -> const Scene & {
+            return (*scenes)[f];
+        };
+        bj.frames = static_cast<std::uint32_t>(job_scenes[j].size());
+        batch.push_back(std::move(bj));
     }
+    const std::vector<BatchResult> results =
+        runBatch(batch, jobs, &registry);
+
+    EnergyModel energy;
+    for (const BatchResult &r : results) {
+        for (std::size_t f = 0; f < r.frames.size(); ++f)
+            printFrame(r.label, f, r.frames[f],
+                       energy.compute(cfg, r.frames[f]));
+    }
+    if (dump_stats)
+        std::printf("\n%s", registry.dump().c_str());
+    TraceWriter::global().flush();
     return 0;
 }

@@ -1,0 +1,80 @@
+#include "common/stat_registry.hh"
+
+#include <sstream>
+
+namespace dtexl {
+
+StatSet &
+StatRegistry::node(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = sets.find(path);
+    if (it == sets.end())
+        it = sets.emplace(path, StatSet(path)).first;
+    return it->second;
+}
+
+void
+StatRegistry::inc(const std::string &path, const std::string &key,
+                  std::uint64_t delta)
+{
+    node(path).inc(key, delta);
+}
+
+std::vector<std::string>
+StatRegistry::paths() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> out;
+    out.reserve(sets.size());
+    for (const auto &[path, set] : sets)
+        out.push_back(path);
+    return out;
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::ostringstream os;
+    os << name_ << "\n";
+    // Paths iterate in sorted order, so shared prefixes are adjacent:
+    // print each component the first time it differs from the
+    // previous path, then the node's counters under the leaf.
+    std::vector<std::string> prev;
+    for (const auto &[path, set] : sets) {
+        std::vector<std::string> parts;
+        std::size_t pos = 0;
+        while (pos <= path.size()) {
+            const std::size_t dot = path.find('.', pos);
+            const std::size_t end =
+                dot == std::string::npos ? path.size() : dot;
+            parts.push_back(path.substr(pos, end - pos));
+            if (dot == std::string::npos)
+                break;
+            pos = dot + 1;
+        }
+        std::size_t common = 0;
+        while (common < parts.size() && common < prev.size() &&
+               parts[common] == prev[common]) {
+            ++common;
+        }
+        for (std::size_t d = common; d < parts.size(); ++d)
+            os << std::string((d + 1) * 2, ' ') << parts[d] << "\n";
+        const std::string indent((parts.size() + 1) * 2, ' ');
+        for (const auto &[key, value] : set.counters())
+            os << indent << key << " = " << value << "\n";
+        prev = std::move(parts);
+    }
+    return os.str();
+}
+
+void
+StatRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &[path, set] : sets)
+        set.clear();
+}
+
+} // namespace dtexl

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hierarchical statistics registry: a tree of StatSets addressed by
+ * dot-separated paths ("engine.geometry", "job.GTr/dtexl.raster").
+ * Components own or borrow a node and bump counters; the registry
+ * renders the whole tree as an indented report.
+ *
+ * Thread-safety contract: node creation/lookup (node()) and whole-tree
+ * operations (dump(), clear(), paths()) are mutex-guarded, so worker
+ * threads may create nodes concurrently. Counter updates on a StatSet
+ * are NOT synchronized — each node must have a single writer, which the
+ * batch driver guarantees by giving every job its own path prefix.
+ */
+
+#ifndef DTEXL_COMMON_STAT_REGISTRY_HH
+#define DTEXL_COMMON_STAT_REGISTRY_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace dtexl {
+
+/** A mutex-guarded tree of named StatSets. */
+class StatRegistry
+{
+  public:
+    explicit StatRegistry(std::string name = "stats")
+        : name_(std::move(name))
+    {}
+
+    /**
+     * Create-or-get the StatSet at @p path ("a.b.c"). The returned
+     * reference is stable for the registry's lifetime (nodes are never
+     * removed, only cleared).
+     */
+    StatSet &node(const std::string &path);
+
+    /** Convenience: node(path).inc(key, delta), guarded lookup. */
+    void inc(const std::string &path, const std::string &key,
+             std::uint64_t delta = 1);
+
+    /** Registered paths, sorted (dot-separated). */
+    std::vector<std::string> paths() const;
+
+    /**
+     * Indented hierarchical report:
+     *   engine
+     *     geometry
+     *       cycles = 1234
+     * Nodes appear in path order; counters in key order.
+     */
+    std::string dump() const;
+
+    /** Zero every counter of every node (nodes stay registered). */
+    void clear();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    mutable std::mutex mu;
+    /** Stable node storage: std::map never invalidates references. */
+    std::map<std::string, StatSet> sets;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_STAT_REGISTRY_HH

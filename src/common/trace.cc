@@ -1,0 +1,167 @@
+#include "common/trace.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+struct TraceWriter::Impl
+{
+    struct Event
+    {
+        std::string name;
+        std::string cat;
+        std::uint64_t ts;
+        std::uint64_t dur;
+        std::uint32_t tid;
+    };
+
+    std::mutex mu;
+    std::vector<Event> events;
+    std::string path;
+    std::atomic<bool> on{false};
+};
+
+TraceWriter::Impl &
+TraceWriter::impl()
+{
+    static Impl instance;
+    return instance;
+}
+
+TraceWriter &
+TraceWriter::global()
+{
+    static TraceWriter writer;
+    return writer;
+}
+
+void
+TraceWriter::enable(const std::string &path)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.path = path;
+    im.on.store(true, std::memory_order_release);
+    // Write whatever was collected even if the binary never calls
+    // flush() explicitly (e.g. exits through fatal()'s exit(1)).
+    static bool hooked = false;
+    if (!hooked) {
+        hooked = true;
+        std::atexit([] { TraceWriter::global().flush(); });
+    }
+}
+
+bool
+TraceWriter::enabled() const
+{
+    return const_cast<TraceWriter *>(this)->impl().on.load(
+        std::memory_order_acquire);
+}
+
+void
+TraceWriter::complete(const std::string &name, const std::string &cat,
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      std::int32_t tid)
+{
+    Impl &im = impl();
+    if (!im.on.load(std::memory_order_acquire))
+        return;
+    const std::uint32_t track =
+        tid < 0 ? threadId() : static_cast<std::uint32_t>(tid);
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.events.push_back({name, cat, ts_us, dur_us, track});
+}
+
+namespace {
+
+/** Escape a string for a JSON literal (names come from CLI labels). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TraceWriter::flush()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.on.load(std::memory_order_acquire) || im.path.empty())
+        return;
+    FILE *f = std::fopen(im.path.c_str(), "w");
+    if (!f) {
+        warn("cannot open trace file '%s'", im.path.c_str());
+        return;
+    }
+    // The JSON-array form is valid without a closing bracket, but we
+    // write the complete object form: {"traceEvents": [...]}.
+    std::fprintf(f, "{\"traceEvents\":[\n");
+    for (std::size_t i = 0; i < im.events.size(); ++i) {
+        const Impl::Event &e = im.events[i];
+        std::fprintf(
+            f,
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%u}%s\n",
+            jsonEscape(e.name).c_str(), jsonEscape(e.cat).c_str(),
+            static_cast<unsigned long long>(e.ts),
+            static_cast<unsigned long long>(e.dur), e.tid,
+            i + 1 == im.events.size() ? "" : ",");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+}
+
+std::uint64_t
+TraceWriter::nowMicros()
+{
+    using namespace std::chrono;
+    static const steady_clock::time_point t0 = steady_clock::now();
+    return static_cast<std::uint64_t>(
+        duration_cast<microseconds>(steady_clock::now() - t0).count());
+}
+
+std::uint32_t
+TraceWriter::threadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace dtexl

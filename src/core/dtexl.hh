@@ -16,7 +16,10 @@
 
 #include "common/config.hh"
 #include "common/policies.hh"
+#include "common/stat_registry.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
+#include "core/engine.hh"
 #include "core/frame_stats.hh"
 #include "core/gpu.hh"
 #include "geom/scene.hh"

@@ -1,0 +1,119 @@
+#include "core/engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+
+namespace dtexl {
+
+SimulationSession::SimulationSession(const GpuConfig &cfg,
+                                     const Scene &scene,
+                                     std::string label)
+    : label_(std::move(label)), sim(cfg, scene)
+{}
+
+FrameStats
+SimulationSession::renderFrame()
+{
+    frames.push_back(sim.renderFrame());
+    return frames.back();
+}
+
+FrameStats
+SimulationSession::renderFrame(const Scene &next)
+{
+    sim.setScene(next);
+    return renderFrame();
+}
+
+void
+SimulationSession::setStatRegistry(StatRegistry *registry)
+{
+    sim.setStatRegistry(registry, label_);
+}
+
+namespace {
+
+/** Run one job start to finish on the calling thread. */
+BatchResult
+runJob(const BatchJob &job, StatRegistry *registry,
+       std::uint32_t worker)
+{
+    dtexl_assert(job.scene, "BatchJob '%s' has no scene provider",
+                 job.label.c_str());
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t trace0 = TraceWriter::nowMicros();
+
+    BatchResult res;
+    res.label = job.label;
+    res.worker = worker;
+
+    const std::uint32_t n = job.frames == 0 ? 1 : job.frames;
+    const Scene &first = job.scene(0);
+    SimulationSession session(job.cfg, first, "job." + job.label);
+    if (registry)
+        session.setStatRegistry(registry);
+    session.renderFrame();
+    for (std::uint32_t f = 1; f < n; ++f)
+        session.renderFrame(job.scene(f));
+    res.frames = session.history();
+
+    res.wallMs =
+        std::chrono::duration_cast<std::chrono::duration<double,
+                                                         std::milli>>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (TraceWriter::global().enabled()) {
+        TraceWriter::global().complete(job.label, "job", trace0,
+                                       TraceWriter::nowMicros() - trace0);
+    }
+    return res;
+}
+
+} // namespace
+
+std::vector<BatchResult>
+runBatch(const std::vector<BatchJob> &jobs, unsigned numWorkers,
+         StatRegistry *registry)
+{
+    std::vector<BatchResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    unsigned workers = numWorkers == 0 ? 1 : numWorkers;
+    if (workers > jobs.size())
+        workers = static_cast<unsigned>(jobs.size());
+
+    if (workers == 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runJob(jobs[i], registry, 0);
+        return results;
+    }
+
+    // Bounded pool over a shared atomic cursor: each worker claims the
+    // next unstarted job, runs it to completion, and writes its result
+    // into the job's own slot — a single writer per slot, in
+    // deterministic submission order by construction.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= jobs.size())
+                    return;
+                results[i] = runJob(jobs[i], registry, w);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace dtexl

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The simulation engine layer above GpuSimulator: a SimulationSession
+ * wraps one persistent simulator rendering successive frames of one
+ * (scene, config) job, and runBatch() fans a vector of independent
+ * jobs over a bounded std::thread worker pool.
+ *
+ * Threading model (see DESIGN.md "Simulation engine & batch driver"):
+ *  - each worker owns its own GpuSimulator (no simulator state is
+ *    shared between jobs);
+ *  - job inputs are shared read-only — the Scene a job renders may be
+ *    served to several workers concurrently and must not be mutated
+ *    while the batch runs (the bench harness guards its scene cache
+ *    with a mutex and hands out const references);
+ *  - results are collected by job index, so the output vector is in
+ *    submission order regardless of which worker finished when, and a
+ *    batch is bit-identical for any worker count.
+ */
+
+#ifndef DTEXL_CORE_ENGINE_HH
+#define DTEXL_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stat_registry.hh"
+#include "core/gpu.hh"
+
+namespace dtexl {
+
+/**
+ * One simulation job: render @p frames successive frames of a scene
+ * under a configuration, with warm caches across frames (the
+ * steady-state methodology of the evaluation).
+ */
+class SimulationSession
+{
+  public:
+    /**
+     * @param cfg   Machine configuration (copied).
+     * @param scene First frame's scene; must outlive the session.
+     * @param label Name used for stats/trace ("GTr/dtexl").
+     */
+    SimulationSession(const GpuConfig &cfg, const Scene &scene,
+                      std::string label = "session");
+
+    /** Render the next frame (optionally swapping the scene first). */
+    FrameStats renderFrame();
+    FrameStats renderFrame(const Scene &next);
+
+    /** Frames rendered so far, in order. */
+    const std::vector<FrameStats> &history() const { return frames; }
+
+    /** Route per-phase counters to @p registry under "<label>.". */
+    void setStatRegistry(StatRegistry *registry);
+
+    const std::string &label() const { return label_; }
+    GpuSimulator &gpu() { return sim; }
+
+  private:
+    std::string label_;
+    GpuSimulator sim;
+    std::vector<FrameStats> frames;
+};
+
+/** One entry of a runBatch() request. */
+struct BatchJob
+{
+    /** Display/trace name; also keys the job's StatRegistry subtree. */
+    std::string label;
+    GpuConfig cfg;
+    /**
+     * Scene provider, called on the worker thread once per frame with
+     * the frame index. Must return a scene that stays valid and
+     * unmutated until the batch completes; called concurrently from
+     * several workers, so it must be thread-safe (the bench harness
+     * serves a mutex-guarded cache).
+     */
+    std::function<const Scene &(std::uint32_t frame)> scene;
+    /** Successive frames rendered with warm caches. */
+    std::uint32_t frames = 1;
+};
+
+/** Result of one BatchJob, in submission order. */
+struct BatchResult
+{
+    std::string label;
+    std::vector<FrameStats> frames;
+    /** Wall time of this job alone, milliseconds. */
+    double wallMs = 0.0;
+    /** Worker that ran the job (0-based; determinism debugging). */
+    std::uint32_t worker = 0;
+};
+
+/**
+ * Run a batch of independent jobs over @p numWorkers threads and
+ * return their results in submission order. numWorkers is clamped to
+ * [1, jobs.size()]; 1 runs everything inline on the calling thread.
+ * Per-phase counters of job i land in @p registry (when non-null)
+ * under "job.<label>"; each job has its own subtree, so the
+ * single-writer-per-node contract of StatRegistry holds.
+ */
+std::vector<BatchResult> runBatch(const std::vector<BatchJob> &jobs,
+                                  unsigned numWorkers,
+                                  StatRegistry *registry = nullptr);
+
+} // namespace dtexl
+
+#endif // DTEXL_CORE_ENGINE_HH

@@ -1,10 +1,25 @@
 #include "core/gpu.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace dtexl {
+
+namespace {
+
+std::uint64_t
+wallMicrosSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace
 
 GpuSimulator::GpuSimulator(const GpuConfig &cfg_in, const Scene &scene_in)
     : cfg(cfg_in), scene(&scene_in)
@@ -13,6 +28,7 @@ GpuSimulator::GpuSimulator(const GpuConfig &cfg_in, const Scene &scene_in)
     mem = std::make_unique<MemHierarchy>(cfg);
     fb = std::make_unique<FrameBuffer>(cfg);
     pb = std::make_unique<ParamBuffer>(cfg.numTiles());
+    geom = std::make_unique<GeometryPhase>(cfg, *mem, *pb);
     pipeline = std::make_unique<RasterPipeline>(cfg, *mem, *scene, *fb,
                                                 &flushSignatures);
 }
@@ -30,6 +46,14 @@ GpuSimulator::setScene(const Scene &next)
                      "texture %zu changed across frames", i);
     }
     scene = &next;
+    pipeline->setScene(next);
+}
+
+void
+GpuSimulator::setStatRegistry(StatRegistry *reg, const std::string &prefix)
+{
+    registry = reg;
+    statPrefix = prefix;
 }
 
 FrameStats
@@ -39,10 +63,17 @@ GpuSimulator::renderFrame()
 
     // Each frame restarts the cycle count at zero: reset in-flight
     // timing state (ports, MSHRs, DRAM banks) while keeping cache
-    // contents warm, and rebuild the pipeline's barrier state.
+    // contents warm, and reinitialize the pipeline's per-frame state
+    // (barriers, banks, FIFOs, cores, assigner) in place. The legacy
+    // heap-rebuild path is kept, behind a knob, as the bit-exactness
+    // reference.
     mem->resetTiming();
-    pipeline = std::make_unique<RasterPipeline>(cfg, *mem, *scene, *fb,
-                                                &flushSignatures);
+    if (rebuildEachFrame) {
+        pipeline = std::make_unique<RasterPipeline>(
+            cfg, *mem, *scene, *fb, &flushSignatures);
+    } else {
+        pipeline->beginFrame();
+    }
 
     // Snapshot memory counters so per-frame deltas are exact even when
     // frames are rendered back to back.
@@ -61,25 +92,16 @@ GpuSimulator::renderFrame()
 
     // ---- Geometry phase: Vertex Stage -> Primitive Assembly ->
     //      Polygon List Builder (Tiling Engine) ----
-    pb->clear();
-    VertexStage vstage(cfg, *mem);
-    PrimAssembler assembler(cfg);
-    PolyListBuilder binner(cfg, *mem, *pb);
-
-    Cycle geom_cursor = 0;
-    std::vector<TransformedVertex> transformed;
-    std::vector<Primitive> prims;
-    for (const DrawCommand &draw : scene->draws) {
-        geom_cursor = vstage.processDraw(draw, geom_cursor, transformed);
-        prims.clear();
-        assembler.assemble(draw, transformed,
-                           scene->texture(draw.texture).side(), prims);
-        for (const Primitive &prim : prims)
-            geom_cursor = binner.binPrimitive(prim, geom_cursor);
+    const auto geom_wall0 = std::chrono::steady_clock::now();
+    GeometryPhase::Result gr;
+    {
+        TraceScope span("geometry", "phase");
+        gr = geom->run(*scene);
     }
-    fs.geometryCycles = geom_cursor;
-    fs.verticesProcessed = vstage.verticesProcessed();
-    fs.primitivesBinned = pb->numPrimitives();
+    const std::uint64_t geom_wall_us = wallMicrosSince(geom_wall0);
+    fs.geometryCycles = gr.cycles;
+    fs.verticesProcessed = gr.vertices;
+    fs.primitivesBinned = gr.primitives;
 
     // ---- Raster phase ----
     // Geometry and raster are separate pipeline phases that overlap
@@ -88,7 +110,12 @@ GpuSimulator::renderFrame()
     // state is reset while cache contents stay warm.
     mem->resetTiming();
     fb->clear();
-    fs.rasterCycles = pipeline->run(*pb, fs);
+    const auto raster_wall0 = std::chrono::steady_clock::now();
+    {
+        TraceScope span("raster", "phase");
+        fs.rasterCycles = pipeline->run(*pb, fs);
+    }
+    const std::uint64_t raster_wall_us = wallMicrosSince(raster_wall0);
 
     // The two phases pipeline across frames (the Parameter Buffer is
     // double-buffered in real TBR parts), so steady-state frame time is
@@ -128,6 +155,18 @@ GpuSimulator::renderFrame()
 
     fs.textureReplication = mem->textureReplicationFactor();
     fs.imageHash = fb->hash();
+
+    // ---- Observability: per-phase counters ----
+    if (registry) {
+        StatSet &g = registry->node(statPrefix + ".geometry");
+        g.inc("frames");
+        g.inc("cycles", fs.geometryCycles);
+        g.inc("wall_us", geom_wall_us);
+        StatSet &r = registry->node(statPrefix + ".raster");
+        r.inc("frames");
+        r.inc("cycles", fs.rasterCycles);
+        r.inc("wall_us", raster_wall_us);
+    }
     return fs;
 }
 

@@ -4,23 +4,30 @@
  * Pipeline over the memory hierarchy of Figure 5. The public entry
  * point of the library: construct with a configuration and a scene,
  * call renderFrame().
+ *
+ * The frame loop is phase-structured: renderFrame() runs the
+ * GeometryPhase, then the RasterPipeline, each in its own cycle-0
+ * epoch, and reuses all heavy pipeline state in place across frames
+ * (RasterPipeline::beginFrame()) instead of heap-rebuilding it. Each
+ * phase reports sim-cycle and wall-time counters into an optional
+ * StatRegistry and emits Chrome-trace spans when tracing is enabled.
  */
 
 #ifndef DTEXL_CORE_GPU_HH
 #define DTEXL_CORE_GPU_HH
 
 #include <memory>
+#include <string>
 
 #include "common/config.hh"
+#include "common/stat_registry.hh"
 #include "core/frame_stats.hh"
+#include "core/geometry_phase.hh"
 #include "core/raster_pipeline.hh"
-#include "geom/prim_assembler.hh"
 #include "geom/scene.hh"
-#include "geom/vertex_stage.hh"
 #include "mem/hierarchy.hh"
 #include "raster/framebuffer.hh"
 #include "tiling/param_buffer.hh"
-#include "tiling/poly_list_builder.hh"
 
 namespace dtexl {
 
@@ -48,6 +55,28 @@ class GpuSimulator
      */
     void setScene(const Scene &next);
 
+    /**
+     * Report per-phase counters into @p registry under
+     * "<prefix>.geometry" / "<prefix>.raster" (sim cycles, wall
+     * microseconds, frames). Pass nullptr to stop reporting. The
+     * registry must outlive the simulator; counters are written by
+     * whichever thread calls renderFrame().
+     */
+    void setStatRegistry(StatRegistry *registry,
+                         const std::string &prefix = "engine");
+
+    /**
+     * Legacy equivalence knob: when enabled, renderFrame() destroys
+     * and reconstructs the RasterPipeline each frame, as the
+     * pre-phase-structured simulator did, instead of resetting it in
+     * place. The two paths are bit-exact (tests/test_engine.cc); the
+     * rebuild path exists only to verify that.
+     */
+    void setRebuildPipelineEachFrame(bool rebuild)
+    {
+        rebuildEachFrame = rebuild;
+    }
+
     const GpuConfig &config() const { return cfg; }
     MemHierarchy &memory() { return *mem; }
     const MemHierarchy &memory() const { return *mem; }
@@ -60,9 +89,14 @@ class GpuSimulator
     std::unique_ptr<MemHierarchy> mem;
     std::unique_ptr<FrameBuffer> fb;
     std::unique_ptr<ParamBuffer> pb;
+    std::unique_ptr<GeometryPhase> geom;
     std::unique_ptr<RasterPipeline> pipeline;
     /** Cross-frame flush CRCs for transaction elimination. */
     FlushSignatures flushSignatures;
+
+    StatRegistry *registry = nullptr;
+    std::string statPrefix = "engine";
+    bool rebuildEachFrame = false;
 };
 
 } // namespace dtexl

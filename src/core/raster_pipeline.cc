@@ -12,7 +12,7 @@ namespace dtexl {
 RasterPipeline::RasterPipeline(const GpuConfig &cfg, MemHierarchy &mem,
                                const Scene &scene, FrameBuffer &fb,
                                FlushSignatures *signatures)
-    : cfg(cfg), mem(mem), scene(scene), fb(fb), signatures(signatures),
+    : cfg(cfg), mem(mem), scene(&scene), fb(fb), signatures(signatures),
       layout(cfg.grouping, cfg.quadsPerTileSide()),
       assigner(cfg.assignment, layout), rasterizer(cfg)
 {
@@ -21,7 +21,7 @@ RasterPipeline::RasterPipeline(const GpuConfig &cfg, MemHierarchy &mem,
         singlePipe() ? n * n : layout.quadsPerSubtile();
     for (std::uint32_t p = 0; p < numPipes(); ++p) {
         cores[p] = std::make_unique<ShaderCore>(
-            static_cast<CoreId>(p), cfg, mem, scene);
+            static_cast<CoreId>(p), cfg, mem, *this->scene);
         pipes[p].depth.assign(std::size_t{slots} * 4, 1.0f);
         pipes[p].color.assign(std::size_t{slots} * 4, kClearColor);
     }
@@ -44,6 +44,36 @@ RasterPipeline::RasterPipeline(const GpuConfig &cfg, MemHierarchy &mem,
             }
         }
     }
+}
+
+void
+RasterPipeline::beginFrame()
+{
+    for (std::uint32_t p = 0; p < numPipes(); ++p) {
+        PipeState &ps = pipes[p];
+        ps.ezFinish = 0;
+        ps.ezBusyUntil = 0;
+        ps.fsFinish = 0;
+        ps.blendFinish = 0;
+        ps.blendBusyUntil = 0;
+        ps.flushDone = 0;
+        ps.fifo.clear();
+        std::fill(ps.depth.begin(), ps.depth.end(), 1.0f);
+        std::fill(ps.color.begin(), ps.color.end(), kClearColor);
+        ps.batch.clear();
+        ps.arrivals.clear();
+        cores[p]->beginFrame();
+    }
+    assigner.reset();
+    stats_.clear();
+}
+
+void
+RasterPipeline::setScene(const Scene &next)
+{
+    scene = &next;
+    for (std::uint32_t p = 0; p < numPipes(); ++p)
+        cores[p]->setScene(next);
 }
 
 std::uint32_t

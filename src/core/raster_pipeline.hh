@@ -68,6 +68,23 @@ class RasterPipeline
      */
     Cycle run(const ParamBuffer &pb, FrameStats &fs);
 
+    /**
+     * Reinitialize all per-frame state in place — PipeState timing
+     * fields, inter-stage FIFOs, depth/color banks, shader cores,
+     * subtile-assigner traversal state, per-frame counters — so a
+     * persistent pipeline starts its next frame bit-identically to a
+     * freshly constructed one (the structural state built by the
+     * constructor, slot maps and bank sizing, depends only on the
+     * configuration and is kept).
+     */
+    void beginFrame();
+
+    /**
+     * Rebind the scene for the next frame (animation). The texture
+     * table layout must match; see GpuSimulator::setScene().
+     */
+    void setScene(const Scene &next);
+
     ShaderCore &core(CoreId p) { return *cores[p]; }
     const StatSet &stats() const { return stats_; }
 
@@ -123,7 +140,7 @@ class RasterPipeline
 
     const GpuConfig &cfg;
     MemHierarchy &mem;
-    const Scene &scene;
+    const Scene *scene;
     FrameBuffer &fb;
     FlushSignatures *signatures;
 

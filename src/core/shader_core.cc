@@ -10,15 +10,22 @@ namespace dtexl {
 
 ShaderCore::ShaderCore(CoreId id, const GpuConfig &cfg, MemHierarchy &mem,
                        const Scene &scene)
-    : coreId(id), cfg(cfg), mem(mem), scene(scene),
+    : coreId(id), cfg(cfg), mem(mem), scene(&scene),
       stats_("sc" + std::to_string(id))
 {}
+
+void
+ShaderCore::beginFrame()
+{
+    texUnitFreeHalf = 0;
+    stats_.clear();
+}
 
 Cycle
 ShaderCore::sampleQuad(const Quad &quad, Cycle cycle)
 {
     const ShaderDesc &shader = quad.prim->shader;
-    const TextureDesc &tex = scene.texture(quad.prim->texture);
+    const TextureDesc &tex = scene->texture(quad.prim->texture);
     // Texture unit throughput in half-cycles per fragment sample: two
     // bilinear (or nearest) samples per cycle, one trilinear or
     // anisotropic sample per cycle.

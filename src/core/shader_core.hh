@@ -70,6 +70,19 @@ class ShaderCore
     runBatches(const std::vector<ShaderCore *> &cores,
                const std::vector<BatchInput> &inputs);
 
+    /**
+     * Reinitialize per-frame state in place (texture-unit occupancy,
+     * per-frame counters) so a persistent core starts the next frame
+     * bit-identically to a freshly constructed one.
+     */
+    void beginFrame();
+
+    /**
+     * Rebind the scene for the next frame (animation). The texture
+     * table layout must match; see GpuSimulator::setScene().
+     */
+    void setScene(const Scene &next) { scene = &next; }
+
     CoreId id() const { return coreId; }
     const StatSet &stats() const { return stats_; }
     StatSet &stats() { return stats_; }
@@ -105,7 +118,7 @@ class ShaderCore
     CoreId coreId;
     const GpuConfig &cfg;
     MemHierarchy &mem;
-    const Scene &scene;
+    const Scene *scene;
     /** Texture unit occupancy, in half-cycles (2 bilinear/cycle). */
     std::uint64_t texUnitFreeHalf = 0;
     StatSet stats_;

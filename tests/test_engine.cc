@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Phase-structured engine tests: the in-place RasterPipeline reset
+ * path must be bit-exact with the legacy rebuild-per-frame path, the
+ * parallel batch driver must be deterministic for any worker count,
+ * and the observability layer (StatRegistry, Chrome trace) must
+ * record what the engine did.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/dtexl.hh"
+#include "harness.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+GpuConfig
+smallCfg()
+{
+    GpuConfig cfg;
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    return cfg;
+}
+
+/** Every FrameStats field, including the distributions. */
+void
+expectSameStats(const FrameStats &a, const FrameStats &b,
+                const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.geometryCycles, b.geometryCycles);
+    EXPECT_EQ(a.rasterCycles, b.rasterCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_DOUBLE_EQ(a.fps, b.fps);
+    EXPECT_EQ(a.verticesProcessed, b.verticesProcessed);
+    EXPECT_EQ(a.primitivesBinned, b.primitivesBinned);
+    EXPECT_EQ(a.quadsRasterized, b.quadsRasterized);
+    EXPECT_EQ(a.quadsCulledEarlyZ, b.quadsCulledEarlyZ);
+    EXPECT_EQ(a.quadsCulledHiZ, b.quadsCulledHiZ);
+    EXPECT_EQ(a.quadsShaded, b.quadsShaded);
+    EXPECT_EQ(a.fragmentsShaded, b.fragmentsShaded);
+    EXPECT_EQ(a.shaderInstructions, b.shaderInstructions);
+    EXPECT_EQ(a.textureSamples, b.textureSamples);
+    EXPECT_EQ(a.earlyZTests, b.earlyZTests);
+    EXPECT_EQ(a.blendOps, b.blendOps);
+    EXPECT_EQ(a.flushLineWrites, b.flushLineWrites);
+    EXPECT_EQ(a.flushesEliminated, b.flushesEliminated);
+    EXPECT_EQ(a.l1TexAccesses, b.l1TexAccesses);
+    EXPECT_EQ(a.l1TexMisses, b.l1TexMisses);
+    EXPECT_EQ(a.l1VertexAccesses, b.l1VertexAccesses);
+    EXPECT_EQ(a.l1TileAccesses, b.l1TileAccesses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+    EXPECT_EQ(a.quadsPerSc, b.quadsPerSc);
+    EXPECT_EQ(a.barrierIdleCycles, b.barrierIdleCycles);
+    EXPECT_EQ(a.tileTimeDeviation.samples(),
+              b.tileTimeDeviation.samples());
+    EXPECT_EQ(a.tileQuadDeviation.samples(),
+              b.tileQuadDeviation.samples());
+    EXPECT_DOUBLE_EQ(a.textureReplication, b.textureReplication);
+    EXPECT_EQ(a.imageHash, b.imageHash);
+}
+
+/**
+ * The tentpole's bit-exactness criterion: 3 frames with the in-place
+ * beginFrame() path against 3 frames with a freshly constructed
+ * pipeline per frame, identical FrameStats and imageHash each frame.
+ */
+void
+resetMatchesRebuild(const GpuConfig &cfg, const std::string &alias)
+{
+    const BenchmarkParams &p = benchmarkByAlias(alias);
+    const Scene f0 = generateScene(p, cfg, 0);
+    const Scene f1 = generateScene(p, cfg, 1);
+    const Scene f2 = generateScene(p, cfg, 2);
+
+    GpuSimulator reset_path(cfg, f0);
+    GpuSimulator rebuild_path(cfg, f0);
+    rebuild_path.setRebuildPipelineEachFrame(true);
+
+    const Scene *framesv[] = {&f0, &f1, &f2};
+    for (int f = 0; f < 3; ++f) {
+        reset_path.setScene(*framesv[f]);
+        rebuild_path.setScene(*framesv[f]);
+        const FrameStats a = reset_path.renderFrame();
+        const FrameStats b = rebuild_path.renderFrame();
+        expectSameStats(a, b,
+                        alias + " frame " + std::to_string(f));
+    }
+}
+
+TEST(Engine, ResetPathBitExactBaseline)
+{
+    resetMatchesRebuild(smallCfg(), "SWa");
+}
+
+TEST(Engine, ResetPathBitExactDTexL)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    resetMatchesRebuild(cfg, "GTr");
+}
+
+TEST(Engine, ResetPathBitExactWithExtensions)
+{
+    // The extensions carry extra per-frame state (HiZ pyramid is
+    // per-tile, flush CRCs are cross-frame): they must survive the
+    // in-place reset unchanged too.
+    GpuConfig cfg = smallCfg();
+    cfg.hierarchicalZ = true;
+    cfg.transactionElimination = true;
+    cfg.decoupledBarriers = true;
+    resetMatchesRebuild(cfg, "CCS");
+}
+
+TEST(Engine, SessionAccumulatesHistory)
+{
+    const GpuConfig cfg = smallCfg();
+    const BenchmarkParams &p = benchmarkByAlias("SoD");
+    const Scene f0 = generateScene(p, cfg, 0);
+    const Scene f1 = generateScene(p, cfg, 1);
+
+    SimulationSession session(cfg, f0, "test");
+    const FrameStats a = session.renderFrame();
+    const FrameStats b = session.renderFrame(f1);
+    ASSERT_EQ(session.history().size(), 2u);
+    EXPECT_EQ(session.history()[0].imageHash, a.imageHash);
+    EXPECT_EQ(session.history()[1].imageHash, b.imageHash);
+    EXPECT_NE(a.imageHash, b.imageHash);
+}
+
+/** Build a small mixed batch: 2 benchmarks x 2 configs, 2 frames. */
+std::vector<BatchJob>
+makeBatch(const std::vector<std::vector<Scene>> &scenes)
+{
+    GpuConfig base = smallCfg();
+    GpuConfig dt = makeDTexLConfig();
+    dt.screenWidth = base.screenWidth;
+    dt.screenHeight = base.screenHeight;
+
+    std::vector<BatchJob> jobs;
+    const char *labels[] = {"SWa/base", "SWa/dtexl", "CCS/base",
+                            "CCS/dtexl"};
+    const GpuConfig cfgs[] = {base, dt, base, dt};
+    for (int j = 0; j < 4; ++j) {
+        BatchJob bj;
+        bj.label = labels[j];
+        bj.cfg = cfgs[j];
+        const std::vector<Scene> *sv = &scenes[j];
+        bj.scene = [sv](std::uint32_t f) -> const Scene & {
+            return (*sv)[f];
+        };
+        bj.frames = 2;
+        jobs.push_back(std::move(bj));
+    }
+    return jobs;
+}
+
+std::vector<std::vector<Scene>>
+makeBatchScenes()
+{
+    GpuConfig base = smallCfg();
+    GpuConfig dt = makeDTexLConfig();
+    dt.screenWidth = base.screenWidth;
+    dt.screenHeight = base.screenHeight;
+    const char *aliases[] = {"SWa", "SWa", "CCS", "CCS"};
+    const GpuConfig cfgs[] = {base, dt, base, dt};
+
+    std::vector<std::vector<Scene>> scenes;
+    for (int j = 0; j < 4; ++j) {
+        scenes.emplace_back();
+        for (std::uint32_t f = 0; f < 2; ++f)
+            scenes.back().push_back(generateScene(
+                benchmarkByAlias(aliases[j]), cfgs[j], f));
+    }
+    return scenes;
+}
+
+TEST(Engine, RunBatchDeterministicAcrossWorkerCounts)
+{
+    const std::vector<std::vector<Scene>> scenes = makeBatchScenes();
+    const std::vector<BatchJob> jobs = makeBatch(scenes);
+
+    const std::vector<BatchResult> serial = runBatch(jobs, 1);
+    const std::vector<BatchResult> parallel = runBatch(jobs, 4);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        // Collected in submission order under both worker counts...
+        EXPECT_EQ(serial[i].label, jobs[i].label);
+        EXPECT_EQ(parallel[i].label, jobs[i].label);
+        // ...with bit-identical per-frame outputs.
+        ASSERT_EQ(serial[i].frames.size(), 2u);
+        ASSERT_EQ(parallel[i].frames.size(), 2u);
+        for (std::size_t f = 0; f < 2; ++f)
+            expectSameStats(serial[i].frames[f], parallel[i].frames[f],
+                            jobs[i].label + " frame " +
+                                std::to_string(f));
+    }
+}
+
+TEST(Engine, RunBatchMatchesDirectSimulation)
+{
+    const std::vector<std::vector<Scene>> scenes = makeBatchScenes();
+    const std::vector<BatchJob> jobs = makeBatch(scenes);
+    const std::vector<BatchResult> results = runBatch(jobs, 2);
+
+    // Job 0 must equal a plain warm-cache GpuSimulator run.
+    GpuSimulator gpu(jobs[0].cfg, scenes[0][0]);
+    const FrameStats a = gpu.renderFrame();
+    gpu.setScene(scenes[0][1]);
+    const FrameStats b = gpu.renderFrame();
+    expectSameStats(results[0].frames[0], a, "job0 frame0");
+    expectSameStats(results[0].frames[1], b, "job0 frame1");
+}
+
+TEST(Engine, StatRegistryCollectsPerPhaseCounters)
+{
+    const GpuConfig cfg = smallCfg();
+    const Scene scene =
+        generateScene(benchmarkByAlias("SoD"), cfg, 0);
+
+    StatRegistry reg("test");
+    GpuSimulator gpu(cfg, scene);
+    gpu.setStatRegistry(&reg, "engine");
+    const FrameStats fs = gpu.renderFrame();
+
+    EXPECT_EQ(reg.node("engine.geometry").get("frames"), 1u);
+    EXPECT_EQ(reg.node("engine.geometry").get("cycles"),
+              fs.geometryCycles);
+    EXPECT_EQ(reg.node("engine.raster").get("cycles"),
+              fs.rasterCycles);
+    const std::string dump = reg.dump();
+    EXPECT_NE(dump.find("geometry"), std::string::npos);
+    EXPECT_NE(dump.find("cycles"), std::string::npos);
+}
+
+TEST(Engine, StatRegistryHierarchy)
+{
+    StatRegistry reg("r");
+    reg.inc("a.b", "x", 2);
+    reg.inc("a.b", "x", 3);
+    reg.inc("a.c", "y");
+    EXPECT_EQ(reg.node("a.b").get("x"), 5u);
+    ASSERT_EQ(reg.paths().size(), 2u);
+    EXPECT_EQ(reg.paths()[0], "a.b");
+    reg.clear();
+    EXPECT_EQ(reg.node("a.b").get("x"), 0u);
+}
+
+TEST(Engine, BenchOptionsSkipsEmptyBenchmarkSegments)
+{
+    const char *argv[] = {"prog", "--benchmarks=SoD,,GTr,"};
+    const bench::BenchOptions opt =
+        bench::BenchOptions::parse(2, const_cast<char **>(argv));
+    ASSERT_EQ(opt.aliases.size(), 2u);
+    EXPECT_EQ(opt.aliases[0], "SoD");
+    EXPECT_EQ(opt.aliases[1], "GTr");
+}
+
+TEST(Engine, BenchOptionsRejectsUnknownAlias)
+{
+    const char *argv[] = {"prog", "--benchmarks=NoSuchGame"};
+    EXPECT_EXIT(
+        bench::BenchOptions::parse(2, const_cast<char **>(argv)),
+        ::testing::ExitedWithCode(1), "unknown benchmark alias");
+}
+
+TEST(Engine, BenchOptionsRejectsAllEmptyList)
+{
+    const char *argv[] = {"prog", "--benchmarks=,"};
+    EXPECT_EXIT(
+        bench::BenchOptions::parse(2, const_cast<char **>(argv)),
+        ::testing::ExitedWithCode(1), "at least one alias");
+}
+
+} // namespace
+} // namespace dtexl
