@@ -62,6 +62,8 @@ BenchOptions::parse(int argc, char **argv)
             if (n < 1 || n > 256)
                 fatal("--jobs must be in [1, 256]");
             opt.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--reference-path") {
+            opt.fastPath = false;
         } else if (arg.rfind("--trace=", 0) == 0) {
             opt.tracePath = arg.substr(8);
             if (opt.tracePath.empty())
@@ -106,7 +108,11 @@ BenchOptions::parse(int argc, char **argv)
                 "  --jobs=N            worker threads for the batch "
                 "driver\n"
                 "  --trace=FILE        write Chrome-trace JSON "
-                "(chrome://tracing)\n");
+                "(chrome://tracing)\n"
+                "  --reference-path    disable the simulator hot-path "
+                "optimizations (A/B\n"
+                "                      equivalence check; results are "
+                "bit-identical)\n");
             std::exit(0);
         } else {
             fatal("unknown option '%s'", arg.c_str());
@@ -135,6 +141,7 @@ BenchOptions::baseline() const
     GpuConfig cfg = makeBaselineConfig();
     cfg.screenWidth = width;
     cfg.screenHeight = height;
+    cfg.simFastPath = fastPath;
     return cfg;
 }
 
@@ -144,6 +151,7 @@ BenchOptions::dtexl() const
     GpuConfig cfg = makeDTexLConfig();
     cfg.screenWidth = width;
     cfg.screenHeight = height;
+    cfg.simFastPath = fastPath;
     return cfg;
 }
 
@@ -153,6 +161,7 @@ BenchOptions::upperBound() const
     GpuConfig cfg = makeUpperBoundConfig();
     cfg.screenWidth = width;
     cfg.screenHeight = height;
+    cfg.simFastPath = fastPath;
     return cfg;
 }
 

@@ -37,6 +37,12 @@ struct BenchOptions
     unsigned jobs = 1;
     /** When set (--trace=FILE), write a Chrome-trace JSON on exit. */
     std::string tracePath;
+    /**
+     * Simulator hot-path selector (see GpuConfig::simFastPath);
+     * --reference-path clears it to run the original implementations
+     * for A/B equivalence checks — results are bit-identical.
+     */
+    bool fastPath = true;
 
     /** Parse argv; exits with a message on --help or bad input. */
     static BenchOptions parse(int argc, char **argv);

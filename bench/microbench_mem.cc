@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Throughput micro-benchmarks (google-benchmark) for the simulator
+ * hot-path overhaul, each run with both implementations: every
+ * benchmark takes the fastPath knob as its argument (0 = reference,
+ * 1 = optimized), so `--benchmark_filter=...` output shows the two
+ * side by side. The pairs are bit-exact (tests/test_fastpath_equiv.cc);
+ * these benchmarks measure only how fast the identical answer is
+ * produced. scripts/run_perf.py measures the end-to-end analogue on
+ * the figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "mem/rate_window.hh"
+
+namespace {
+
+using namespace dtexl;
+
+/** Deterministic xorshift for out-of-order access jitter. */
+class Rng
+{
+  public:
+    std::uint64_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+
+  private:
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+};
+
+/** Fixed-latency backing store (cache benches need a next level). */
+class PerfectMem : public MemLevel
+{
+  public:
+    Cycle
+    access(Addr, AccessType, Cycle now) override
+    {
+        return now + 80;
+    }
+};
+
+/**
+ * The RateWindow is the port/bandwidth primitive every cache and DRAM
+ * channel arbitrates through — the hottest single object in profiles.
+ * Mostly-ordered request stream with jitter, like real pipeline
+ * traffic.
+ */
+void
+BM_RateWindowReserve(benchmark::State &state)
+{
+    RateWindow win(4 * 8, 8, state.range(0) != 0);
+    Rng rng;
+    Cycle base = 0;
+    bool stalled = false;
+    for (auto _ : state) {
+        base += rng.next() % 3;
+        const Cycle jitter = rng.next() % 17;
+        const Cycle now = base > jitter ? base - jitter : Cycle{0};
+        benchmark::DoNotOptimize(win.reserve(now, stalled));
+    }
+}
+BENCHMARK(BM_RateWindowReserve)->Arg(0)->Arg(1);
+
+/**
+ * L1-shaped access stream: high hit rate over a small working set with
+ * runs of consecutive same-line hits (what the last-line-hit filter
+ * targets), plus a steady trickle of conflict misses.
+ */
+void
+BM_CacheHitStream(benchmark::State &state)
+{
+    PerfectMem backing;
+    CacheConfig cfg;
+    cfg.sizeBytes = 16 * 1024;
+    cfg.lineBytes = 64;
+    cfg.ways = 4;
+    cfg.numMshrs = 16;
+    cfg.fastPath = state.range(0) != 0;
+    Cache cache("bm", cfg, 4, backing);
+
+    Rng rng;
+    Cycle now = 0;
+    for (auto _ : state) {
+        // ~4 accesses per line before moving on: bilinear footprints.
+        const Addr line = (rng.next() % 256) * 64;
+        for (int k = 0; k < 4; ++k) {
+            benchmark::DoNotOptimize(
+                cache.access(line + k * 8, AccessType::Read, now));
+        }
+        now += 1;
+    }
+}
+BENCHMARK(BM_CacheHitStream)->Arg(0)->Arg(1);
+
+/**
+ * MSHR pressure: a tiny MSHR pool and a miss-heavy out-of-order stream
+ * keep acquireMshr()'s occupancy scan and purge on the critical path.
+ */
+void
+BM_CacheMshrPressure(benchmark::State &state)
+{
+    PerfectMem backing;
+    CacheConfig cfg;
+    cfg.sizeBytes = 4 * 1024;
+    cfg.lineBytes = 64;
+    cfg.ways = 2;
+    cfg.numMshrs = 4;
+    cfg.fastPath = state.range(0) != 0;
+    Cache cache("bm", cfg, 4, backing);
+
+    Rng rng;
+    Cycle base = 0;
+    Addr sweep = 0;
+    for (auto _ : state) {
+        base += 2;
+        const Cycle jitter = rng.next() % 65;
+        const Cycle now = base > jitter ? base - jitter : Cycle{0};
+        // A wide sweep so most accesses miss.
+        sweep += 64 * 7;
+        benchmark::DoNotOptimize(
+            cache.access(sweep & 0xFFFFFF, AccessType::Read, now));
+    }
+}
+BENCHMARK(BM_CacheMshrPressure)->Arg(0)->Arg(1);
+
+/** Banked DRAM with row-buffer locality and channel arbitration. */
+void
+BM_DramStream(benchmark::State &state)
+{
+    DramConfig cfg;
+    cfg.fastPath = state.range(0) != 0;
+    Dram dram(cfg);
+    Rng rng;
+    Cycle now = 0;
+    Addr row_base = 0;
+    for (auto _ : state) {
+        if (rng.next() % 8 == 0)
+            row_base = (rng.next() % 4096) * 2048;
+        benchmark::DoNotOptimize(dram.access(
+            row_base + (rng.next() % 32) * 64, AccessType::Read, now));
+        now += 3;
+    }
+}
+BENCHMARK(BM_DramStream)->Arg(0)->Arg(1);
+
+/**
+ * End-to-end memory path as the shader cores drive it: per-core L1
+ * texture reads that spill into the shared L2 and DRAM.
+ */
+void
+BM_HierarchyTextureRead(benchmark::State &state)
+{
+    GpuConfig cfg;
+    // MemHierarchy propagates the master knob into every cache/DRAM
+    // config it instantiates.
+    cfg.simFastPath = state.range(0) != 0;
+    MemHierarchy mem(cfg);
+
+    Rng rng;
+    Cycle now = 0;
+    for (auto _ : state) {
+        const CoreId core = static_cast<CoreId>(rng.next() % 4);
+        const Addr line = (rng.next() % 8192) * 64;
+        benchmark::DoNotOptimize(mem.textureRead(core, line, now));
+        now += 1;
+    }
+}
+BENCHMARK(BM_HierarchyTextureRead)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -186,6 +186,20 @@ main(int argc, char **argv)
         for (std::size_t f = 0; f < r.frames.size(); ++f)
             printFrame(r.label, f, r.frames[f],
                        energy.compute(cfg, r.frames[f]));
+        // Simulator throughput summary (scene generation excluded);
+        // scripts/run_perf.py parses these lines.
+        std::uint64_t sim_cycles = 0;
+        for (const FrameStats &fs : r.frames)
+            sim_cycles += fs.totalCycles;
+        const double mcps = r.wallMs > 0.0
+                                ? static_cast<double>(sim_cycles) /
+                                      (r.wallMs * 1e3)
+                                : 0.0;
+        std::printf("%s summary: %zu frame(s), %llu sim cycles, "
+                    "%.3f ms wall, %.3f Mcycles/s\n",
+                    r.label.c_str(), r.frames.size(),
+                    static_cast<unsigned long long>(sim_cycles),
+                    r.wallMs, mcps);
     }
     if (dump_stats)
         std::printf("\n%s", registry.dump().c_str());

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Simulator-throughput benchmark: emits BENCH_perf.json.
+
+Runs sim_cli on a set of figure benchmarks twice per benchmark — once
+with the optimized hot path (fastpath=1, the default) and once with the
+reference implementations (fastpath=0) — and records, per benchmark:
+
+  * simulated cycles (identical between the two runs, by construction),
+  * wall time of the simulation phase (scene generation excluded),
+  * simulator throughput in Mcycles/s for both paths,
+  * the wall-time speedup of the fast path.
+
+The run doubles as an end-to-end A/B check: every per-frame statistics
+line printed by sim_cli (cycles, quads, cache/DRAM accesses, energy)
+must be byte-identical between the two runs; any divergence fails the
+script. Wall time is taken as the best of --repeat attempts to damp
+scheduler noise.
+
+Usage:
+  python3 scripts/run_perf.py [--build-dir build] [--out BENCH_perf.json]
+      [--benches GTr,SWa,CCS,SoD] [--frames 2] [--width 980]
+      [--height 384] [--repeat 3]
+
+Requires a Release build (cmake -DCMAKE_BUILD_TYPE=Release); Debug
+timings are not meaningful and the script refuses obvious Debug trees.
+"""
+
+import argparse
+import json
+import math
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SUMMARY_RE = re.compile(
+    r"^(?P<label>\S+) summary: (?P<frames>\d+) frame\(s\), "
+    r"(?P<cycles>\d+) sim cycles, (?P<wall>[0-9.]+) ms wall, "
+    r"(?P<mcps>[0-9.]+) Mcycles/s$"
+)
+FRAME_RE = re.compile(r"^\S+ frame \d+: ")
+
+
+def run_sim(sim_cli, alias, frames, width, height, fastpath):
+    cmd = [
+        str(sim_cli),
+        f"--bench={alias}",
+        f"--frames={frames}",
+        "--preset=dtexl",
+        f"width={width}",
+        f"height={height}",
+        f"fastpath={fastpath}",
+    ]
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, check=True
+    )
+    summary = None
+    frame_lines = []
+    for line in proc.stdout.splitlines():
+        m = SUMMARY_RE.match(line)
+        if m:
+            summary = m
+        elif FRAME_RE.match(line):
+            frame_lines.append(line)
+    if summary is None:
+        sys.exit(f"no summary line in sim_cli output:\n{proc.stdout}")
+    return {
+        "cycles": int(summary["cycles"]),
+        "wall_ms": float(summary["wall"]),
+        "frame_lines": frame_lines,
+    }
+
+
+def best_of(sim_cli, alias, frames, width, height, fastpath, repeat):
+    best = None
+    for _ in range(repeat):
+        r = run_sim(sim_cli, alias, frames, width, height, fastpath)
+        if best is None or r["wall_ms"] < best["wall_ms"]:
+            if best is not None and r["frame_lines"] != best["frame_lines"]:
+                sys.exit(f"{alias}: non-deterministic frame stats "
+                         f"across repeats")
+            best = r
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_perf.json")
+    ap.add_argument("--benches", default="GTr,SWa,CCS,SoD")
+    ap.add_argument("--frames", type=int, default=2)
+    ap.add_argument("--width", type=int, default=980)
+    ap.add_argument("--height", type=int, default=384)
+    ap.add_argument("--repeat", type=int, default=3)
+    args = ap.parse_args()
+
+    build = Path(args.build_dir)
+    sim_cli = build / "examples" / "sim_cli"
+    if not sim_cli.exists():
+        sys.exit(f"{sim_cli} not found; build the repo first")
+    cache = build / "CMakeCache.txt"
+    if cache.exists() and "CMAKE_BUILD_TYPE:STRING=Debug" in cache.read_text():
+        sys.exit("refusing to benchmark a Debug build tree")
+
+    benches = []
+    for alias in args.benches.split(","):
+        alias = alias.strip()
+        if not alias:
+            continue
+        print(f"== {alias} ({args.frames} frames at "
+              f"{args.width}x{args.height}) ==", flush=True)
+        fast = best_of(sim_cli, alias, args.frames, args.width,
+                       args.height, 1, args.repeat)
+        ref = best_of(sim_cli, alias, args.frames, args.width,
+                      args.height, 0, args.repeat)
+
+        # End-to-end bit-exactness gate: the simulated statistics of
+        # the two paths must be byte-identical.
+        if fast["frame_lines"] != ref["frame_lines"]:
+            print("FAST:\n" + "\n".join(fast["frame_lines"]))
+            print("REF:\n" + "\n".join(ref["frame_lines"]))
+            sys.exit(f"{alias}: fast/reference statistics diverge")
+        if fast["cycles"] != ref["cycles"]:
+            sys.exit(f"{alias}: cycle counts diverge")
+
+        speedup = ref["wall_ms"] / fast["wall_ms"]
+        entry = {
+            "alias": alias,
+            "frames": args.frames,
+            "sim_cycles": fast["cycles"],
+            "wall_ms_fast": fast["wall_ms"],
+            "wall_ms_ref": ref["wall_ms"],
+            "mcycles_per_s_fast": fast["cycles"] / fast["wall_ms"] / 1e3,
+            "mcycles_per_s_ref": ref["cycles"] / ref["wall_ms"] / 1e3,
+            "speedup": speedup,
+            "stats_bit_identical": True,
+        }
+        benches.append(entry)
+        print(f"   fast {fast['wall_ms']:9.1f} ms "
+              f"({entry['mcycles_per_s_fast']:6.2f} Mcycles/s) | "
+              f"ref {ref['wall_ms']:9.1f} ms | "
+              f"speedup {speedup:.2f}x", flush=True)
+
+    if not benches:
+        sys.exit("no benchmarks selected")
+
+    speedups = [b["speedup"] for b in benches]
+    report = {
+        "generated_by": "scripts/run_perf.py",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "width": args.width,
+            "height": args.height,
+            "frames": args.frames,
+            "preset": "dtexl",
+            "repeat": args.repeat,
+            "jobs": 1,
+        },
+        "benches": benches,
+        "max_speedup": max(speedups),
+        "geomean_speedup": math.exp(
+            sum(math.log(s) for s in speedups) / len(speedups)
+        ),
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}: max speedup {report['max_speedup']:.2f}x, "
+          f"geomean {report['geomean_speedup']:.2f}x")
+
+    if report["max_speedup"] < 1.5:
+        print("WARNING: fast path is below the 1.5x target on every "
+              "bench", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -251,6 +251,8 @@ applyConfigOption(GpuConfig &cfg, const std::string &key,
         cfg.textureCache.sizeBytes = parseUint(key, value) * 1024;
     } else if (key == "l2_kib") {
         cfg.l2Cache.sizeBytes = parseUint(key, value) * 1024;
+    } else if (key == "fastpath") {
+        cfg.simFastPath = parseBool(key, value);
     } else {
         fatal("unknown config option '%s'", key.c_str());
     }

@@ -25,6 +25,17 @@ struct CacheConfig
     std::uint32_t hitLatency = 1;   ///< cycles
     std::uint32_t numMshrs = 16;    ///< outstanding misses
     /**
+     * Simulator implementation selector, not a hardware parameter:
+     * true uses the optimized hot path (bounded MSHR interval ring
+     * with early-exit occupancy checks, one-entry last-line-hit fast
+     * path in front of the way loop, contiguous port-window storage);
+     * false uses the original straight-line reference implementation.
+     * The two are bit-exact (tests/test_fastpath_equiv.cc); the
+     * reference path exists only to verify that, mirroring the
+     * engine's rebuild-pipeline-each-frame knob.
+     */
+    bool fastPath = true;
+    /**
      * Next-line prefetch on demand miss (the decoupled-access
      * direction of Arnau et al. [2], cited by the paper as orthogonal
      * prior work on texture caching). Off by default.
@@ -43,6 +54,8 @@ struct DramConfig
     std::uint32_t rowHitLatency = 50;    ///< cycles, open-row access
     std::uint32_t rowMissLatency = 100;  ///< cycles, row activate + access
     std::uint32_t bytesPerCycle = 16;    ///< channel bandwidth
+    /** Simulator hot-path selector; see CacheConfig::fastPath. */
+    bool fastPath = true;
 };
 
 /**
@@ -90,6 +103,19 @@ struct GpuConfig
      * saving framebuffer write bandwidth — ARM Mali's technique.
      */
     bool transactionElimination = false;
+    /**
+     * Master simulator hot-path knob (not a modelled-hardware
+     * parameter). True selects the optimized per-cycle simulation
+     * path everywhere — cache MSHR/lookup fast paths, contiguous
+     * port-window storage, the shader-core event loop's cached
+     * next-event candidates, and the raster pipeline's pooled
+     * quad/flush arenas. False selects the original reference
+     * implementations. Both produce bit-identical FrameStats and
+     * imageHash (enforced by tests/test_fastpath_equiv.cc); toggle
+     * with the `fastpath` key of applyConfigOption() or
+     * `--reference-path` on the bench binaries for A/B validation.
+     */
+    bool simFastPath = true;
 
     // --- Memory hierarchy (Table II) ---
     CacheConfig vertexCache  {8 * 1024, 64, 4, 1, 8};
@@ -131,7 +157,7 @@ GpuConfig makeUpperBoundConfig();
  * Apply a textual "key=value" option to a configuration (the CLI
  * driver's interface). Supported keys: grouping, order, assignment,
  * decoupled, hiz, warps, fifo, width, height, tile, l1tex_kib,
- * l2_kib. fatal() on unknown keys or bad values.
+ * l2_kib, fastpath. fatal() on unknown keys or bad values.
  */
 void applyConfigOption(GpuConfig &cfg, const std::string &key,
                        const std::string &value);

@@ -32,6 +32,23 @@ StatRegistry::paths() const
     return out;
 }
 
+std::uint64_t
+StatRegistry::total(const std::string &path,
+                    const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t sum = 0;
+    const std::string prefix = path + ".";
+    // Full scan rather than a lower_bound range: a sibling like
+    // "engine-b" sorts between "engine" and "engine.x" ('-' < '.'), so
+    // the subtree is not contiguous. This is a cold reporting helper.
+    for (const auto &[p, set] : sets) {
+        if (p == path || p.compare(0, prefix.size(), prefix) == 0)
+            sum += set.get(key);
+    }
+    return sum;
+}
+
 std::string
 StatRegistry::dump() const
 {

@@ -47,6 +47,16 @@ class StatRegistry
     std::vector<std::string> paths() const;
 
     /**
+     * Sum of @p key over the node at @p path (if registered) and every
+     * descendant ("a.b" covers "a.b", "a.b.c", ...). Interior paths
+     * need not be registered themselves: the tree invariant a parent's
+     * total equals the sum of its children's totals holds by
+     * construction, because every counter lives in exactly one leaf.
+     */
+    std::uint64_t total(const std::string &path,
+                        const std::string &key) const;
+
+    /**
      * Indented hierarchical report:
      *   engine
      *     geometry

@@ -83,6 +83,18 @@ class StatSet
     /** Current value; 0 if never incremented. */
     std::uint64_t get(const std::string &key) const;
 
+    /**
+     * Stable reference to a counter's storage, created at zero if
+     * absent. Hot paths bind the reference once and bump it directly,
+     * skipping the string-keyed lookup of inc(); std::map nodes are
+     * stable, so the reference lives until clear() erases the key —
+     * holders must re-bind after clear().
+     */
+    std::uint64_t &handle(const std::string &key)
+    {
+        return counters_[key];
+    }
+
     const std::string &name() const { return name_; }
     const std::map<std::string, std::uint64_t> &counters() const
     {

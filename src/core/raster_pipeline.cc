@@ -65,6 +65,8 @@ RasterPipeline::beginFrame()
         cores[p]->beginFrame();
     }
     assigner.reset();
+    quadArena.clear();
+    flushAddrs.clear();
     stats_.clear();
 }
 
@@ -145,8 +147,15 @@ RasterPipeline::flushBank(PipeState &ps, Coord2 tile_coord,
                           Cycle start, FrameStats &fs)
 {
     // Copy the bank's pixels into the frame image and count how many
-    // of each framebuffer line's pixels this bank produces.
+    // of each framebuffer line's pixels this bank produces. The fast
+    // path collects one address per pixel into a pooled scratch vector
+    // and sorts it; the reference path counts in a std::map. Both
+    // visit the distinct lines in ascending address order with the
+    // same per-line pixel counts, so the timed writes are identical.
+    const bool fast = cfg.simFastPath;
     std::map<Addr, std::uint32_t> line_pixels;
+    if (fast)
+        flushAddrs.clear();
     std::uint64_t crc = 0xcbf29ce484222325ull;
     const std::int32_t px0 = tile_coord.x *
                              static_cast<std::int32_t>(cfg.tileSize);
@@ -167,9 +176,14 @@ RasterPipeline::flushBank(PipeState &ps, Coord2 tile_coord,
                         static_cast<std::uint32_t>(py),
                         ps.color[slot * 4 + k]);
             crc = (crc ^ ps.color[slot * 4 + k]) * 0x100000001b3ull;
-            ++line_pixels[fb.pixelAddr(static_cast<std::uint32_t>(px),
-                                       static_cast<std::uint32_t>(py)) &
-                          ~Addr{cfg.tileCache.lineBytes - 1}];
+            const Addr line =
+                fb.pixelAddr(static_cast<std::uint32_t>(px),
+                             static_cast<std::uint32_t>(py)) &
+                ~Addr{cfg.tileCache.lineBytes - 1};
+            if (fast)
+                flushAddrs.push_back(line);
+            else
+                ++line_pixels[line];
         }
     }
 
@@ -200,7 +214,7 @@ RasterPipeline::flushBank(PipeState &ps, Coord2 tile_coord,
     const std::uint32_t full = cfg.tileCache.lineBytes / 4;
     Cycle issue = start;
     Cycle done = start;
-    for (const auto &[line, pixels] : line_pixels) {
+    auto emit_line = [&](Addr line, std::uint32_t pixels) {
         done = std::max(done, mem.tileCache().writeLine(line, issue));
         ++issue;
         if (pixels < full) {
@@ -208,6 +222,22 @@ RasterPipeline::flushBank(PipeState &ps, Coord2 tile_coord,
             stats_.inc("flush_partial_lines");
         }
         stats_.inc("flush_line_writes");
+    };
+    if (fast) {
+        std::sort(flushAddrs.begin(), flushAddrs.end());
+        for (std::size_t i = 0; i < flushAddrs.size();) {
+            std::size_t j = i + 1;
+            while (j < flushAddrs.size() &&
+                   flushAddrs[j] == flushAddrs[i]) {
+                ++j;
+            }
+            emit_line(flushAddrs[i],
+                      static_cast<std::uint32_t>(j - i));
+            i = j;
+        }
+    } else {
+        for (const auto &[line, pixels] : line_pixels)
+            emit_line(line, pixels);
     }
 
     // Reset the bank for its next subtile.
@@ -222,7 +252,17 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
     const std::uint32_t n_pipes = numPipes();
     const bool coupled = !cfg.decoupledBarriers;
 
-    std::vector<Quad> quads;     // current tile, raster order
+    // Current tile's quads, raster order — the pooled arena, so
+    // steady-state tiles rasterize into already-grown storage.
+    std::vector<Quad> &quads = quadArena;
+    quads.clear();
+    // Per-tile temporaries hoisted out of the tile loop so their
+    // capacity is reused; every element is rewritten per tile.
+    std::vector<ShaderCore *> core_ptrs;
+    std::vector<ShaderCore::BatchInput> batch_inputs;
+    std::vector<float> hiz_quad_max;
+    std::vector<float> hiz_block_max;
+    std::vector<double> t_samples(4), q_samples(4);
     Cycle frame_end = 0;
     Cycle fetch_cursor = 0;      // when the fetcher may start a tile
     Cycle rast_free = 0;         // when the rasterizer may start a tile
@@ -313,8 +353,6 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
         // stage, before emission.
         const std::uint32_t n_quads_side = cfg.quadsPerTileSide();
         const std::uint32_t hiz_blocks_side = divCeil(n_quads_side, 4);
-        std::vector<float> hiz_quad_max;
-        std::vector<float> hiz_block_max;
         const bool use_hiz = cfg.hierarchicalZ && !late_z;
         if (use_hiz) {
             hiz_quad_max.assign(
@@ -423,8 +461,8 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
 
         // --- Fragment Stage: one subtile per SC, all SCs executing
         //     concurrently in one interleaved event loop ---
-        std::vector<ShaderCore *> core_ptrs;
-        std::vector<ShaderCore::BatchInput> batch_inputs;
+        core_ptrs.clear();
+        batch_inputs.clear();
         for (std::uint32_t p = 0; p < n_pipes; ++p) {
             core_ptrs.push_back(cores[p].get());
             batch_inputs.push_back({&pipes[p].batch, &pipes[p].arrivals,
@@ -467,7 +505,6 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
         // --- Balance samples (Figures 14/15) ---
         if (n_pipes == 4) {
             std::uint64_t total_quads = 0;
-            std::vector<double> t_samples(4), q_samples(4);
             for (std::uint32_t p = 0; p < 4; ++p) {
                 t_samples[p] = static_cast<double>(busy[p]);
                 q_samples[p] =

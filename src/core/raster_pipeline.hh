@@ -153,6 +153,17 @@ class RasterPipeline
     /** slot -> quad coords, per subtile (single-pipe: whole tile). */
     std::array<std::vector<Coord2>, kNumSubtiles> slotToQuad;
 
+    /**
+     * Pooled per-frame scratch (simFastPath spirit, but value-neutral:
+     * contents are fully rewritten per tile, so reusing capacity
+     * cannot change results). quadArena holds the current tile's
+     * rasterized quads; beginFrame() resets length, keeping capacity,
+     * so steady-state frames rasterize without heap traffic.
+     */
+    std::vector<Quad> quadArena;
+    /** flushBank() fast-path scratch: one line address per pixel. */
+    std::vector<Addr> flushAddrs;
+
     StatSet stats_{"raster_pipeline"};
 };
 

@@ -12,13 +12,29 @@ ShaderCore::ShaderCore(CoreId id, const GpuConfig &cfg, MemHierarchy &mem,
                        const Scene &scene)
     : coreId(id), cfg(cfg), mem(mem), scene(&scene),
       stats_("sc" + std::to_string(id))
-{}
+{
+    bindStats();
+}
+
+void
+ShaderCore::bindStats()
+{
+    hot.texSamples = &stats_.handle("tex_samples");
+    hot.texLineReads = &stats_.handle("tex_line_reads");
+    hot.texDataCycles = &stats_.handle("tex_data_cycles");
+    hot.texWaitCycles = &stats_.handle("tex_wait_cycles");
+    hot.aluOps = &stats_.handle("alu_ops");
+    hot.texInstructions = &stats_.handle("tex_instructions");
+    hot.warps = &stats_.handle("warps");
+    hot.fragments = &stats_.handle("fragments");
+}
 
 void
 ShaderCore::beginFrame()
 {
     texUnitFreeHalf = 0;
     stats_.clear();
+    bindStats();
 }
 
 Cycle
@@ -54,12 +70,12 @@ ShaderCore::sampleQuad(const Quad &quad, Cycle cycle)
         for (std::uint32_t l = 0; l < n_lines; ++l)
             data = std::max(data, mem.textureRead(coreId, lines[l],
                                                   issue));
-        stats_.inc("tex_samples");
-        stats_.inc("tex_line_reads", n_lines);
-        stats_.inc("tex_data_cycles", data - issue);
+        ++*hot.texSamples;
+        *hot.texLineReads += n_lines;
+        *hot.texDataCycles += data - issue;
         ready = std::max(ready, data + kFilterLatency);
     }
-    stats_.inc("tex_wait_cycles", ready - cycle);
+    *hot.texWaitCycles += ready - cycle;
     return ready;
 }
 
@@ -69,14 +85,14 @@ ShaderCore::issueInstruction(Warp &warp, Cycle cycle)
     if (warp.aluLeft > 0) {
         --warp.aluLeft;
         warp.readyAt = cycle + kAluLatency;
-        stats_.inc("alu_ops");
+        ++*hot.aluOps;
         return;
     }
     dtexl_assert(warp.texLeft > 0, "issue on a finished warp");
     warp.readyAt = sampleQuad(*warp.quad, cycle);
     --warp.texLeft;
     warp.aluLeft = warp.texLeft > 0 ? warp.aluPerSegment : warp.aluTail;
-    stats_.inc("tex_instructions");
+    ++*hot.texInstructions;
 }
 
 /** Per-core execution state within runBatches(). */
@@ -167,7 +183,7 @@ ShaderCore::admitWarps(CoreRun &run)
             run.res.completion[run.nextPending] = ready;
             run.res.finish = std::max(run.res.finish, ready);
             ++run.nextPending;
-            stats_.inc("warps");
+            ++*hot.warps;
             continue;
         }
         slot->quad = quad;
@@ -188,8 +204,8 @@ ShaderCore::admitWarps(CoreRun &run)
         slot->active = true;
         ++run.activeCount;
         ++run.nextPending;
-        stats_.inc("warps");
-        stats_.inc("fragments", quad->coveredCount());
+        ++*hot.warps;
+        *hot.fragments += quad->coveredCount();
     }
 }
 
@@ -221,34 +237,90 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
     // instruction, so the cores' memory accesses interleave in time
     // order at the shared levels. Within a core, the configured warp
     // scheduling policy selects among ready warps.
-    for (;;) {
-        CoreRun *best_run = nullptr;
-        Warp *best_warp = nullptr;
-        Cycle best_cycle = kCycleNever;
-        for (CoreRun &run : runs) {
+    //
+    // Two implementations of the same selection, switched by the
+    // simFastPath knob. The fast one caches each run's pick() result:
+    // pick() depends only on run-local state (its warps' readyAt and
+    // activity, nextIssueAt — never on memory-model state), so a
+    // cached candidate stays valid until its own run issues, and runs
+    // stalled on texture data are not rescanned every event — the
+    // event-driven analog of skipping idle cycles. Both paths choose
+    // the earliest cycle with the lowest run index breaking ties, so
+    // the issue sequences — and therefore every downstream memory
+    // access and stat — are identical (tests/test_fastpath_equiv.cc).
+    const bool fast_path =
+        !cores.empty() && cores.front()->cfg.simFastPath;
+    if (fast_path) {
+        struct Cand
+        {
+            Warp *warp = nullptr;
             Cycle cycle = kCycleNever;
-            Warp *pick = run.pick(cycle);
-            if (pick && cycle < best_cycle) {
-                best_cycle = cycle;
-                best_run = &run;
-                best_warp = pick;
+        };
+        std::vector<Cand> cands(runs.size());
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            cands[i].warp = runs[i].pick(cands[i].cycle);
+        for (;;) {
+            std::size_t best = runs.size();
+            Cycle best_cycle = kCycleNever;
+            for (std::size_t i = 0; i < runs.size(); ++i) {
+                if (cands[i].warp && cands[i].cycle < best_cycle) {
+                    best_cycle = cands[i].cycle;
+                    best = i;
+                }
             }
-        }
-        if (!best_run)
-            break;
+            if (best == runs.size())
+                break;
 
-        best_run->nextIssueAt = best_cycle + 1;
-        best_run->lastIssued = best_warp;
-        best_run->core->issueInstruction(*best_warp, best_cycle);
-        if (best_warp->aluLeft == 0 && best_warp->texLeft == 0) {
-            best_run->res.completion[best_warp->batchIndex] =
-                best_warp->readyAt;
-            best_run->res.finish = std::max(best_run->res.finish,
-                                            best_warp->readyAt);
-            best_warp->active = false;
-            best_run->lastIssued = nullptr;
-            --best_run->activeCount;
-            best_run->core->admitWarps(*best_run);
+            CoreRun &run = runs[best];
+            Warp *warp = cands[best].warp;
+            run.nextIssueAt = best_cycle + 1;
+            run.lastIssued = warp;
+            run.core->issueInstruction(*warp, best_cycle);
+            if (warp->aluLeft == 0 && warp->texLeft == 0) {
+                run.res.completion[warp->batchIndex] = warp->readyAt;
+                run.res.finish =
+                    std::max(run.res.finish, warp->readyAt);
+                warp->active = false;
+                run.lastIssued = nullptr;
+                --run.activeCount;
+                run.core->admitWarps(run);
+            }
+            // Only this run's state changed; refresh its candidate.
+            cands[best].warp = nullptr;
+            cands[best].cycle = kCycleNever;
+            cands[best].warp = runs[best].pick(cands[best].cycle);
+        }
+    } else {
+        // Reference implementation: re-pick every run every event.
+        for (;;) {
+            CoreRun *best_run = nullptr;
+            Warp *best_warp = nullptr;
+            Cycle best_cycle = kCycleNever;
+            for (CoreRun &run : runs) {
+                Cycle cycle = kCycleNever;
+                Warp *pick = run.pick(cycle);
+                if (pick && cycle < best_cycle) {
+                    best_cycle = cycle;
+                    best_run = &run;
+                    best_warp = pick;
+                }
+            }
+            if (!best_run)
+                break;
+
+            best_run->nextIssueAt = best_cycle + 1;
+            best_run->lastIssued = best_warp;
+            best_run->core->issueInstruction(*best_warp, best_cycle);
+            if (best_warp->aluLeft == 0 && best_warp->texLeft == 0) {
+                best_run->res.completion[best_warp->batchIndex] =
+                    best_warp->readyAt;
+                best_run->res.finish = std::max(best_run->res.finish,
+                                                best_warp->readyAt);
+                best_warp->active = false;
+                best_run->lastIssued = nullptr;
+                --best_run->activeCount;
+                best_run->core->admitWarps(*best_run);
+            }
         }
     }
 

@@ -114,6 +114,8 @@ class ShaderCore
     Cycle sampleQuad(const Quad &quad, Cycle cycle);
     /** Admit pending quads into free warp slots. */
     void admitWarps(CoreRun &run);
+    /** Re-bind the cached stat references (stats_ clears per frame). */
+    void bindStats();
 
     CoreId coreId;
     const GpuConfig &cfg;
@@ -122,6 +124,24 @@ class ShaderCore
     /** Texture unit occupancy, in half-cycles (2 bilinear/cycle). */
     std::uint64_t texUnitFreeHalf = 0;
     StatSet stats_;
+
+    /**
+     * Cached references into stats_ for the per-instruction counters
+     * (see Cache::HotStats); re-bound by beginFrame() because the
+     * per-frame stats_.clear() erases the keys.
+     */
+    struct HotStats
+    {
+        std::uint64_t *texSamples = nullptr;
+        std::uint64_t *texLineReads = nullptr;
+        std::uint64_t *texDataCycles = nullptr;
+        std::uint64_t *texWaitCycles = nullptr;
+        std::uint64_t *aluOps = nullptr;
+        std::uint64_t *texInstructions = nullptr;
+        std::uint64_t *warps = nullptr;
+        std::uint64_t *fragments = nullptr;
+    };
+    HotStats hot;
 };
 
 } // namespace dtexl

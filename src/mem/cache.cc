@@ -10,13 +10,20 @@ Cache::Cache(std::string name, const CacheConfig &cfg,
              std::uint32_t accesses_per_cycle, MemLevel &next)
     : name(std::move(name)), cfg(cfg), portsPerCycle(accesses_per_cycle),
       nextLevel(next), lines(std::size_t{cfg.numSets()} * cfg.ways),
-      port(accesses_per_cycle * kPortWindow, kPortWindow),
+      port(accesses_per_cycle * kPortWindow, kPortWindow, cfg.fastPath),
       stats_(this->name)
 {
     dtexl_assert(portsPerCycle > 0);
     dtexl_assert(cfg.numSets() > 0 && (cfg.numSets() &
                  (cfg.numSets() - 1)) == 0,
                  "set count must be a power of two");
+    hot.read = &stats_.handle("read");
+    hot.write = &stats_.handle("write");
+    hot.readHit = &stats_.handle("read_hit");
+    hot.writeHit = &stats_.handle("write_hit");
+    hot.readMiss = &stats_.handle("read_miss");
+    hot.writeMiss = &stats_.handle("write_miss");
+    hot.hitUnderFill = &stats_.handle("hit_under_fill");
 }
 
 std::size_t
@@ -40,10 +47,26 @@ Cache::findVictim(std::size_t set)
 }
 
 void
-Cache::purgeMshrs(Cycle)
+Cache::purgeMshrs(Cycle now)
 {
-    // Bound the interval history; only recent misses can overlap
-    // future queries in a roughly time-ordered access stream.
+    // Retire intervals whose fill completed at or before `now`: the
+    // occupancy scan only counts intervals with start <= t < fill at
+    // query times t that never go below `now` (the retry loop only
+    // advances), so a completed interval can never contribute again.
+    // The previous oldest-first size-capped eviction could drop
+    // still-in-flight intervals under MSHR pressure and under-count
+    // occupancy across the prune boundary (see
+    // Cache.PrunedIntervalsKeepBlocking).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < mshrIntervals.size(); ++i) {
+        if (mshrIntervals[i].fill > now)
+            mshrIntervals[keep++] = mshrIntervals[i];
+    }
+    mshrIntervals.resize(keep);
+
+    // Backstop for pathologically out-of-order access streams: only
+    // in-flight intervals remain, so exceeding the cap means more
+    // concurrent fills than the bounded history can distinguish.
     const std::size_t cap = std::size_t{cfg.numMshrs} * 8;
     while (mshrIntervals.size() > cap)
         mshrIntervals.pop_front();
@@ -52,7 +75,19 @@ Cache::purgeMshrs(Cycle)
 Cycle
 Cache::acquireMshr(Cycle ready)
 {
+    // Purging is part of the model's semantics, not just a memory
+    // bound: access times are out-of-order, so an interval dropped at
+    // one access's (later) timestamp may have overlapped a subsequent
+    // access's (earlier) timestamp. Both hot-path settings therefore
+    // purge at exactly the same points — unconditionally, here.
     purgeMshrs(ready);
+    if (cfg.fastPath) {
+        // Early exit, bit-exact with the scan below: with fewer
+        // retained intervals than MSHRs, every window the scan could
+        // count is under capacity, so the access starts at `ready`.
+        if (mshrIntervals.size() < cfg.numMshrs)
+            return ready;
+    }
     Cycle start = ready;
     for (;;) {
         std::uint32_t occupied = 0;
@@ -84,6 +119,16 @@ Cache::arbitratePort(Cycle now)
 Cache::Line *
 Cache::lookup(Addr line_addr, AccessType type)
 {
+    // One-entry last-hit filter: a line address lives in exactly one
+    // way of exactly one set, so a tag match here returns precisely
+    // the line the way loop below would find.
+    if (cfg.fastPath && lastHit && lastHit->valid &&
+        lastHit->tag == line_addr) {
+        lastHit->lruStamp = ++lruCounter;
+        if (type == AccessType::Write)
+            lastHit->dirty = true;
+        return lastHit;
+    }
     const std::size_t set = setIndex(line_addr);
     for (std::uint32_t w = 0; w < cfg.ways; ++w) {
         Line &l = lines[set * cfg.ways + w];
@@ -91,6 +136,7 @@ Cache::lookup(Addr line_addr, AccessType type)
             l.lruStamp = ++lruCounter;
             if (type == AccessType::Write)
                 l.dirty = true;
+            lastHit = &l;
             return &l;
         }
     }
@@ -101,7 +147,7 @@ Cycle
 Cache::access(Addr addr, AccessType type, Cycle now)
 {
     const Addr la = lineAddr(addr);
-    stats_.inc(type == AccessType::Read ? "read" : "write");
+    ++*(type == AccessType::Read ? hot.read : hot.write);
 
     const Cycle start = arbitratePort(now);
 
@@ -115,17 +161,16 @@ Cache::access(Addr addr, AccessType type, Cycle now)
         (void)line;
         Cycle done = start + cfg.hitLatency;
         if (auto it = pendingFills.find(la); it != pendingFills.end()) {
-            stats_.inc("hit_under_fill");
+            ++*hot.hitUnderFill;
             done = std::max(done, it->second);
         } else {
-            stats_.inc(type == AccessType::Read ? "read_hit"
-                                                : "write_hit");
+            ++*(type == AccessType::Read ? hot.readHit : hot.writeHit);
         }
         return done;
     }
 
     // Miss: allocate an MSHR and fetch the line from below.
-    stats_.inc(type == AccessType::Read ? "read_miss" : "write_miss");
+    ++*(type == AccessType::Read ? hot.readMiss : hot.writeMiss);
     Cycle issue = acquireMshr(start) + cfg.hitLatency;
 
     const std::size_t set = setIndex(la);
@@ -142,6 +187,7 @@ Cache::access(Addr addr, AccessType type, Cycle now)
     victim.tag = la;
     victim.dirty = (type == AccessType::Write);
     victim.lruStamp = ++lruCounter;
+    lastHit = &victim;
     pendingFills[la] = fill;
     mshrIntervals.push_back({issue, fill});
 
@@ -179,11 +225,11 @@ Cycle
 Cache::writeLine(Addr addr, Cycle now)
 {
     const Addr la = lineAddr(addr);
-    stats_.inc("write");
+    ++*hot.write;
 
     const Cycle start = arbitratePort(now);
     if (lookup(la, AccessType::Write)) {
-        stats_.inc("write_hit");
+        ++*hot.writeHit;
         return start + cfg.hitLatency;
     }
 
@@ -203,6 +249,7 @@ Cache::writeLine(Addr addr, Cycle now)
     victim.tag = la;
     victim.dirty = true;
     victim.lruStamp = ++lruCounter;
+    lastHit = &victim;
     return start + cfg.hitLatency;
 }
 
@@ -225,6 +272,8 @@ Cache::resetTiming()
     pendingFills.clear();
     mshrIntervals.clear();
     port.clear();
+    // lastHit stays warm like the tags: it only short-circuits the
+    // way loop, never changes its result.
 }
 
 void
@@ -234,6 +283,7 @@ Cache::flushAll()
         l = Line{};
     pendingFills.clear();
     mshrIntervals.clear();
+    lastHit = nullptr;
     lruCounter = 0;
     port.clear();
 }

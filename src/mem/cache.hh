@@ -112,6 +112,7 @@ class Cache : public MemLevel
 
     /** Reserve an MSHR; returns the cycle the access may start. */
     Cycle acquireMshr(Cycle ready);
+    /** Retire interval history that can no longer block any access. */
     void purgeMshrs(Cycle now);
     /** Port arbitration; returns the access start cycle. */
     Cycle arbitratePort(Cycle now);
@@ -125,6 +126,14 @@ class Cache : public MemLevel
 
     std::vector<Line> lines;      ///< numSets * ways, set-major
     std::uint64_t lruCounter = 0;
+
+    /**
+     * One-entry most-recently-hit filter checked in front of the way
+     * loop (fast path only). A line address lives in exactly one way
+     * of exactly one set, so a tag match here returns precisely the
+     * line the way loop would find — bit-exact by construction.
+     */
+    Line *lastHit = nullptr;
 
     /** Pending line fills: line address -> fill completion cycle. */
     std::map<Addr, Cycle> pendingFills;
@@ -152,6 +161,24 @@ class Cache : public MemLevel
     RateWindow port;
 
     StatSet stats_;
+
+    /**
+     * Cached references into stats_ for the per-access counters,
+     * bound once at construction (cache stats are never cleared), so
+     * the hot path skips the string-keyed map lookup. Binding happens
+     * under both hot-path settings, so both expose the same key set.
+     */
+    struct HotStats
+    {
+        std::uint64_t *read = nullptr;
+        std::uint64_t *write = nullptr;
+        std::uint64_t *readHit = nullptr;
+        std::uint64_t *writeHit = nullptr;
+        std::uint64_t *readMiss = nullptr;
+        std::uint64_t *writeMiss = nullptr;
+        std::uint64_t *hitUnderFill = nullptr;
+    };
+    HotStats hot;
 };
 
 } // namespace dtexl

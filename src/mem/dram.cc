@@ -10,16 +10,21 @@ Dram::Dram(const DramConfig &cfg)
     : cfg(cfg), banks(cfg.numBanks),
       channel(kChannelWindow,
               kChannelWindow *
-                  std::max<Cycle>(1, 64 / cfg.bytesPerCycle)),
+                  std::max<Cycle>(1, 64 / cfg.bytesPerCycle),
+              cfg.fastPath),
       stats_("dram")
 {
     dtexl_assert(cfg.numBanks > 0 && cfg.rowBytes > 0);
+    hot.read = &stats_.handle("read");
+    hot.write = &stats_.handle("write");
+    hot.rowHit = &stats_.handle("row_hit");
+    hot.rowMiss = &stats_.handle("row_miss");
 }
 
 Cycle
 Dram::access(Addr addr, AccessType type, Cycle now)
 {
-    stats_.inc(type == AccessType::Read ? "read" : "write");
+    ++*(type == AccessType::Read ? hot.read : hot.write);
 
     // XOR-folded bank hashing (standard in memory controllers) so
     // strided or Morton-patterned address streams spread over banks.
@@ -35,7 +40,7 @@ Dram::access(Addr addr, AccessType type, Cycle now)
     // Row state is tracked in simulation order: with out-of-order
     // access times this is an approximation of the open-row history.
     const bool row_hit = bank.rowOpen && bank.openRow == row_id;
-    stats_.inc(row_hit ? "row_hit" : "row_miss");
+    ++*(row_hit ? hot.rowHit : hot.rowMiss);
 
     // Open-row accesses occupy the bank for just the burst and
     // pipeline behind each other; a row miss also holds the bank for

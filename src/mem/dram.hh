@@ -55,6 +55,20 @@ class Dram : public MemLevel
     static constexpr std::uint32_t kChannelWindow = 16;
     RateWindow channel;
     StatSet stats_;
+
+    /**
+     * Cached references into stats_ for the per-access counters (see
+     * Cache::HotStats); DRAM stats are never cleared, so binding once
+     * at construction is safe.
+     */
+    struct HotStats
+    {
+        std::uint64_t *read = nullptr;
+        std::uint64_t *write = nullptr;
+        std::uint64_t *rowHit = nullptr;
+        std::uint64_t *rowMiss = nullptr;
+    };
+    HotStats hot;
 };
 
 } // namespace dtexl

@@ -8,6 +8,15 @@
  * access behind later ones; this limiter instead enforces the actual
  * bandwidth invariant — at most `capacity` reservations within any
  * `window`-cycle span — by searching the recorded start times.
+ *
+ * Two implementations live behind the `fast_path` constructor flag
+ * (see CacheConfig::fastPath): the reference one keeps the history in
+ * a std::deque exactly as originally written, the fast one keeps it
+ * in a contiguous ring (a vector with a dead prefix) so the binary
+ * search and window scans run on cache-friendly memory, with an O(1)
+ * append check for the common in-order case. Both grant bit-identical
+ * start cycles for any request sequence (tests/test_rate_window.cc,
+ * tests/test_fastpath_equiv.cc).
  */
 
 #ifndef DTEXL_MEM_RATE_WINDOW_HH
@@ -15,6 +24,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
@@ -26,11 +36,14 @@ class RateWindow
 {
   public:
     /**
-     * @param capacity Reservations allowed per window.
-     * @param window   Window length in cycles.
+     * @param capacity  Reservations allowed per window.
+     * @param window    Window length in cycles.
+     * @param fast_path Contiguous-storage implementation (default) or
+     *                  the deque reference implementation.
      */
-    RateWindow(std::uint32_t capacity, Cycle window)
-        : cap(capacity), win(window)
+    RateWindow(std::uint32_t capacity, Cycle window,
+               bool fast_path = true)
+        : cap(capacity), win(window), fast(fast_path)
     {
         dtexl_assert(capacity > 0 && window > 0);
     }
@@ -48,6 +61,26 @@ class RateWindow
      */
     Cycle
     reserve(Cycle now, bool &stalled)
+    {
+        return fast ? reserveFast(now, stalled)
+                    : reserveReference(now, stalled);
+    }
+
+    void
+    clear()
+    {
+        starts.clear();
+        ring.clear();
+        head = 0;
+    }
+
+  private:
+    /** Retained history, in windows behind the newest reservation. */
+    static constexpr Cycle kHorizonWindows = 64;
+
+    /** The original implementation, kept as the equivalence oracle. */
+    Cycle
+    reserveReference(Cycle now, bool &stalled)
     {
         // Bound the history by a time horizon: entries more than
         // kHorizonWindows windows older than the newest reservation
@@ -110,15 +143,88 @@ class RateWindow
         }
     }
 
-    void clear() { starts.clear(); }
+    /**
+     * Same algorithm on contiguous storage: `ring` holds the sorted
+     * history in [head, ring.size()), pruning advances `head`, and the
+     * dead prefix is compacted in bulk. Appends (the in-order common
+     * case) skip the binary search entirely.
+     */
+    Cycle
+    reserveFast(Cycle now, bool &stalled)
+    {
+        const std::size_t live = ring.size() - head;
+        if (live > 0) {
+            const Cycle newest = ring.back();
+            const Cycle horizon = win * kHorizonWindows;
+            while (head < ring.size() &&
+                   ring[head] + horizon < newest) {
+                ++head;
+            }
+            // Compact once the dead prefix dominates; amortized O(1).
+            if (head > 1024 && head * 2 > ring.size()) {
+                ring.erase(ring.begin(),
+                           ring.begin() +
+                               static_cast<std::ptrdiff_t>(head));
+                head = 0;
+            }
+        }
 
-  private:
-    /** Retained history, in windows behind the newest reservation. */
-    static constexpr Cycle kHorizonWindows = 64;
+        stalled = false;
+        const Cycle *base = ring.data() + head;
+        Cycle start = now;
+        for (;;) {
+            const std::size_t n = ring.size() - head;
+            // Append fast path: nothing after `start`, so the only
+            // candidate run is `start` plus the newest cap entries.
+            std::size_t idx;
+            if (n == 0 || start >= base[n - 1]) {
+                idx = n;
+            } else {
+                idx = static_cast<std::size_t>(
+                    std::lower_bound(base, base + n, start) - base);
+            }
+            bool violates = false;
+            Cycle retry = start;
+            for (std::size_t k = 0; k <= cap; ++k) {
+                if (k > idx)
+                    break;
+                const std::size_t first = idx - k;
+                const std::size_t last = first + cap;
+                if (last > n)
+                    continue;
+                const Cycle run_first =
+                    k > 0 ? std::min(base[first], start) : start;
+                const Cycle run_last =
+                    last > first ? std::max(base[last - 1], start)
+                                 : start;
+                if (run_last - run_first < win) {
+                    violates = true;
+                    retry = std::max(retry, run_first + win);
+                }
+            }
+            if (!violates) {
+                if (idx == n) {
+                    ring.push_back(start);
+                } else {
+                    ring.insert(ring.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        head + idx),
+                                start);
+                }
+                return start;
+            }
+            stalled = true;
+            dtexl_assert(retry > start, "rate window failed to advance");
+            start = retry;
+        }
+    }
 
     std::uint32_t cap;
     Cycle win;
-    std::deque<Cycle> starts;  ///< sorted reservation start times
+    bool fast;
+    std::deque<Cycle> starts;   ///< reference history, sorted
+    std::vector<Cycle> ring;    ///< fast history; live part sorted
+    std::size_t head = 0;       ///< first live entry of `ring`
 };
 
 /**

@@ -211,6 +211,43 @@ TEST(Cache, MshrIntervalsDoNotBlockEarlierAccesses)
     EXPECT_EQ(c.stats().get("mshr_stall"), 0u);
 }
 
+TEST(Cache, PrunedIntervalsKeepBlocking)
+{
+    // Regression for the MSHR prune policy: purging must evict only
+    // intervals whose fill precedes the current access. The old
+    // oldest-first size-capped prune dropped a still-in-flight miss
+    // once enough later misses were recorded, so an access that
+    // overlapped it sailed through without the capacity stall.
+    FakeMem mem(10'000);
+    CacheConfig cfg = smallCache();
+    cfg.numMshrs = 2;  // history cap = 16 recorded intervals
+    Cache c("t", cfg, 16, mem);
+
+    // A long miss in flight over [1, 10001).
+    EXPECT_EQ(c.access(0x0000, AccessType::Read, 0), 10'001u);
+
+    // Dozens of instantly-completing misses: each records an interval,
+    // and each purge retires the previous one (its fill precedes the
+    // next access), so the history never grows — but a size-capped
+    // prune would have pushed the long miss out after the 16th.
+    mem.latency = 0;
+    for (std::uint32_t i = 0; i < 24; ++i)
+        c.access(0x100000 + Addr{i} * 64, AccessType::Read, 2 + 2 * i);
+    EXPECT_EQ(c.stats().get("mshr_stall"), 0u);
+
+    // A second long miss joins the first in flight.
+    mem.latency = 10'000;
+    c.access(0x200000, AccessType::Read, 100);  // in flight [101, 10101)
+
+    // Both MSHRs are busy at cycle 5000: the probe must stall until
+    // the first long miss fills at 10001, which only happens if that
+    // interval survived all 24 prunes above.
+    mem.latency = 0;
+    const Cycle t = c.access(0x300000, AccessType::Read, 5'000);
+    EXPECT_GE(t, 10'001u);
+    EXPECT_GE(c.stats().get("mshr_stall"), 1u);
+}
+
 TEST(Cache, PrefetchNextLineOnMiss)
 {
     FakeMem mem(50);

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Golden-result pins for the paper's figures: one small benchmark per
+ * figure family, headline metrics compared with exact integers. These
+ * values were produced by this simulator and freeze its current
+ * behaviour: any change — scheduler tweak, cache fix, hot-path
+ * optimization — that moves a simulated statistic must be noticed and
+ * either justified (regenerate the constants in the same commit) or
+ * fixed. Wall-clock metrics are deliberately excluded.
+ *
+ * All scenarios render frame 0 of a Table I benchmark at 256x128 (the
+ * small screen keeps each render ~100 ms; the figure binaries use the
+ * full screen).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "core/dtexl.hh"
+#include "power/energy_model.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+GpuConfig
+small(GpuConfig cfg)
+{
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    return cfg;
+}
+
+FrameStats
+render(const GpuConfig &cfg, const char *alias)
+{
+    const Scene scene = generateScene(benchmarkByAlias(alias), cfg, 0);
+    GpuSimulator sim(cfg, scene);
+    return sim.renderFrame();
+}
+
+/** Picojoule rounding: turns the energy doubles into pinnable ints. */
+long long
+pj(double joules)
+{
+    return llround(joules * 1e12);
+}
+
+TEST(GoldenResults, MotivationBaselineTextureTraffic)
+{
+    // Figures 1/2: the baseline's cross-SC texture replication is the
+    // motivating observation — the same lines are fetched into several
+    // L1s, inflating L2 traffic.
+    const FrameStats fs = render(small(makeBaselineConfig()), "GTr");
+    EXPECT_EQ(fs.l1TexAccesses, 174560u);
+    EXPECT_EQ(fs.l1TexMisses, 10420u);
+    EXPECT_EQ(fs.l2Accesses, 11949u);
+    EXPECT_EQ(fs.l2Misses, 3596u);
+    EXPECT_EQ(fs.dramAccesses, 3706u);
+    EXPECT_EQ(fs.flushLineWrites, 8192u);
+    // Nearly 4 SCs' worth of duplicated texture lines.
+    EXPECT_DOUBLE_EQ(fs.textureReplication, 3.8208955223880596);
+}
+
+TEST(GoldenResults, QuadGroupingBalance)
+{
+    // Figures 11/12: fine-grained grouping balances quads across SCs
+    // almost perfectly; the coarse-grained DTexL grouping trades a
+    // little balance for locality.
+    const FrameStats fg = render(small(makeBaselineConfig()), "GTr");
+    const FrameStats cg = render(small(makeDTexLConfig()), "GTr");
+    EXPECT_EQ(fg.quadsPerSc,
+              (std::array<std::uint64_t, 4>{3935, 3898, 3941, 3888}));
+    EXPECT_EQ(cg.quadsPerSc,
+              (std::array<std::uint64_t, 4>{3721, 3941, 3856, 4144}));
+    EXPECT_EQ(fg.tileQuadDeviation.samples().size(), 32u);
+    EXPECT_EQ(cg.tileQuadDeviation.samples().size(), 32u);
+    // Same total work either way.
+    EXPECT_EQ(fg.quadsShaded, 15662u);
+    EXPECT_EQ(cg.quadsShaded, 15662u);
+}
+
+TEST(GoldenResults, NonDecoupledSpeedup)
+{
+    // Figure 13: DTexL's locality scheduling WITHOUT decoupled
+    // barriers already beats the baseline, but barrier imbalance eats
+    // most of the win.
+    GpuConfig nondec = small(makeDTexLConfig());
+    nondec.decoupledBarriers = false;
+    const FrameStats base = render(small(makeBaselineConfig()), "GTr");
+    const FrameStats nd = render(nondec, "GTr");
+    const FrameStats full = render(small(makeDTexLConfig()), "GTr");
+    EXPECT_EQ(base.totalCycles, 50086u);
+    EXPECT_EQ(nd.totalCycles, 47606u);
+    EXPECT_EQ(full.totalCycles, 38907u);
+    EXPECT_LT(nd.totalCycles, base.totalCycles);
+    EXPECT_LT(full.totalCycles, nd.totalCycles);
+}
+
+TEST(GoldenResults, BarrierImbalance)
+{
+    // Figures 14/15: per-pipeline idle cycles at the tile barrier.
+    // Decoupling collapses the idle time by an order of magnitude vs
+    // the coupled coarse-grained machine.
+    GpuConfig nondec = small(makeDTexLConfig());
+    nondec.decoupledBarriers = false;
+    const FrameStats nd = render(nondec, "GTr");
+    const FrameStats full = render(small(makeDTexLConfig()), "GTr");
+    EXPECT_EQ(nd.barrierIdleCycles,
+              (std::array<std::uint64_t, 4>{7484, 6008, 7347, 3879}));
+    EXPECT_EQ(full.barrierIdleCycles,
+              (std::array<std::uint64_t, 4>{229, 231, 261, 263}));
+    EXPECT_EQ(nd.tileTimeDeviation.samples().size(), 32u);
+}
+
+TEST(GoldenResults, SubtileMappingLocality)
+{
+    // Figure 16: the Flip2 subtile assignment (DTexL default) keeps
+    // seam-sharing subtiles on the same SC across consecutive tiles,
+    // beating the Constant mapping on both L2 traffic and cycles.
+    GpuConfig constant = small(makeDTexLConfig());
+    constant.assignment = SubtileAssignment::Constant;
+    const FrameStats cst = render(constant, "GTr");
+    const FrameStats flp = render(small(makeDTexLConfig()), "GTr");
+    EXPECT_EQ(cst.totalCycles, 39161u);
+    EXPECT_EQ(cst.l2Accesses, 5750u);
+    EXPECT_EQ(flp.totalCycles, 38907u);
+    EXPECT_EQ(flp.l2Accesses, 5038u);
+    EXPECT_LT(flp.l2Accesses, cst.l2Accesses);
+}
+
+TEST(GoldenResults, SpeedupHeadline)
+{
+    // Figure 17: full DTexL vs baseline on the texture-bound best case
+    // (GTr) and a lighter benchmark (SWa). The ratio is pinned through
+    // the exact cycle counts.
+    const FrameStats base_gtr =
+        render(small(makeBaselineConfig()), "GTr");
+    const FrameStats dtexl_gtr =
+        render(small(makeDTexLConfig()), "GTr");
+    const FrameStats base_swa =
+        render(small(makeBaselineConfig()), "SWa");
+    const FrameStats dtexl_swa =
+        render(small(makeDTexLConfig()), "SWa");
+
+    EXPECT_EQ(base_gtr.totalCycles, 50086u);
+    EXPECT_EQ(dtexl_gtr.totalCycles, 38907u);
+    EXPECT_EQ(base_swa.totalCycles, 54710u);
+    EXPECT_EQ(dtexl_swa.totalCycles, 48876u);
+
+    const double speedup_gtr =
+        static_cast<double>(base_gtr.totalCycles) /
+        static_cast<double>(dtexl_gtr.totalCycles);
+    EXPECT_GT(speedup_gtr, 1.25);
+
+    // Scheduling must not change the rendered image.
+    EXPECT_EQ(base_gtr.imageHash, dtexl_gtr.imageHash);
+    EXPECT_EQ(base_swa.imageHash, dtexl_swa.imageHash);
+}
+
+TEST(GoldenResults, EnergySplit)
+{
+    // Figure 18: the frame-energy breakdown of the DTexL machine,
+    // pinned as integer picojoules per component. DRAM dominates, and
+    // the L2-traffic reduction is what moves the total vs baseline.
+    const FrameStats fs = render(small(makeDTexLConfig()), "GTr");
+    const EnergyBreakdown e =
+        EnergyModel{}.compute(small(makeDTexLConfig()), fs);
+    EXPECT_EQ(pj(e.shaderDynamic), 2241424);
+    EXPECT_EQ(pj(e.l1), 2128068);
+    EXPECT_EQ(pj(e.l2), 327470);
+    EXPECT_EQ(pj(e.dram), 11859200);
+    EXPECT_EQ(pj(e.fixedFunction), 492080);
+    EXPECT_EQ(pj(e.staticEnergy), 3242250);
+    EXPECT_EQ(pj(e.total()), 20290492);
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Property tests for the tile traversal orders, over randomized grid
+ * shapes rather than the hand-picked cases of test_sfc.cc:
+ *
+ *  - every order is a bijection of the WxH grid (each tile ID appears
+ *    exactly once and decodes to in-bounds coordinates);
+ *  - consecutive Hilbert tiles are grid-adjacent within a sub-frame,
+ *    and overall adjacency stays near 1 on any grid;
+ *  - consecutive S-order tiles are always grid-adjacent;
+ *  - the Hilbert cell mapping round-trips for random cells.
+ *
+ * The generator is a fixed-seed xorshift so failures replay exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/policies.hh"
+#include "sfc/hilbert.hh"
+#include "sfc/morton.hh"
+#include "sfc/tile_order.hh"
+
+namespace dtexl {
+namespace {
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+
+    /** Uniform in [lo, hi]. */
+    std::uint32_t
+    range(std::uint32_t lo, std::uint32_t hi)
+    {
+        return lo + static_cast<std::uint32_t>(next() % (hi - lo + 1));
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+bool
+adjacent(TileId a, TileId b, std::uint32_t tiles_x)
+{
+    const Coord2 ca = tileCoord(a, tiles_x);
+    const Coord2 cb = tileCoord(b, tiles_x);
+    const std::int32_t dx = ca.x > cb.x ? ca.x - cb.x : cb.x - ca.x;
+    const std::int32_t dy = ca.y > cb.y ? ca.y - cb.y : cb.y - ca.y;
+    return dx + dy == 1;
+}
+
+TEST(SfcProps, EveryOrderBijectsArbitraryGrids)
+{
+    Rng rng(0x5eed0001);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::uint32_t tx = rng.range(1, 70);
+        const std::uint32_t ty = rng.range(1, 40);
+        for (TileOrder order : kAllTileOrders) {
+            const std::vector<TileId> trav =
+                makeTileOrder(order, tx, ty);
+            ASSERT_EQ(trav.size(), std::size_t{tx} * ty)
+                << toString(order) << " " << tx << "x" << ty;
+            std::vector<bool> seen(trav.size(), false);
+            for (TileId id : trav) {
+                ASSERT_LT(id, trav.size())
+                    << toString(order) << " " << tx << "x" << ty;
+                ASSERT_FALSE(seen[id])
+                    << toString(order) << " duplicates tile " << id
+                    << " on " << tx << "x" << ty;
+                seen[id] = true;
+                const Coord2 c = tileCoord(id, tx);
+                ASSERT_LT(static_cast<std::uint32_t>(c.x), tx);
+                ASSERT_LT(static_cast<std::uint32_t>(c.y), ty);
+            }
+        }
+    }
+}
+
+TEST(SfcProps, SOrderStepsAreAlwaysAdjacent)
+{
+    Rng rng(0x5eed0002);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::uint32_t tx = rng.range(1, 80);
+        const std::uint32_t ty = rng.range(1, 48);
+        const std::vector<TileId> trav =
+            makeTileOrder(TileOrder::SOrder, tx, ty);
+        for (std::size_t i = 1; i < trav.size(); ++i) {
+            ASSERT_TRUE(adjacent(trav[i - 1], trav[i], tx))
+                << tx << "x" << ty << " step " << i;
+        }
+        if (trav.size() > 1)
+            EXPECT_DOUBLE_EQ(adjacencyFraction(trav, tx), 1.0);
+    }
+}
+
+TEST(SfcProps, HilbertStepsAdjacentWithinFullSubframes)
+{
+    // The rectangular adaptation tiles the screen with 8x8 Hilbert
+    // sub-frames: a step may jump between sub-frames, and partial edge
+    // sub-frames skip out-of-grid cells, but inside a sub-frame that
+    // lies fully within the grid the curve property holds exactly.
+    Rng rng(0x5eed0003);
+    const auto side = static_cast<std::int32_t>(kHilbertSubframeSide);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::uint32_t tx = rng.range(8, 70);
+        const std::uint32_t ty = rng.range(8, 40);
+        const std::vector<TileId> trav =
+            makeTileOrder(TileOrder::RectHilbert, tx, ty);
+        for (std::size_t i = 1; i < trav.size(); ++i) {
+            const Coord2 a = tileCoord(trav[i - 1], tx);
+            const Coord2 b = tileCoord(trav[i], tx);
+            const bool same_subframe =
+                a.x / side == b.x / side && a.y / side == b.y / side;
+            const bool full_subframe =
+                static_cast<std::uint32_t>((a.x / side + 1) * side) <=
+                    tx &&
+                static_cast<std::uint32_t>((a.y / side + 1) * side) <=
+                    ty;
+            if (same_subframe && full_subframe) {
+                ASSERT_TRUE(adjacent(trav[i - 1], trav[i], tx))
+                    << tx << "x" << ty << " step " << i << " ("
+                    << a.x << "," << a.y << ")->(" << b.x << ","
+                    << b.y << ")";
+            }
+        }
+    }
+}
+
+TEST(SfcProps, HilbertAdjacencyBeatsZOrderOnRandomGrids)
+{
+    // Z-order breaks adjacency on every diagonal step (~half of all
+    // steps), while the Hilbert adaptation only jumps at sub-frame
+    // seams and partial edge strips.
+    Rng rng(0x5eed0004);
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::uint32_t tx = rng.range(17, 70);
+        const std::uint32_t ty = rng.range(17, 40);
+        const double h = adjacencyFraction(
+            makeTileOrder(TileOrder::RectHilbert, tx, ty), tx);
+        const double z = adjacencyFraction(
+            makeTileOrder(TileOrder::ZOrder, tx, ty), tx);
+        EXPECT_GT(h, 0.75) << tx << "x" << ty;
+        EXPECT_GT(h, z) << tx << "x" << ty;
+    }
+}
+
+TEST(SfcProps, HilbertCellMappingRoundTrips)
+{
+    Rng rng(0x5eed0005);
+    for (std::uint32_t side : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        for (int trial = 0; trial < 200; ++trial) {
+            const std::uint32_t x = rng.range(0, side - 1);
+            const std::uint32_t y = rng.range(0, side - 1);
+            const std::uint64_t d = hilbertXY2D(side, x, y);
+            ASSERT_LT(d, std::uint64_t{side} * side);
+            std::uint32_t rx = 0, ry = 0;
+            hilbertD2XY(side, d, rx, ry);
+            ASSERT_EQ(rx, x) << "side " << side;
+            ASSERT_EQ(ry, y) << "side " << side;
+        }
+    }
+}
+
+TEST(SfcProps, ZOrderMatchesMortonOnSquarePowerOfTwoGrids)
+{
+    // On a 2^k square grid, the Z traversal must be exactly the
+    // Morton sequence (the property the texture layout shares): the
+    // Morton code of consecutive traversal entries strictly ascends,
+    // and with the permutation property that pins the whole order.
+    for (std::uint32_t side : {2u, 4u, 8u, 16u, 32u}) {
+        const std::vector<TileId> trav =
+            makeTileOrder(TileOrder::ZOrder, side, side);
+        ASSERT_EQ(trav.size(), std::size_t{side} * side);
+        std::uint64_t prev = 0;
+        for (std::size_t d = 0; d < trav.size(); ++d) {
+            const Coord2 c = tileCoord(trav[d], side);
+            const std::uint64_t code =
+                mortonEncode(static_cast<std::uint32_t>(c.x),
+                             static_cast<std::uint32_t>(c.y));
+            EXPECT_EQ(code, d) << "side " << side;
+            if (d > 0)
+                EXPECT_GT(code, prev);
+            prev = code;
+        }
+    }
+}
+
+} // namespace
+} // namespace dtexl

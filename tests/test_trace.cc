@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Coverage for the --trace observability surface: the Chrome-trace
+ * JSON written by TraceWriter must parse, its spans must be properly
+ * nested per track, and the StatRegistry tree populated alongside it
+ * must satisfy the parent-totals-equal-sum-of-children invariant.
+ *
+ * TraceWriter is a process global that stays enabled once switched on,
+ * so everything that needs tracing runs inside this one binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stat_registry.hh"
+#include "common/trace.hh"
+#include "core/engine.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+// ---------- Minimal JSON reader ----------
+//
+// A genuine recursive-descent parser (objects, arrays, strings,
+// numbers, literals) rather than a regex: a malformed file — trailing
+// comma, unbalanced bracket, bad escape — must fail the test.
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    /** Parse the whole document; false on any syntax error. */
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        if (pos >= s.size())
+            return false;
+        switch (s[pos]) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (s[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                if (pos + 1 >= s.size())
+                    return false;
+                const char esc = s[pos + 1];
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'b':
+                  case 'f':
+                  case 'r':
+                    out += ' ';
+                    break;
+                  case 'u': {
+                    if (pos + 5 >= s.size())
+                        return false;
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                s[pos + 2 + i])))
+                            return false;
+                    }
+                    out += '?';  // code point value not needed here
+                    pos += 4;
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+                pos += 2;
+            } else {
+                out += s[pos++];
+            }
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos;  // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::stod(s.substr(start, pos - start));
+        return true;
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos;  // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            JsonValue item;
+            skipWs();
+            if (!value(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos;  // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos >= s.size() || !string(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return false;
+            ++pos;
+            skipWs();
+            JsonValue val;
+            if (!value(val))
+                return false;
+            out.members[key] = std::move(val);
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+struct Span
+{
+    std::string name;
+    std::string cat;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+    std::uint64_t tid = 0;
+};
+
+/**
+ * Shared fixture state: run one traced batch for the whole binary and
+ * let every test interrogate the resulting file and registry.
+ */
+class TraceOutput : public ::testing::Test
+{
+  protected:
+    static constexpr const char *kPath = "test_trace_out.json";
+
+    static void
+    SetUpTestSuite()
+    {
+        TraceWriter::global().enable(kPath);
+
+        GpuConfig cfg;
+        cfg.screenWidth = 256;
+        cfg.screenHeight = 128;
+
+        static Scene swa =
+            generateScene(benchmarkByAlias("SWa"), cfg, 0);
+        static Scene gtr =
+            generateScene(benchmarkByAlias("GTr"), cfg, 0);
+
+        registry() = new StatRegistry("trace-test");
+        std::vector<BatchJob> jobs;
+        jobs.push_back({"SWa/a", cfg,
+                        [](std::uint32_t) -> const Scene & {
+                            return swa;
+                        },
+                        2});
+        jobs.push_back({"GTr/b", cfg,
+                        [](std::uint32_t) -> const Scene & {
+                            return gtr;
+                        },
+                        1});
+        results() = runBatch(jobs, 2, registry());
+        TraceWriter::global().flush();
+
+        std::ifstream in(kPath, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        text() = os.str();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete registry();
+        registry() = nullptr;
+        std::remove(kPath);
+    }
+
+    static StatRegistry *&
+    registry()
+    {
+        static StatRegistry *r = nullptr;
+        return r;
+    }
+
+    static std::vector<BatchResult> &
+    results()
+    {
+        static std::vector<BatchResult> r;
+        return r;
+    }
+
+    static std::string &
+    text()
+    {
+        static std::string t;
+        return t;
+    }
+
+    static std::vector<Span>
+    spans(const JsonValue &doc)
+    {
+        std::vector<Span> out;
+        const JsonValue &events = doc.members.at("traceEvents");
+        for (const JsonValue &e : events.items) {
+            EXPECT_EQ(e.members.at("ph").str, "X");
+            Span s;
+            s.name = e.members.at("name").str;
+            s.cat = e.members.at("cat").str;
+            s.ts = static_cast<std::uint64_t>(
+                e.members.at("ts").number);
+            s.dur = static_cast<std::uint64_t>(
+                e.members.at("dur").number);
+            s.tid = static_cast<std::uint64_t>(
+                e.members.at("tid").number);
+            out.push_back(std::move(s));
+        }
+        return out;
+    }
+};
+
+TEST_F(TraceOutput, FileParsesAsJson)
+{
+    ASSERT_FALSE(text().empty());
+    JsonValue doc;
+    ASSERT_TRUE(JsonParser(text()).parse(doc)) << text();
+    ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+    ASSERT_TRUE(doc.members.count("traceEvents"));
+    EXPECT_EQ(doc.members.at("traceEvents").kind,
+              JsonValue::Kind::Array);
+}
+
+TEST_F(TraceOutput, EventsCarryExpectedSpans)
+{
+    JsonValue doc;
+    ASSERT_TRUE(JsonParser(text()).parse(doc));
+    const std::vector<Span> ss = spans(doc);
+
+    // 3 frames total: one geometry + one raster phase span each, and
+    // one job span per job.
+    std::map<std::string, int> by_name;
+    for (const Span &s : ss)
+        ++by_name[s.cat + ":" + s.name];
+    EXPECT_EQ(by_name["phase:geometry"], 3);
+    EXPECT_EQ(by_name["phase:raster"], 3);
+    EXPECT_EQ(by_name["job:SWa/a"], 1);
+    EXPECT_EQ(by_name["job:GTr/b"], 1);
+}
+
+TEST_F(TraceOutput, SpansWellNestedPerTrack)
+{
+    JsonValue doc;
+    ASSERT_TRUE(JsonParser(text()).parse(doc));
+    std::vector<Span> ss = spans(doc);
+
+    // Within a track, complete events must be properly nested: sort by
+    // (start asc, duration desc) and sweep with a stack of open end
+    // times; a span that starts inside an open span must also end
+    // inside it.
+    std::map<std::uint64_t, std::vector<Span>> tracks;
+    for (Span &s : ss)
+        tracks[s.tid].push_back(s);
+    for (auto &[tid, track] : tracks) {
+        std::sort(track.begin(), track.end(),
+                  [](const Span &a, const Span &b) {
+                      if (a.ts != b.ts)
+                          return a.ts < b.ts;
+                      return a.dur > b.dur;
+                  });
+        std::vector<std::uint64_t> open;
+        for (const Span &s : track) {
+            while (!open.empty() && open.back() <= s.ts)
+                open.pop_back();
+            if (!open.empty()) {
+                EXPECT_LE(s.ts + s.dur, open.back())
+                    << "span '" << s.name << "' on tid " << tid
+                    << " straddles its parent";
+            }
+            open.push_back(s.ts + s.dur);
+        }
+    }
+}
+
+TEST_F(TraceOutput, JobSpanContainsItsPhaseSpans)
+{
+    JsonValue doc;
+    ASSERT_TRUE(JsonParser(text()).parse(doc));
+    const std::vector<Span> ss = spans(doc);
+    for (const Span &job : ss) {
+        if (job.cat != "job")
+            continue;
+        int contained = 0;
+        for (const Span &ph : ss) {
+            if (ph.cat != "phase" || ph.tid != job.tid)
+                continue;
+            if (ph.ts >= job.ts &&
+                ph.ts + ph.dur <= job.ts + job.dur)
+                ++contained;
+        }
+        // Every frame of the job contributes a geometry and a raster
+        // span on the same worker track.
+        const int frames = job.name == "SWa/a" ? 2 : 1;
+        EXPECT_GE(contained, 2 * frames) << job.name;
+    }
+}
+
+TEST_F(TraceOutput, RegistryParentTotalsEqualChildSums)
+{
+    const StatRegistry &reg = *registry();
+
+    // Leaf keys: each job has exactly a .geometry and a .raster child.
+    for (const char *job : {"job.SWa/a", "job.GTr/b"}) {
+        const std::string base(job);
+        for (const char *key : {"frames", "cycles", "wall_us"}) {
+            EXPECT_EQ(reg.total(base, key),
+                      reg.total(base + ".geometry", key) +
+                          reg.total(base + ".raster", key))
+                << base << "." << key;
+        }
+    }
+
+    // Root totals aggregate every job.
+    EXPECT_EQ(reg.total("job", "frames"),
+              reg.total("job.SWa/a", "frames") +
+                  reg.total("job.GTr/b", "frames"));
+    // 3 frames, each with one geometry and one raster phase entry.
+    EXPECT_EQ(reg.total("job", "frames"), 6u);
+
+    // The registry's cycle totals agree with the FrameStats the batch
+    // returned — the two observability surfaces cannot drift apart.
+    std::uint64_t geom = 0, raster = 0;
+    for (const BatchResult &r : results()) {
+        for (const FrameStats &fs : r.frames) {
+            geom += fs.geometryCycles;
+            raster += fs.rasterCycles;
+        }
+    }
+    EXPECT_EQ(reg.total("job", "cycles"), geom + raster);
+
+    // An unrelated prefix sums nothing.
+    EXPECT_EQ(reg.total("nonexistent", "cycles"), 0u);
+}
+
+} // namespace
+} // namespace dtexl
