@@ -8,6 +8,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "telemetry/cli_options.hh"
+#include "telemetry/export.hh"
+
 namespace dtexl {
 namespace bench {
 
@@ -41,9 +44,13 @@ BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
     BenchOptions opt;
+    CommonCliOptions common;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--full") {
+        if (common.tryParse(arg)) {
+            // Shared flag (--jobs, --trace, --stats-json,
+            // --timeline-csv, --reference-path); copied below.
+        } else if (arg == "--full") {
             opt.width = 1960;
             opt.height = 768;
         } else if (arg.rfind("--scale=", 0) == 0) {
@@ -57,18 +64,6 @@ BenchOptions::parse(int argc, char **argv)
         } else if (arg.rfind("--csv=", 0) == 0) {
             opt.csvPath = arg.substr(6);
             setCsvOutput(opt.csvPath);
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            const long n = std::atol(arg.c_str() + 7);
-            if (n < 1 || n > 256)
-                fatal("--jobs must be in [1, 256]");
-            opt.jobs = static_cast<unsigned>(n);
-        } else if (arg == "--reference-path") {
-            opt.fastPath = false;
-        } else if (arg.rfind("--trace=", 0) == 0) {
-            opt.tracePath = arg.substr(8);
-            if (opt.tracePath.empty())
-                fatal("--trace needs a file path");
-            TraceWriter::global().enable(opt.tracePath);
         } else if (arg.rfind("--benchmarks=", 0) == 0) {
             const std::string list = arg.substr(13);
             std::size_t pos = 0;
@@ -105,19 +100,16 @@ BenchOptions::parse(int argc, char **argv)
                 "  --scale=F           fraction of the full screen\n"
                 "  --benchmarks=A,B,.. subset of Table I aliases\n"
                 "  --csv=FILE          append tables as CSV\n"
-                "  --jobs=N            worker threads for the batch "
-                "driver\n"
-                "  --trace=FILE        write Chrome-trace JSON "
-                "(chrome://tracing)\n"
-                "  --reference-path    disable the simulator hot-path "
-                "optimizations (A/B\n"
-                "                      equivalence check; results are "
-                "bit-identical)\n");
+                "%s",
+                CommonCliOptions::helpText());
             std::exit(0);
         } else {
             fatal("unknown option '%s'", arg.c_str());
         }
     }
+    opt.jobs = common.jobs;
+    opt.fastPath = common.fastPath;
+    opt.tracePath = common.tracePath;
     return opt;
 }
 
@@ -215,7 +207,14 @@ runGrid(const std::vector<GridJob> &jobs, const BenchOptions &opt)
         batch.push_back(std::move(bj));
     }
 
-    const std::vector<BatchResult> raw = runBatch(batch, opt.jobs);
+    // Process-lifetime registry so the figure binaries' per-job phase
+    // and telemetry counters are visible to --stats-json (the exporter
+    // holds a pointer until its final flush).
+    static StatRegistry registry("bench");
+    TelemetryExport::global().attachRegistry(&registry);
+
+    const std::vector<BatchResult> raw =
+        runBatch(batch, opt.jobs, &registry);
 
     std::vector<RunOutput> out(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -9,12 +9,18 @@
  * Usage:
  *   sim_cli [--bench=GTr[,CCS,...] | --scene=file.dscene] [--frames=N]
  *           [--jobs=N] [--trace=trace.json] [--stats]
+ *           [--stats-json=stats.json] [--timeline-csv=timeline.csv]
  *           [--save-scene=file.dscene] [--preset=baseline|dtexl]
- *           [key=value ...]
+ *           [--reference-path] [key=value ...]
  *
  * key=value options are applyConfigOption() keys, e.g.:
  *   sim_cli --bench=CCS grouping=CG-square order=Hilbert \
  *           assignment=flp2 decoupled=1 width=980 height=384
+ *
+ * Telemetry (see EXPERIMENTS.md "Observability"): telemetry=1 records
+ * per-unit stall attribution, telemetry=2 adds counter timelines;
+ * e.g.  sim_cli --bench=GTr telemetry=2 --trace=t.json \
+ *               --stats-json=s.json --timeline-csv=tl.csv
  */
 
 #include <cstdio>
@@ -24,6 +30,8 @@
 
 #include "core/dtexl.hh"
 #include "power/energy_model.hh"
+#include "telemetry/cli_options.hh"
+#include "telemetry/export.hh"
 #include "workloads/scene_io.hh"
 #include "workloads/scenegen.hh"
 
@@ -59,8 +67,8 @@ main(int argc, char **argv)
     std::string scene_path;
     std::string save_path;
     int frames = 1;
-    unsigned jobs = 1;
     bool dump_stats = false;
+    CommonCliOptions common;
     GpuConfig cfg = makeBaselineConfig();
     cfg.screenWidth = 640;
     cfg.screenHeight = 288;
@@ -71,7 +79,10 @@ main(int argc, char **argv)
         auto value_of = [&](const char *prefix) {
             return arg.substr(std::string(prefix).size());
         };
-        if (arg.rfind("--bench=", 0) == 0) {
+        if (common.tryParse(arg)) {
+            // Shared flag (--jobs, --trace, --stats-json,
+            // --timeline-csv, --reference-path).
+        } else if (arg.rfind("--bench=", 0) == 0) {
             bench_list = value_of("--bench=");
         } else if (arg.rfind("--scene=", 0) == 0) {
             scene_path = value_of("--scene=");
@@ -81,16 +92,6 @@ main(int argc, char **argv)
             frames = std::atoi(value_of("--frames=").c_str());
             if (frames < 1)
                 fatal("--frames must be >= 1");
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            const long n = std::atol(value_of("--jobs=").c_str());
-            if (n < 1 || n > 256)
-                fatal("--jobs must be in [1, 256]");
-            jobs = static_cast<unsigned>(n);
-        } else if (arg.rfind("--trace=", 0) == 0) {
-            const std::string path = value_of("--trace=");
-            if (path.empty())
-                fatal("--trace needs a file path");
-            TraceWriter::global().enable(path);
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--preset=dtexl") {
@@ -114,6 +115,7 @@ main(int argc, char **argv)
     }
     for (const auto &[k, v] : options)
         applyConfigOption(cfg, k, v);
+    cfg.simFastPath = cfg.simFastPath && common.fastPath;
     cfg.validate();
 
     std::printf("%s\n", cfg.describe().c_str());
@@ -164,8 +166,10 @@ main(int argc, char **argv)
     }
 
     // Fan the jobs over the batch driver; results come back in job
-    // order whatever --jobs is.
+    // order whatever --jobs is. The exporter detaches the registry at
+    // its explicit flush below, before this stack frame dies.
     StatRegistry registry("sim_cli");
+    TelemetryExport::global().attachRegistry(&registry);
     std::vector<BatchJob> batch;
     for (std::size_t j = 0; j < job_scenes.size(); ++j) {
         BatchJob bj;
@@ -179,7 +183,7 @@ main(int argc, char **argv)
         batch.push_back(std::move(bj));
     }
     const std::vector<BatchResult> results =
-        runBatch(batch, jobs, &registry);
+        runBatch(batch, common.jobs, &registry);
 
     EnergyModel energy;
     for (const BatchResult &r : results) {
@@ -203,6 +207,7 @@ main(int argc, char **argv)
     }
     if (dump_stats)
         std::printf("\n%s", registry.dump().c_str());
+    TelemetryExport::global().flush();
     TraceWriter::global().flush();
     return 0;
 }

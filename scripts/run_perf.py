@@ -8,7 +8,9 @@ reference implementations (fastpath=0) — and records, per benchmark:
   * simulated cycles (identical between the two runs, by construction),
   * wall time of the simulation phase (scene generation excluded),
   * simulator throughput in Mcycles/s for both paths,
-  * the wall-time speedup of the fast path.
+  * the wall-time speedup of the fast path,
+  * the wall-time overhead of telemetry=1 (stall attribution) relative
+    to the plain fast path, gated at --max-telemetry-overhead (1.05x).
 
 The run doubles as an end-to-end A/B check: every per-frame statistics
 line printed by sim_cli (cycles, quads, cache/DRAM accesses, energy)
@@ -42,7 +44,8 @@ SUMMARY_RE = re.compile(
 FRAME_RE = re.compile(r"^\S+ frame \d+: ")
 
 
-def run_sim(sim_cli, alias, frames, width, height, fastpath):
+def run_sim(sim_cli, alias, frames, width, height, fastpath,
+            telemetry=0):
     cmd = [
         str(sim_cli),
         f"--bench={alias}",
@@ -51,6 +54,7 @@ def run_sim(sim_cli, alias, frames, width, height, fastpath):
         f"width={width}",
         f"height={height}",
         f"fastpath={fastpath}",
+        f"telemetry={telemetry}",
     ]
     proc = subprocess.run(
         cmd, capture_output=True, text=True, check=True
@@ -72,15 +76,42 @@ def run_sim(sim_cli, alias, frames, width, height, fastpath):
     }
 
 
-def best_of(sim_cli, alias, frames, width, height, fastpath, repeat):
+def best_of(sim_cli, alias, frames, width, height, fastpath, repeat,
+            telemetry=0):
     best = None
     for _ in range(repeat):
-        r = run_sim(sim_cli, alias, frames, width, height, fastpath)
+        r = run_sim(sim_cli, alias, frames, width, height, fastpath,
+                    telemetry)
         if best is None or r["wall_ms"] < best["wall_ms"]:
             if best is not None and r["frame_lines"] != best["frame_lines"]:
                 sys.exit(f"{alias}: non-deterministic frame stats "
                          f"across repeats")
             best = r
+    return best
+
+
+def telemetry_overhead(sim_cli, alias, frames, width, height, repeat,
+                       fast_lines):
+    """Wall-time ratio of telemetry=1 over telemetry=0.
+
+    The two runs of each repeat execute back to back and only the
+    ratio is kept, so slow drift in background machine load cancels;
+    the minimum over repeats is reported because noise can only
+    inflate a ratio, never deflate the true overhead of both runs at
+    once. Also asserts telemetry never changes a simulated statistic.
+    """
+    best = None
+    for _ in range(max(repeat, 2)):
+        off = run_sim(sim_cli, alias, frames, width, height, 1)
+        on = run_sim(sim_cli, alias, frames, width, height, 1,
+                     telemetry=1)
+        if on["frame_lines"] != fast_lines:
+            print("FAST:\n" + "\n".join(fast_lines))
+            print("TELEMETRY:\n" + "\n".join(on["frame_lines"]))
+            sys.exit(f"{alias}: telemetry=1 changed simulated stats")
+        ratio = on["wall_ms"] / off["wall_ms"]
+        if best is None or ratio < best:
+            best = ratio
     return best
 
 
@@ -93,6 +124,9 @@ def main():
     ap.add_argument("--width", type=int, default=980)
     ap.add_argument("--height", type=int, default=384)
     ap.add_argument("--repeat", type=int, default=3)
+    ap.add_argument("--max-telemetry-overhead", type=float, default=1.05,
+                    help="fail if geomean telemetry=1 wall-time "
+                         "overhead exceeds this ratio")
     args = ap.parse_args()
 
     build = Path(args.build_dir)
@@ -124,6 +158,10 @@ def main():
         if fast["cycles"] != ref["cycles"]:
             sys.exit(f"{alias}: cycle counts diverge")
 
+        overhead = telemetry_overhead(sim_cli, alias, args.frames,
+                                      args.width, args.height,
+                                      args.repeat, fast["frame_lines"])
+
         speedup = ref["wall_ms"] / fast["wall_ms"]
         entry = {
             "alias": alias,
@@ -134,18 +172,21 @@ def main():
             "mcycles_per_s_fast": fast["cycles"] / fast["wall_ms"] / 1e3,
             "mcycles_per_s_ref": ref["cycles"] / ref["wall_ms"] / 1e3,
             "speedup": speedup,
+            "telemetry_overhead": overhead,
             "stats_bit_identical": True,
         }
         benches.append(entry)
         print(f"   fast {fast['wall_ms']:9.1f} ms "
               f"({entry['mcycles_per_s_fast']:6.2f} Mcycles/s) | "
               f"ref {ref['wall_ms']:9.1f} ms | "
-              f"speedup {speedup:.2f}x", flush=True)
+              f"speedup {speedup:.2f}x | "
+              f"telemetry {overhead:.3f}x", flush=True)
 
     if not benches:
         sys.exit("no benchmarks selected")
 
     speedups = [b["speedup"] for b in benches]
+    overheads = [b["telemetry_overhead"] for b in benches]
     report = {
         "generated_by": "scripts/run_perf.py",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -162,11 +203,21 @@ def main():
         "geomean_speedup": math.exp(
             sum(math.log(s) for s in speedups) / len(speedups)
         ),
+        "geomean_telemetry_overhead": math.exp(
+            sum(math.log(o) for o in overheads) / len(overheads)
+        ),
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}: max speedup {report['max_speedup']:.2f}x, "
-          f"geomean {report['geomean_speedup']:.2f}x")
+          f"geomean {report['geomean_speedup']:.2f}x, telemetry "
+          f"overhead {report['geomean_telemetry_overhead']:.3f}x")
 
+    if report["geomean_telemetry_overhead"] > args.max_telemetry_overhead:
+        print(f"ERROR: telemetry=1 geomean overhead "
+              f"{report['geomean_telemetry_overhead']:.3f}x exceeds the "
+              f"{args.max_telemetry_overhead:.2f}x budget",
+              file=sys.stderr)
+        return 1
     if report["max_speedup"] < 1.5:
         print("WARNING: fast path is below the 1.5x target on every "
               "bench", file=sys.stderr)

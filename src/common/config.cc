@@ -121,6 +121,10 @@ GpuConfig::validate() const
     check_cache("L2", l2Cache);
     if (dram.bytesPerCycle == 0 || dram.numBanks == 0)
         fatal("DRAM bandwidth/banks must be positive");
+    if (telemetryLevel > 2)
+        fatal("telemetry level must be 0, 1 or 2");
+    if (telemetryLevel >= 2 && telemetrySamplePeriod == 0)
+        fatal("sample_cycles must be >= 1");
 }
 
 GpuConfig
@@ -253,6 +257,10 @@ applyConfigOption(GpuConfig &cfg, const std::string &key,
         cfg.l2Cache.sizeBytes = parseUint(key, value) * 1024;
     } else if (key == "fastpath") {
         cfg.simFastPath = parseBool(key, value);
+    } else if (key == "telemetry") {
+        cfg.telemetryLevel = parseUint(key, value);
+    } else if (key == "sample_cycles") {
+        cfg.telemetrySamplePeriod = parseUint(key, value);
     } else {
         fatal("unknown config option '%s'", key.c_str());
     }

@@ -116,6 +116,20 @@ struct GpuConfig
      * `--reference-path` on the bench binaries for A/B validation.
      */
     bool simFastPath = true;
+    /**
+     * Telemetry knob (not modelled hardware; observation-only, results
+     * are bit-identical at any level): 0 = off, 1 = per-unit stall/busy
+     * cycle attribution into ".telemetry." registry nodes, 2 = level 1
+     * plus the time-series sampler (counter tracks in the Chrome trace,
+     * --timeline-csv rows). Set with the `telemetry` key.
+     */
+    std::uint32_t telemetryLevel = 0;
+    /**
+     * Sampler period in raster-phase cycles (level 2 only; the
+     * `sample_cycles` key). Samples are taken at tile boundaries, so
+     * spacing is quantized up to tile granularity.
+     */
+    std::uint32_t telemetrySamplePeriod = 8192;
 
     // --- Memory hierarchy (Table II) ---
     CacheConfig vertexCache  {8 * 1024, 64, 4, 1, 8};
@@ -157,7 +171,8 @@ GpuConfig makeUpperBoundConfig();
  * Apply a textual "key=value" option to a configuration (the CLI
  * driver's interface). Supported keys: grouping, order, assignment,
  * decoupled, hiz, warps, fifo, width, height, tile, l1tex_kib,
- * l2_kib, fastpath. fatal() on unknown keys or bad values.
+ * l2_kib, fastpath, telemetry, sample_cycles. fatal() on unknown keys
+ * or bad values.
  */
 void applyConfigOption(GpuConfig &cfg, const std::string &key,
                        const std::string &value);

@@ -21,6 +21,14 @@ StatRegistry::inc(const std::string &path, const std::string &key,
     node(path).inc(key, delta);
 }
 
+const StatSet *
+StatRegistry::find(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = sets.find(path);
+    return it == sets.end() ? nullptr : &it->second;
+}
+
 std::vector<std::string>
 StatRegistry::paths() const
 {

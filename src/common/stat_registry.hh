@@ -47,6 +47,12 @@ class StatRegistry
     std::vector<std::string> paths() const;
 
     /**
+     * The StatSet at @p path, or nullptr if unregistered. Read-only
+     * companion to node() for exporters; same stability guarantee.
+     */
+    const StatSet *find(const std::string &path) const;
+
+    /**
      * Sum of @p key over the node at @p path (if registered) and every
      * descendant ("a.b" covers "a.b", "a.b.c", ...). Interior paths
      * need not be registered themselves: the tree invariant a parent's

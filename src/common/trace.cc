@@ -18,8 +18,10 @@ struct TraceWriter::Impl
         std::string name;
         std::string cat;
         std::uint64_t ts;
-        std::uint64_t dur;
+        std::uint64_t dur;   ///< span duration; unused for counters
         std::uint32_t tid;
+        char ph;             ///< 'X' = complete span, 'C' = counter
+        std::uint64_t value; ///< counter value; unused for spans
     };
 
     std::mutex mu;
@@ -76,10 +78,21 @@ TraceWriter::complete(const std::string &name, const std::string &cat,
     const std::uint32_t track =
         tid < 0 ? threadId() : static_cast<std::uint32_t>(tid);
     std::lock_guard<std::mutex> lock(im.mu);
-    im.events.push_back({name, cat, ts_us, dur_us, track});
+    im.events.push_back({name, cat, ts_us, dur_us, track, 'X', 0});
 }
 
-namespace {
+void
+TraceWriter::counter(const std::string &name, std::uint64_t ts_us,
+                     std::uint64_t value, std::int32_t tid)
+{
+    Impl &im = impl();
+    if (!im.on.load(std::memory_order_acquire))
+        return;
+    const std::uint32_t track =
+        tid < 0 ? threadId() : static_cast<std::uint32_t>(tid);
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.events.push_back({name, "counter", ts_us, 0, track, 'C', value});
+}
 
 /** Escape a string for a JSON literal (names come from CLI labels). */
 std::string
@@ -114,8 +127,6 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace
-
 void
 TraceWriter::flush()
 {
@@ -133,14 +144,25 @@ TraceWriter::flush()
     std::fprintf(f, "{\"traceEvents\":[\n");
     for (std::size_t i = 0; i < im.events.size(); ++i) {
         const Impl::Event &e = im.events[i];
-        std::fprintf(
-            f,
-            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-            "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%u}%s\n",
-            jsonEscape(e.name).c_str(), jsonEscape(e.cat).c_str(),
-            static_cast<unsigned long long>(e.ts),
-            static_cast<unsigned long long>(e.dur), e.tid,
-            i + 1 == im.events.size() ? "" : ",");
+        const char *sep = i + 1 == im.events.size() ? "" : ",";
+        if (e.ph == 'C') {
+            std::fprintf(
+                f,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\","
+                "\"ts\":%llu,\"pid\":1,\"tid\":%u,"
+                "\"args\":{\"value\":%llu}}%s\n",
+                jsonEscape(e.name).c_str(), jsonEscape(e.cat).c_str(),
+                static_cast<unsigned long long>(e.ts), e.tid,
+                static_cast<unsigned long long>(e.value), sep);
+        } else {
+            std::fprintf(
+                f,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%u}%s\n",
+                jsonEscape(e.name).c_str(), jsonEscape(e.cat).c_str(),
+                static_cast<unsigned long long>(e.ts),
+                static_cast<unsigned long long>(e.dur), e.tid, sep);
+        }
     }
     std::fprintf(f, "]}\n");
     std::fclose(f);

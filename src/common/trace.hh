@@ -1,10 +1,11 @@
 /**
  * @file
  * Chrome-trace-event export (chrome://tracing, Perfetto): a process
- * global, thread-safe collector of complete ("ph":"X") events. The
- * batch driver and the phase-structured engine record job and phase
- * spans; `--trace=FILE` on the experiment binaries enables collection
- * and writes the JSON on exit.
+ * global, thread-safe collector of complete ("ph":"X") span events and
+ * counter ("ph":"C") samples. The batch driver and the phase-structured
+ * engine record job and phase spans; the telemetry sampler records
+ * counter tracks; `--trace=FILE` on the experiment binaries enables
+ * collection and writes the JSON on exit.
  *
  * Timestamps are microseconds of std::chrono::steady_clock since the
  * first use in the process, so spans from all worker threads share one
@@ -19,6 +20,9 @@
 #include <string>
 
 namespace dtexl {
+
+/** Escape a string for use inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
 
 /** Process-global trace-event collector; disabled until enable(). */
 class TraceWriter
@@ -47,6 +51,14 @@ class TraceWriter
     void complete(const std::string &name, const std::string &cat,
                   std::uint64_t ts_us, std::uint64_t dur_us,
                   std::int32_t tid = -1);
+
+    /**
+     * Record a counter-track sample ("ph":"C", category "counter").
+     * Successive samples with the same name and tid form one counter
+     * track in the viewer.
+     */
+    void counter(const std::string &name, std::uint64_t ts_us,
+                 std::uint64_t value, std::int32_t tid = -1);
 
     /** Write the JSON file; safe to call multiple times / when off. */
     void flush();

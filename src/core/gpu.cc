@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "telemetry/export.hh"
 
 namespace dtexl {
 
@@ -31,6 +32,32 @@ GpuSimulator::GpuSimulator(const GpuConfig &cfg_in, const Scene &scene_in)
     geom = std::make_unique<GeometryPhase>(cfg, *mem, *pb);
     pipeline = std::make_unique<RasterPipeline>(cfg, *mem, *scene, *fb,
                                                 &flushSignatures);
+
+    tel = std::make_unique<Telemetry>(cfg);
+    if (tel->counters())
+        pipeline->setTelemetry(tel.get());
+    if (tel->sampling()) {
+        // Sampler sources: per-SC occupancy plus the shared memory
+        // levels. Closures capture raw pointers into members that the
+        // simulator owns for its whole lifetime.
+        Telemetry *t = tel.get();
+        MemHierarchy *m = mem.get();
+        for (std::uint32_t p = 0; p < cfg.numPipelines; ++p) {
+            t->addSource("sc" + std::to_string(p) + ".busy",
+                         [t, p] {
+                             return t->track(scUnit(p)).liveBusyCycles();
+                         });
+            t->addSource("sc" + std::to_string(p) + ".stall",
+                         [t, p] {
+                             return t->track(scUnit(p))
+                                 .liveStallCycles();
+                         });
+        }
+        t->addSource("l2.accesses",
+                     [m] { return m->l2().accesses(); });
+        t->addSource("dram.accesses",
+                     [m] { return m->dram().accesses(); });
+    }
 }
 
 void
@@ -54,6 +81,8 @@ GpuSimulator::setStatRegistry(StatRegistry *reg, const std::string &prefix)
 {
     registry = reg;
     statPrefix = prefix;
+    geomStats = reg ? &reg->node(prefix + ".geometry") : nullptr;
+    rasterStats = reg ? &reg->node(prefix + ".raster") : nullptr;
 }
 
 FrameStats
@@ -71,6 +100,8 @@ GpuSimulator::renderFrame()
     if (rebuildEachFrame) {
         pipeline = std::make_unique<RasterPipeline>(
             cfg, *mem, *scene, *fb, &flushSignatures);
+        if (tel->counters())
+            pipeline->setTelemetry(tel.get());
     } else {
         pipeline->beginFrame();
     }
@@ -110,12 +141,28 @@ GpuSimulator::renderFrame()
     // state is reset while cache contents stay warm.
     mem->resetTiming();
     fb->clear();
-    const auto raster_wall0 = std::chrono::steady_clock::now();
-    {
-        TraceScope span("raster", "phase");
-        fs.rasterCycles = pipeline->run(*pb, fs);
+    // Telemetry is armed for the raster phase only: geometry restarts
+    // the cycle count at zero, so its traffic must not be attributed
+    // against raster-phase epochs.
+    const bool monitored = tel->counters();
+    if (monitored) {
+        tel->beginEpoch();
+        mem->attachTelemetry(tel.get());
     }
-    const std::uint64_t raster_wall_us = wallMicrosSince(raster_wall0);
+    // Explicit span (not TraceScope): the start timestamp doubles as
+    // the origin for mapping sampler cycles onto the trace time axis.
+    const std::uint64_t raster_ts0 = TraceWriter::nowMicros();
+    fs.rasterCycles = pipeline->run(*pb, fs);
+    const std::uint64_t raster_ts1 = TraceWriter::nowMicros();
+    if (TraceWriter::global().enabled()) {
+        TraceWriter::global().complete("raster", "phase", raster_ts0,
+                                       raster_ts1 - raster_ts0);
+    }
+    if (monitored) {
+        mem->attachTelemetry(nullptr);
+        tel->finalizeEpoch(fs.rasterCycles);
+    }
+    const std::uint64_t raster_wall_us = raster_ts1 - raster_ts0;
 
     // The two phases pipeline across frames (the Parameter Buffer is
     // double-buffered in real TBR parts), so steady-state frame time is
@@ -158,14 +205,59 @@ GpuSimulator::renderFrame()
 
     // ---- Observability: per-phase counters ----
     if (registry) {
-        StatSet &g = registry->node(statPrefix + ".geometry");
-        g.inc("frames");
-        g.inc("cycles", fs.geometryCycles);
-        g.inc("wall_us", geom_wall_us);
-        StatSet &r = registry->node(statPrefix + ".raster");
-        r.inc("frames");
-        r.inc("cycles", fs.rasterCycles);
-        r.inc("wall_us", raster_wall_us);
+        geomStats->inc("frames");
+        geomStats->inc("cycles", fs.geometryCycles);
+        geomStats->inc("wall_us", geom_wall_us);
+        rasterStats->inc("frames");
+        rasterStats->inc("cycles", fs.rasterCycles);
+        rasterStats->inc("wall_us", raster_wall_us);
+        if (monitored)
+            tel->publish(*registry, statPrefix);
+    }
+
+    // ---- Level 2: emit the epoch's counter timelines ----
+    if (tel->sampling()) {
+        const auto &rows = tel->samples();
+        const bool trace_on = TraceWriter::global().enabled();
+        const bool csv_on =
+            TelemetryExport::global().timelineEnabled();
+        if ((trace_on || csv_on) && !rows.empty()) {
+            // Map raster-phase sim cycles onto the span's wall window
+            // so counter tracks line up under the "raster" span.
+            const double us_per_cycle =
+                fs.rasterCycles > 0
+                    ? static_cast<double>(raster_ts1 - raster_ts0) /
+                          static_cast<double>(fs.rasterCycles)
+                    : 0.0;
+            const std::uint32_t frame = tel->frames() - 1;
+            std::vector<std::uint64_t> prev = tel->sampleBase();
+            for (const Telemetry::SampleRow &row : rows) {
+                const std::uint64_t ts =
+                    raster_ts0 +
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(row.cycle) * us_per_cycle);
+                for (std::size_t i = 0; i < tel->numSources(); ++i) {
+                    // Per-interval delta: cumulative sources turn into
+                    // rate tracks, which is what the viewer shows best.
+                    const std::uint64_t delta =
+                        row.values[i] >= prev[i]
+                            ? row.values[i] - prev[i]
+                            : 0;
+                    if (trace_on) {
+                        TraceWriter::global().counter(
+                            statPrefix + "." + tel->sourceName(i), ts,
+                            delta);
+                    }
+                    if (csv_on) {
+                        TelemetryExport::global().appendTimelineRow(
+                            statPrefix, frame, row.cycle,
+                            tel->sourceName(i), delta);
+                    }
+                }
+                prev = row.values;
+            }
+        }
+        tel->clearSamples();
     }
     return fs;
 }

@@ -27,6 +27,7 @@
 #include "geom/scene.hh"
 #include "mem/hierarchy.hh"
 #include "raster/framebuffer.hh"
+#include "telemetry/telemetry.hh"
 #include "tiling/param_buffer.hh"
 
 namespace dtexl {
@@ -82,6 +83,8 @@ class GpuSimulator
     const MemHierarchy &memory() const { return *mem; }
     const FrameBuffer &framebuffer() const { return *fb; }
     RasterPipeline &rasterPipeline() { return *pipeline; }
+    /** The simulator's telemetry sink (valid at any knob level). */
+    const Telemetry &telemetry() const { return *tel; }
 
   private:
     GpuConfig cfg;
@@ -93,9 +96,18 @@ class GpuSimulator
     std::unique_ptr<RasterPipeline> pipeline;
     /** Cross-frame flush CRCs for transaction elimination. */
     FlushSignatures flushSignatures;
+    /** Stall attribution + sampler (inert object when level is 0). */
+    std::unique_ptr<Telemetry> tel;
 
     StatRegistry *registry = nullptr;
     std::string statPrefix = "engine";
+    /**
+     * Cached registry nodes for the per-frame phase counters, bound
+     * once in setStatRegistry() (node references are stable), so
+     * renderFrame() skips the mutex-guarded path lookup per frame.
+     */
+    StatSet *geomStats = nullptr;
+    StatSet *rasterStats = nullptr;
     bool rebuildEachFrame = false;
 };
 

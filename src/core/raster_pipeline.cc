@@ -44,6 +44,18 @@ RasterPipeline::RasterPipeline(const GpuConfig &cfg, MemHierarchy &mem,
             }
         }
     }
+    bindStats();
+}
+
+void
+RasterPipeline::bindStats()
+{
+    hot.hizCulled = &stats_.handle("hiz_culled");
+    hot.ezTests = &stats_.handle("ez_tests");
+    hot.blendOps = &stats_.handle("blend_ops");
+    hot.flushEliminated = &stats_.handle("flush_eliminated");
+    hot.flushPartialLines = &stats_.handle("flush_partial_lines");
+    hot.flushLineWrites = &stats_.handle("flush_line_writes");
 }
 
 void
@@ -68,6 +80,7 @@ RasterPipeline::beginFrame()
     quadArena.clear();
     flushAddrs.clear();
     stats_.clear();
+    bindStats();
 }
 
 void
@@ -199,7 +212,7 @@ RasterPipeline::flushBank(PipeState &ps, Coord2 tile_coord,
         auto it = signatures->crc.find(key);
         if (it != signatures->crc.end() && it->second == crc) {
             ++fs.flushesEliminated;
-            stats_.inc("flush_eliminated");
+            ++*hot.flushEliminated;
             std::fill(ps.color.begin(), ps.color.end(), kClearColor);
             return start;
         }
@@ -219,9 +232,9 @@ RasterPipeline::flushBank(PipeState &ps, Coord2 tile_coord,
         ++issue;
         if (pixels < full) {
             ++issue;  // RMW merge occupies an extra slot
-            stats_.inc("flush_partial_lines");
+            ++*hot.flushPartialLines;
         }
-        stats_.inc("flush_line_writes");
+        ++*hot.flushLineWrites;
     };
     if (fast) {
         std::sort(flushAddrs.begin(), flushAddrs.end());
@@ -251,6 +264,9 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
     TileFetcher fetcher(cfg, mem, pb);
     const std::uint32_t n_pipes = numPipes();
     const bool coupled = !cfg.decoupledBarriers;
+    // Attribution monitor: null when telemetry is off, so every hook
+    // below is a single pointer test on the hot path.
+    Telemetry *const tmon = (tel && tel->counters()) ? tel : nullptr;
 
     // Current tile's quads, raster order — the pooled arena, so
     // steady-state tiles rasterize into already-grown storage.
@@ -318,6 +334,10 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
             blend_gate_all =
                 std::max(blend_gate_all, pipes[p].blendFinish);
         }
+        // Cross-pipe blend barrier before the flush component folds in
+        // (telemetry classifies BarrierWait vs DownstreamBackpressure
+        // by which component binds).
+        const Cycle blend_fin_all = blend_gate_all;
         blend_gate_all = std::max(blend_gate_all, shared_flush_done);
         for (std::uint32_t p = 0; p < n_pipes; ++p) {
             ez_gate[p] = coupled ? ez_gate_all : pipes[p].ezFinish;
@@ -339,6 +359,11 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
         // --- Emission + Early-Z, in raster order ---
         const Cycle rast_start = std::max(rast_free, tile.readyAt);
         rast_start_history.push_back(rast_start);
+        if (tmon && rast_start > rast_free) {
+            // The rasterizer sat waiting for the Tile Fetcher.
+            tmon->track(TelemetryUnit::Raster)
+                .span(rast_free, rast_start, StallReason::UpstreamStarve);
+        }
         if (rast_start > emit_cycle) {
             emit_cycle = rast_start;
             emitted_this_cycle = 0;
@@ -374,7 +399,7 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                         q_min = std::min(q_min, q.frags[k].depth);
                 if (!(q_min < hiz_block_max[hiz_block_of(q.quadInTile)])) {
                     ++fs.quadsCulledHiZ;
-                    stats_.inc("hiz_culled");
+                    ++*hot.hizCulled;
                     continue;
                 }
             }
@@ -392,19 +417,40 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                 e = std::max(e, ps.fifo.front());
                 ps.fifo.pop_front();
                 if (e > emit_cycle) {
-                    emit_cycle = e;  // rasterizer head-of-line stall
+                    // Rasterizer head-of-line stall: the slowest
+                    // pipeline's full FIFO blocks all emission.
+                    if (tmon) {
+                        tmon->track(TelemetryUnit::Raster)
+                            .span(emit_cycle, e,
+                                  StallReason::DownstreamBackpressure);
+                    }
+                    emit_cycle = e;
                     emitted_this_cycle = 0;
                 }
             }
             ++emitted_this_cycle;
+            if (tmon)
+                tmon->track(TelemetryUnit::Raster).busy(e, e + 1);
 
             // Early-Z consumes 1 quad/cycle per pipeline.
             const Cycle c = std::max({e, ez_gate[p],
                                       ps.ezBusyUntil + 1});
+            if (tmon) {
+                // The gap up to this consume is either the tile
+                // barrier (gate at least as late as the quad's
+                // arrival) or waiting on the rasterizer. Decoupled
+                // barriers make the gate the pipe's own finish, which
+                // the watermark already covers — BarrierWait is then
+                // exactly zero (tests/test_telemetry.cc).
+                UnitTrack &t = tmon->track(ezUnit(p));
+                t.stall(c, ez_gate[p] >= e ? StallReason::BarrierWait
+                                           : StallReason::UpstreamStarve);
+                t.busy(c, c + 1);
+            }
             ps.ezBusyUntil = c;
             ps.fifo.push_back(c);
             last_consume[p] = std::max(last_consume[p], c);
-            stats_.inc("ez_tests");
+            ++*hot.ezTests;
 
             std::uint8_t coverage = q.coverage;
             if (earlyZTest(ps, q, coverage, late_z)) {
@@ -485,6 +531,25 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                         ? br.start - prev_fs_finish[p]
                         : 0;
             }
+            if (tmon && !ps.batch.empty()) {
+                // SC buckets per batch, telescoping to the final
+                // fsFinish: [prev finish, gate) is the tile barrier,
+                // [gate, start) waits on Early-Z output, issue cycles
+                // are busy, and the rest of [start, finish) has no
+                // ready warp (all blocked on texture).
+                UnitTrack &t = tmon->track(scUnit(p));
+                if (fs_gate[p] > prev_fs_finish[p])
+                    t.add(StallReason::BarrierWait,
+                          fs_gate[p] - prev_fs_finish[p]);
+                if (br.start > fs_gate[p])
+                    t.add(StallReason::UpstreamStarve,
+                          br.start - fs_gate[p]);
+                t.addBusy(br.issues);
+                const Cycle active = br.finish - br.start;
+                if (active > br.issues)
+                    t.add(StallReason::NoReadyWarp,
+                          active - br.issues);
+            }
             prev_fs_finish[p] = ps.fsFinish;
 
             // --- Blending: in-order commit, 1 quad/cycle ---
@@ -493,11 +558,33 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                 const Cycle commit =
                     std::max({blend_gate[p], ps.blendBusyUntil + 1,
                               br.completion[i]});
+                if (tmon) {
+                    // Classify the gap up to this commit: the fragment
+                    // result arriving last is upstream; otherwise the
+                    // gate binds — split it into the flush component
+                    // (DownstreamBackpressure) vs the coupled
+                    // cross-pipe barrier, whichever is later. With
+                    // decoupled barriers there is no cross-pipe
+                    // component, so BarrierWait is exactly zero.
+                    const Cycle barrier = coupled ? blend_fin_all : 0;
+                    const Cycle flushc =
+                        coupled ? shared_flush_done : ps.flushDone;
+                    StallReason r;
+                    if (br.completion[i] >= blend_gate[p])
+                        r = StallReason::UpstreamStarve;
+                    else if (flushc >= barrier)
+                        r = StallReason::DownstreamBackpressure;
+                    else
+                        r = StallReason::BarrierWait;
+                    UnitTrack &t = tmon->track(blendUnit(p));
+                    t.stall(commit, r);
+                    t.busy(commit, commit + 1);
+                }
                 ps.blendBusyUntil = commit;
                 last_commit = std::max(last_commit, commit);
                 blendQuad(ps, *ps.batch[i], ps.batch[i]->coverage,
                           late_z);
-                stats_.inc("blend_ops");
+                ++*hot.blendOps;
             }
             ps.blendFinish = last_commit;
         }
@@ -543,6 +630,10 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                 frame_end = std::max(frame_end, ps.flushDone);
             }
         }
+
+        // Time-series sampling at tile granularity (level 2).
+        if (tmon && tmon->sampling())
+            tmon->maybeSample(frame_end);
 
         if (const char *dbg = getenv("DTEXL_TRACE_TILES")) {
             if (tile.sequence <

@@ -31,6 +31,7 @@
 #include "raster/rasterizer.hh"
 #include "sched/subtile_assigner.hh"
 #include "sched/subtile_layout.hh"
+#include "telemetry/telemetry.hh"
 #include "tiling/param_buffer.hh"
 #include "tiling/tile_fetcher.hh"
 
@@ -87,6 +88,15 @@ class RasterPipeline
 
     ShaderCore &core(CoreId p) { return *cores[p]; }
     const StatSet &stats() const { return stats_; }
+
+    /**
+     * Attach (or detach, with nullptr) the telemetry sink. run() then
+     * attributes every non-productive cycle of the rasterizer, Early-Z,
+     * Fragment and Blend units at the points where it makes the timing
+     * decisions; with level 2 it also drives the time-series sampler at
+     * tile boundaries.
+     */
+    void setTelemetry(Telemetry *t) { tel = t; }
 
   private:
     /** Timing/storage state of one parallel pipeline (bank + SC). */
@@ -165,6 +175,27 @@ class RasterPipeline
     std::vector<Addr> flushAddrs;
 
     StatSet stats_{"raster_pipeline"};
+
+    /**
+     * Cached references into stats_ for the per-quad counters (see
+     * Cache::HotStats); re-bound by beginFrame() because the per-frame
+     * stats_.clear() erases the keys.
+     */
+    struct HotStats
+    {
+        std::uint64_t *hizCulled = nullptr;
+        std::uint64_t *ezTests = nullptr;
+        std::uint64_t *blendOps = nullptr;
+        std::uint64_t *flushEliminated = nullptr;
+        std::uint64_t *flushPartialLines = nullptr;
+        std::uint64_t *flushLineWrites = nullptr;
+    };
+    HotStats hot;
+    /** Re-bind the cached stat references (stats_ clears per frame). */
+    void bindStats();
+
+    /** Telemetry sink; null (and inert) when telemetry is off. */
+    Telemetry *tel = nullptr;
 };
 
 } // namespace dtexl

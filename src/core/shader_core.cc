@@ -275,6 +275,7 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
             Warp *warp = cands[best].warp;
             run.nextIssueAt = best_cycle + 1;
             run.lastIssued = warp;
+            ++run.res.issues;
             run.core->issueInstruction(*warp, best_cycle);
             if (warp->aluLeft == 0 && warp->texLeft == 0) {
                 run.res.completion[warp->batchIndex] = warp->readyAt;
@@ -310,6 +311,7 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
 
             best_run->nextIssueAt = best_cycle + 1;
             best_run->lastIssued = best_warp;
+            ++best_run->res.issues;
             best_run->core->issueInstruction(*best_warp, best_cycle);
             if (best_warp->aluLeft == 0 && best_warp->texLeft == 0) {
                 best_run->res.completion[best_warp->batchIndex] =

@@ -36,6 +36,12 @@ class ShaderCore
         std::vector<Cycle> completion;
         Cycle start = 0;   ///< first activity (>= gate)
         Cycle finish = 0;  ///< last quad completion
+        /**
+         * Instructions issued for the batch: the scheduler issues at
+         * most one per cycle, so this is also the core's busy-cycle
+         * count over [start, finish) (telemetry's SC busy bucket).
+         */
+        std::uint64_t issues = 0;
     };
 
     /**

@@ -24,6 +24,11 @@ Cache::Cache(std::string name, const CacheConfig &cfg,
     hot.readMiss = &stats_.handle("read_miss");
     hot.writeMiss = &stats_.handle("write_miss");
     hot.hitUnderFill = &stats_.handle("hit_under_fill");
+    hot.mshrStall = &stats_.handle("mshr_stall");
+    hot.portStall = &stats_.handle("port_stall");
+    hot.writeback = &stats_.handle("writeback");
+    hot.writeValidate = &stats_.handle("write_validate");
+    hot.prefetchIssued = &stats_.handle("prefetch_issued");
 }
 
 std::size_t
@@ -100,9 +105,11 @@ Cache::acquireMshr(Cycle ready)
         }
         if (occupied < cfg.numMshrs)
             break;
-        stats_.inc("mshr_stall");
+        ++*hot.mshrStall;
         start = next_free;
     }
+    if (telemetry && start > ready)
+        telemetry->span(ready, start, StallReason::MshrFull);
     return start;
 }
 
@@ -112,7 +119,12 @@ Cache::arbitratePort(Cycle now)
     bool stalled = false;
     const Cycle start = port.reserve(now, stalled);
     if (stalled)
-        stats_.inc("port_stall");
+        ++*hot.portStall;
+    if (telemetry) {
+        if (start > now)
+            telemetry->span(now, start, StallReason::BankConflict);
+        telemetry->busy(start, start + 1);
+    }
     return start;
 }
 
@@ -176,7 +188,7 @@ Cache::access(Addr addr, AccessType type, Cycle now)
     const std::size_t set = setIndex(la);
     Line &victim = findVictim(set);
     if (victim.valid && victim.dirty) {
-        stats_.inc("writeback");
+        ++*hot.writeback;
         nextLevel.access(victim.tag, AccessType::Write, issue);
     }
     if (victim.valid)
@@ -198,11 +210,11 @@ Cache::access(Addr addr, AccessType type, Cycle now)
         const Addr nla = la + cfg.lineBytes;
         if (!contains(nla) && pendingFills.find(nla) ==
                                   pendingFills.end()) {
-            stats_.inc("prefetch_issued");
+            ++*hot.prefetchIssued;
             const Cycle pf_issue = acquireMshr(issue);
             Line &pf_victim = findVictim(setIndex(nla));
             if (pf_victim.valid && pf_victim.dirty) {
-                stats_.inc("writeback");
+                ++*hot.writeback;
                 nextLevel.access(pf_victim.tag, AccessType::Write,
                                  pf_issue);
             }
@@ -235,11 +247,11 @@ Cache::writeLine(Addr addr, Cycle now)
 
     // Write-validate: the whole line is produced here, so no fill is
     // needed — allocate the tag and dirty it.
-    stats_.inc("write_validate");
+    ++*hot.writeValidate;
     const std::size_t set = setIndex(la);
     Line &victim = findVictim(set);
     if (victim.valid && victim.dirty) {
-        stats_.inc("writeback");
+        ++*hot.writeback;
         nextLevel.access(victim.tag, AccessType::Write,
                          start + cfg.hitLatency);
     }

@@ -19,6 +19,7 @@
 #include "common/stats.hh"
 #include "mem/mem_level.hh"
 #include "mem/rate_window.hh"
+#include "telemetry/unit_track.hh"
 
 namespace dtexl {
 
@@ -81,6 +82,13 @@ class Cache : public MemLevel
 
     const StatSet &stats() const { return stats_; }
     StatSet &stats() { return stats_; }
+
+    /**
+     * Attach (or detach, with nullptr) the telemetry track this cache
+     * attributes cycles into: port-arbitration gaps as BankConflict,
+     * MSHR waits as MshrFull, one busy cycle per accepted access.
+     */
+    void setTelemetry(UnitTrack *t) { telemetry = t; }
 
     std::uint64_t reads() const { return stats_.get("read"); }
     std::uint64_t writes() const { return stats_.get("write"); }
@@ -177,8 +185,16 @@ class Cache : public MemLevel
         std::uint64_t *readMiss = nullptr;
         std::uint64_t *writeMiss = nullptr;
         std::uint64_t *hitUnderFill = nullptr;
+        std::uint64_t *mshrStall = nullptr;
+        std::uint64_t *portStall = nullptr;
+        std::uint64_t *writeback = nullptr;
+        std::uint64_t *writeValidate = nullptr;
+        std::uint64_t *prefetchIssued = nullptr;
     };
     HotStats hot;
+
+    /** Stall/busy attribution sink; null (and inert) below level 1. */
+    UnitTrack *telemetry = nullptr;
 };
 
 } // namespace dtexl

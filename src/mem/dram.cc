@@ -19,6 +19,7 @@ Dram::Dram(const DramConfig &cfg)
     hot.write = &stats_.handle("write");
     hot.rowHit = &stats_.handle("row_hit");
     hot.rowMiss = &stats_.handle("row_miss");
+    hot.channelStall = &stats_.handle("channel_stall");
 }
 
 Cycle
@@ -49,11 +50,19 @@ Dram::access(Addr addr, AccessType type, Cycle now)
     const Cycle occupancy =
         burst + (row_hit ? 0 : cfg.rowMissLatency - cfg.rowHitLatency);
     Cycle start = bank.busy.reserve(now, occupancy);
+    if (telemetry && start > now)
+        telemetry->span(now, start, StallReason::BankConflict);
 
     bool stalled = false;
+    const Cycle bank_start = start;
     start = channel.reserve(start, stalled);
     if (stalled)
-        stats_.inc("channel_stall");
+        ++*hot.channelStall;
+    if (telemetry) {
+        if (start > bank_start)
+            telemetry->span(bank_start, start, StallReason::ChannelBusy);
+        telemetry->busy(start, start + burst);
+    }
 
     const Cycle latency =
         row_hit ? cfg.rowHitLatency : cfg.rowMissLatency;

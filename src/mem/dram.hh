@@ -18,6 +18,7 @@
 #include "common/stats.hh"
 #include "mem/mem_level.hh"
 #include "mem/rate_window.hh"
+#include "telemetry/unit_track.hh"
 
 namespace dtexl {
 
@@ -37,6 +38,13 @@ class Dram : public MemLevel
 
     /** Reset bank/channel timing state (not the stats). */
     void reset();
+
+    /**
+     * Attach (or detach, with nullptr) the telemetry track: bank-busy
+     * waits as BankConflict, channel waits as ChannelBusy, the burst
+     * as busy cycles.
+     */
+    void setTelemetry(UnitTrack *t) { telemetry = t; }
 
   private:
     struct Bank
@@ -67,8 +75,12 @@ class Dram : public MemLevel
         std::uint64_t *write = nullptr;
         std::uint64_t *rowHit = nullptr;
         std::uint64_t *rowMiss = nullptr;
+        std::uint64_t *channelStall = nullptr;
     };
     HotStats hot;
+
+    /** Stall/busy attribution sink; null (and inert) below level 1. */
+    UnitTrack *telemetry = nullptr;
 };
 
 } // namespace dtexl

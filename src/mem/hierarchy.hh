@@ -14,6 +14,7 @@
 #include "common/config.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "telemetry/telemetry.hh"
 
 namespace dtexl {
 
@@ -73,6 +74,28 @@ class MemHierarchy
 
     /** Reset timing only, keeping contents warm (frame boundary). */
     void resetTiming();
+
+    /**
+     * Wire every level's stall-attribution track (nullptr detaches).
+     * The simulator arms this only around the raster phase, so
+     * geometry-phase traffic is not attributed.
+     */
+    void
+    attachTelemetry(Telemetry *t)
+    {
+        dramModel->setTelemetry(
+            t ? &t->track(TelemetryUnit::Dram) : nullptr);
+        l2Cache->setTelemetry(
+            t ? &t->track(TelemetryUnit::L2) : nullptr);
+        vertexL1->setTelemetry(
+            t ? &t->track(TelemetryUnit::L1Vtx) : nullptr);
+        tileL1->setTelemetry(
+            t ? &t->track(TelemetryUnit::L1Tile) : nullptr);
+        for (std::size_t i = 0; i < texL1s.size(); ++i)
+            texL1s[i]->setTelemetry(
+                t ? &t->track(texUnit(static_cast<std::uint32_t>(i)))
+                  : nullptr);
+    }
 
   private:
     std::unique_ptr<Dram> dramModel;

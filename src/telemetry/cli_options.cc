@@ -1,0 +1,66 @@
+#include "telemetry/cli_options.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "telemetry/export.hh"
+
+namespace dtexl {
+
+bool
+CommonCliOptions::tryParse(const std::string &arg)
+{
+    if (arg.rfind("--jobs=", 0) == 0) {
+        const long n = std::atol(arg.c_str() + 7);
+        if (n < 1 || n > 256)
+            fatal("--jobs must be in [1, 256]");
+        jobs = static_cast<unsigned>(n);
+        return true;
+    }
+    if (arg == "--reference-path") {
+        fastPath = false;
+        return true;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+        tracePath = arg.substr(8);
+        if (tracePath.empty())
+            fatal("--trace needs a file path");
+        TraceWriter::global().enable(tracePath);
+        return true;
+    }
+    if (arg.rfind("--stats-json=", 0) == 0) {
+        statsJsonPath = arg.substr(13);
+        if (statsJsonPath.empty())
+            fatal("--stats-json needs a file path");
+        TelemetryExport::global().setStatsJsonPath(statsJsonPath);
+        return true;
+    }
+    if (arg.rfind("--timeline-csv=", 0) == 0) {
+        timelineCsvPath = arg.substr(15);
+        if (timelineCsvPath.empty())
+            fatal("--timeline-csv needs a file path");
+        TelemetryExport::global().setTimelineCsvPath(timelineCsvPath);
+        return true;
+    }
+    return false;
+}
+
+const char *
+CommonCliOptions::helpText()
+{
+    return
+        "  --jobs=N            worker threads for the batch driver\n"
+        "  --trace=FILE        write Chrome-trace JSON "
+        "(chrome://tracing)\n"
+        "  --stats-json=FILE   write a flat JSON dump of all counters\n"
+        "                      (schema dtexl-stats-v1)\n"
+        "  --timeline-csv=FILE write telemetry=2 counter timelines as "
+        "CSV\n"
+        "  --reference-path    disable the simulator hot-path "
+        "optimizations (A/B\n"
+        "                      equivalence check; results are "
+        "bit-identical)\n";
+}
+
+} // namespace dtexl

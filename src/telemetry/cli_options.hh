@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Command-line options shared by every driver binary (the four
+ * experiment binaries and sim_cli): worker count, trace output,
+ * fast-path selection and the telemetry exporters. Each binary's arg
+ * loop offers unrecognized arguments to CommonCliOptions::tryParse()
+ * first, so these flags are spelled, validated and wired identically
+ * everywhere instead of five slightly different copies.
+ */
+
+#ifndef DTEXL_TELEMETRY_CLI_OPTIONS_HH
+#define DTEXL_TELEMETRY_CLI_OPTIONS_HH
+
+#include <string>
+
+namespace dtexl {
+
+/** Options common to every CLI; parse side effects arm the globals. */
+struct CommonCliOptions
+{
+    /** Worker threads for the batch driver (--jobs=N, [1, 256]). */
+    unsigned jobs = 1;
+    /** --reference-path clears GpuConfig::simFastPath (A/B checks). */
+    bool fastPath = true;
+    /** --trace=FILE: Chrome-trace JSON; enables TraceWriter. */
+    std::string tracePath;
+    /** --stats-json=FILE: flat StatRegistry dump (dtexl-stats-v1). */
+    std::string statsJsonPath;
+    /** --timeline-csv=FILE: level-2 sampler rows as CSV. */
+    std::string timelineCsvPath;
+
+    /**
+     * Consume @p arg if it is one of the shared flags (returns true);
+     * fatal() on a malformed value. Side effects: --trace enables the
+     * global TraceWriter, --stats-json/--timeline-csv arm the global
+     * TelemetryExport.
+     */
+    bool tryParse(const std::string &arg);
+
+    /** Help lines for the shared flags (one per line, indented). */
+    static const char *helpText();
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_TELEMETRY_CLI_OPTIONS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The closed stall-reason taxonomy of the telemetry subsystem: every
+ * non-productive cycle of every per-cycle unit (rasterizer, Early-Z /
+ * Blend banks, shader cores, caches, DRAM) is attributed to exactly one
+ * of these reasons, or to Idle when no unit-level cause applies. The
+ * enum is deliberately small and unit-agnostic; the unit a bucket is
+ * reported under gives it its precise meaning (UpstreamStarve on a
+ * Blend bank means "waiting for shaded quads", on the rasterizer it
+ * means "waiting for the Tile Fetcher").
+ */
+
+#ifndef DTEXL_TELEMETRY_STALL_HH
+#define DTEXL_TELEMETRY_STALL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dtexl {
+
+/** Why a unit was not doing productive work this cycle. */
+enum class StallReason : std::uint8_t {
+    /** Waiting at a per-tile stage barrier (the coupled-pipeline
+     *  mechanism of Figure 4; near zero with decoupled barriers). */
+    BarrierWait,
+    /** SC had in-flight warps but none ready to issue (all blocked on
+     *  texture data or ALU latency). */
+    NoReadyWarp,
+    /** Input not available yet (previous stage still producing). */
+    UpstreamStarve,
+    /** Output side full or draining (stage FIFO back-pressure, Color
+     *  Buffer flush still in flight). */
+    DownstreamBackpressure,
+    /** All MSHRs of a cache occupied by in-flight misses. */
+    MshrFull,
+    /** Cache port / DRAM bank arbitration conflict. */
+    BankConflict,
+    /** DRAM data channel saturated. */
+    ChannelBusy,
+};
+
+inline constexpr std::size_t kNumStallReasons = 7;
+
+/** Stable snake_case name, used as the "stall_<name>" counter key. */
+constexpr const char *
+toString(StallReason r)
+{
+    switch (r) {
+      case StallReason::BarrierWait:            return "barrier_wait";
+      case StallReason::NoReadyWarp:            return "no_ready_warp";
+      case StallReason::UpstreamStarve:         return "upstream_starve";
+      case StallReason::DownstreamBackpressure: return "downstream_backpressure";
+      case StallReason::MshrFull:               return "mshr_full";
+      case StallReason::BankConflict:           return "bank_conflict";
+      case StallReason::ChannelBusy:            return "channel_busy";
+    }
+    return "unknown";
+}
+
+} // namespace dtexl
+
+#endif // DTEXL_TELEMETRY_STALL_HH

@@ -1,0 +1,70 @@
+#include "telemetry/telemetry.hh"
+
+namespace dtexl {
+
+const char *
+unitName(TelemetryUnit u)
+{
+    switch (u) {
+      case TelemetryUnit::Raster:  return "raster";
+      case TelemetryUnit::Ez0:     return "ez0";
+      case TelemetryUnit::Ez1:     return "ez1";
+      case TelemetryUnit::Ez2:     return "ez2";
+      case TelemetryUnit::Ez3:     return "ez3";
+      case TelemetryUnit::Sc0:     return "sc0";
+      case TelemetryUnit::Sc1:     return "sc1";
+      case TelemetryUnit::Sc2:     return "sc2";
+      case TelemetryUnit::Sc3:     return "sc3";
+      case TelemetryUnit::Blend0:  return "blend0";
+      case TelemetryUnit::Blend1:  return "blend1";
+      case TelemetryUnit::Blend2:  return "blend2";
+      case TelemetryUnit::Blend3:  return "blend3";
+      case TelemetryUnit::L1Tex0:  return "l1tex0";
+      case TelemetryUnit::L1Tex1:  return "l1tex1";
+      case TelemetryUnit::L1Tex2:  return "l1tex2";
+      case TelemetryUnit::L1Tex3:  return "l1tex3";
+      case TelemetryUnit::L1Vtx:   return "l1vtx";
+      case TelemetryUnit::L1Tile:  return "l1tile";
+      case TelemetryUnit::L2:      return "l2";
+      case TelemetryUnit::Dram:    return "dram";
+    }
+    panic("unknown TelemetryUnit %d", static_cast<int>(u));
+}
+
+void
+Telemetry::publish(StatRegistry &reg, const std::string &prefix)
+{
+    if (boundReg != &reg || boundPrefix != prefix) {
+        // Bind (or rebind) the per-unit node handles. node() references
+        // are stable for the registry's lifetime; handle() references
+        // are stable because registry nodes are never clear()ed by the
+        // engine (only whole-registry clear() would invalidate them,
+        // which no caller mixes with an attached simulator).
+        for (std::size_t u = 0; u < kNumTelemetryUnits; ++u) {
+            StatSet &node = reg.node(
+                prefix + ".telemetry." +
+                unitName(static_cast<TelemetryUnit>(u)));
+            nodes_[u].busy = &node.handle("busy");
+            for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+                nodes_[u].stall[r] = &node.handle(
+                    std::string("stall_") +
+                    toString(static_cast<StallReason>(r)));
+            }
+            nodes_[u].idle = &node.handle("idle");
+            nodes_[u].total = &node.handle("total");
+        }
+        boundReg = &reg;
+        boundPrefix = prefix;
+    }
+    for (std::size_t u = 0; u < kNumTelemetryUnits; ++u) {
+        const UnitTrack &t = tracks_[u];
+        *nodes_[u].busy = t.busyCycles();
+        for (std::size_t r = 0; r < kNumStallReasons; ++r)
+            *nodes_[u].stall[r] =
+                t.stallCycles(static_cast<StallReason>(r));
+        *nodes_[u].idle = t.idleCycles();
+        *nodes_[u].total = t.totalCycles();
+    }
+}
+
+} // namespace dtexl

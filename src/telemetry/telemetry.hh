@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Per-simulator telemetry sink: one UnitTrack per per-cycle unit plus
+ * an optional low-overhead time-series sampler, all behind the
+ * GpuConfig::telemetryLevel knob (0 = off, 1 = stall/busy counters,
+ * 2 = counters + sampling).
+ *
+ * Telemetry is scoped to the *raster phase*: geometry and raster each
+ * restart the cycle count at zero (see GpuSimulator::renderFrame), so
+ * the simulator arms the tracks only around RasterPipeline::run() and
+ * finalizes each epoch against that frame's raster-phase length. The
+ * raster phase is where the paper's mechanisms live (barrier idling,
+ * texture locality) and is the frame-time bottleneck in every
+ * evaluated workload.
+ *
+ * Telemetry is strictly observation-only: every recorded quantity is
+ * derived from simulated cycles the pipeline computes anyway, so
+ * FrameStats, image hashes and every StatRegistry counter outside the
+ * ".telemetry." namespace are bit-identical at any knob level
+ * (tests/test_telemetry.cc).
+ */
+
+#ifndef DTEXL_TELEMETRY_TELEMETRY_HH
+#define DTEXL_TELEMETRY_TELEMETRY_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stat_registry.hh"
+#include "telemetry/unit_track.hh"
+
+namespace dtexl {
+
+/** Every per-cycle unit the telemetry layer attributes cycles for. */
+enum class TelemetryUnit : std::uint8_t {
+    Raster,
+    Ez0, Ez1, Ez2, Ez3,
+    Sc0, Sc1, Sc2, Sc3,
+    Blend0, Blend1, Blend2, Blend3,
+    L1Tex0, L1Tex1, L1Tex2, L1Tex3,
+    L1Vtx, L1Tile, L2, Dram,
+};
+
+inline constexpr std::size_t kNumTelemetryUnits = 21;
+
+constexpr TelemetryUnit
+ezUnit(std::uint32_t pipe)
+{
+    return static_cast<TelemetryUnit>(
+        static_cast<std::uint8_t>(TelemetryUnit::Ez0) + pipe);
+}
+constexpr TelemetryUnit
+scUnit(std::uint32_t pipe)
+{
+    return static_cast<TelemetryUnit>(
+        static_cast<std::uint8_t>(TelemetryUnit::Sc0) + pipe);
+}
+constexpr TelemetryUnit
+blendUnit(std::uint32_t pipe)
+{
+    return static_cast<TelemetryUnit>(
+        static_cast<std::uint8_t>(TelemetryUnit::Blend0) + pipe);
+}
+constexpr TelemetryUnit
+texUnit(std::uint32_t cache)
+{
+    return static_cast<TelemetryUnit>(
+        static_cast<std::uint8_t>(TelemetryUnit::L1Tex0) + cache);
+}
+
+/** Stable unit name, used as the ".telemetry.<name>" node suffix. */
+const char *unitName(TelemetryUnit u);
+
+/** Telemetry state of one GpuSimulator (single-writer, like stats). */
+class Telemetry
+{
+  public:
+    explicit Telemetry(const GpuConfig &cfg)
+        : level_(cfg.telemetryLevel),
+          period_(cfg.telemetrySamplePeriod == 0
+                      ? 1
+                      : cfg.telemetrySamplePeriod)
+    {}
+
+    /** Level 1+: stall/busy attribution is recorded. */
+    bool counters() const { return level_ >= 1; }
+    /** Level 2: the time-series sampler is armed too. */
+    bool sampling() const { return level_ >= 2; }
+    std::uint32_t level() const { return level_; }
+
+    UnitTrack &
+    track(TelemetryUnit u)
+    {
+        return tracks_[static_cast<std::size_t>(u)];
+    }
+    const UnitTrack &
+    track(TelemetryUnit u) const
+    {
+        return tracks_[static_cast<std::size_t>(u)];
+    }
+
+    /** Arm a new raster-phase epoch (cycle counts restart at 0). */
+    void
+    beginEpoch()
+    {
+        for (UnitTrack &t : tracks_)
+            t.beginEpoch();
+        rows_.clear();
+        nextSampleAt = period_;
+        for (std::size_t i = 0; i < sources_.size(); ++i)
+            base_[i] = sources_[i].read();
+    }
+
+    /** Close the epoch against the raster-phase length. */
+    void
+    finalizeEpoch(Cycle phaseCycles)
+    {
+        for (std::size_t u = 0; u < kNumTelemetryUnits; ++u)
+            epoch_[u] = tracks_[u].finalizeEpoch(phaseCycles);
+        ++frames_;
+    }
+
+    /**
+     * Report the cumulative per-unit totals into
+     * "<prefix>.telemetry.<unit>" registry nodes (keys: busy,
+     * stall_<reason>..., idle, total). Counters are *assigned*, not
+     * incremented, so re-publishing every frame stays exact; node
+     * handles are cached after the first publish.
+     */
+    void publish(StatRegistry &reg, const std::string &prefix);
+
+    /** Per-unit totals of the most recently finalized epoch. */
+    const EpochTotals &
+    epoch(TelemetryUnit u) const
+    {
+        return epoch_[static_cast<std::size_t>(u)];
+    }
+
+    /** Frames finalized so far (the timeline's frame column). */
+    std::uint32_t frames() const { return frames_; }
+
+    // ---- Time-series sampling (level 2) ----
+
+    /** One snapshot: epoch cycle + raw source values. */
+    struct SampleRow
+    {
+        Cycle cycle = 0;
+        std::vector<std::uint64_t> values;
+    };
+
+    /** Register a sampled counter source (read must stay valid). */
+    void
+    addSource(std::string name, std::function<std::uint64_t()> read)
+    {
+        sources_.push_back({std::move(name), std::move(read)});
+        base_.resize(sources_.size(), 0);
+    }
+
+    /**
+     * Take at most one snapshot per period crossing; called at tile
+     * boundaries, so sample spacing is period-quantized, not exact.
+     * The ring is bounded: past kMaxRows rows per epoch, sampling
+     * stops (the timeline reports what it kept, never blocks).
+     */
+    void
+    maybeSample(Cycle now)
+    {
+        if (now < nextSampleAt || rows_.size() >= kMaxRows)
+            return;
+        SampleRow row;
+        row.cycle = now;
+        row.values.reserve(sources_.size());
+        for (const Source &s : sources_)
+            row.values.push_back(s.read());
+        rows_.push_back(std::move(row));
+        nextSampleAt = now + period_;
+    }
+
+    std::size_t numSources() const { return sources_.size(); }
+    const std::string &
+    sourceName(std::size_t i) const
+    {
+        return sources_[i].name;
+    }
+    /** Source values captured when the epoch was armed. */
+    const std::vector<std::uint64_t> &sampleBase() const { return base_; }
+    const std::vector<SampleRow> &samples() const { return rows_; }
+    void clearSamples() { rows_.clear(); }
+
+    static constexpr std::size_t kMaxRows = 4096;
+
+  private:
+    struct Source
+    {
+        std::string name;
+        std::function<std::uint64_t()> read;
+    };
+
+    std::uint32_t level_ = 0;
+    Cycle period_ = 1;
+    std::array<UnitTrack, kNumTelemetryUnits> tracks_;
+    std::array<EpochTotals, kNumTelemetryUnits> epoch_{};
+    std::uint32_t frames_ = 0;
+
+    std::vector<Source> sources_;
+    std::vector<std::uint64_t> base_;
+    std::vector<SampleRow> rows_;
+    Cycle nextSampleAt = 0;
+
+    /** Cached registry handles; rebound if registry/prefix change. */
+    struct NodeHandles
+    {
+        std::uint64_t *busy = nullptr;
+        std::array<std::uint64_t *, kNumStallReasons> stall{};
+        std::uint64_t *idle = nullptr;
+        std::uint64_t *total = nullptr;
+    };
+    std::array<NodeHandles, kNumTelemetryUnits> nodes_{};
+    const StatRegistry *boundReg = nullptr;
+    std::string boundPrefix;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_TELEMETRY_TELEMETRY_HH

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Minimal JSON reader shared by the observability tests (test_trace,
+ * test_telemetry). A genuine recursive-descent parser (objects,
+ * arrays, strings, numbers, literals) rather than a regex: a
+ * malformed file — trailing comma, unbalanced bracket, bad escape —
+ * must fail the test that feeds it.
+ */
+
+#ifndef DTEXL_TESTS_JSON_TEST_UTIL_HH
+#define DTEXL_TESTS_JSON_TEST_UTIL_HH
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtexl {
+namespace testjson {
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    /** Parse the whole document; false on any syntax error. */
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        if (pos >= s.size())
+            return false;
+        switch (s[pos]) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (s[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                if (pos + 1 >= s.size())
+                    return false;
+                const char esc = s[pos + 1];
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'b':
+                  case 'f':
+                  case 'r':
+                    out += ' ';
+                    break;
+                  case 'u': {
+                    if (pos + 5 >= s.size())
+                        return false;
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                s[pos + 2 + i])))
+                            return false;
+                    }
+                    out += '?';  // code point value not needed here
+                    pos += 4;
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+                pos += 2;
+            } else {
+                out += s[pos++];
+            }
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos;  // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::stod(s.substr(start, pos - start));
+        return true;
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos;  // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            JsonValue item;
+            skipWs();
+            if (!value(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos;  // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos >= s.size() || !string(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return false;
+            ++pos;
+            skipWs();
+            JsonValue val;
+            if (!value(val))
+                return false;
+            out.members[key] = std::move(val);
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+} // namespace testjson
+} // namespace dtexl
+
+#endif // DTEXL_TESTS_JSON_TEST_UTIL_HH
