@@ -110,6 +110,7 @@ BenchOptions::parse(int argc, char **argv)
     opt.jobs = common.jobs;
     opt.fastPath = common.fastPath;
     opt.tracePath = common.tracePath;
+    opt.common = common;
     return opt;
 }
 
@@ -134,6 +135,7 @@ BenchOptions::baseline() const
     cfg.screenWidth = width;
     cfg.screenHeight = height;
     cfg.simFastPath = fastPath;
+    common.applyGeomThreads(cfg);
     return cfg;
 }
 
@@ -144,6 +146,7 @@ BenchOptions::dtexl() const
     cfg.screenWidth = width;
     cfg.screenHeight = height;
     cfg.simFastPath = fastPath;
+    common.applyGeomThreads(cfg);
     return cfg;
 }
 
@@ -154,6 +157,7 @@ BenchOptions::upperBound() const
     cfg.screenWidth = width;
     cfg.screenHeight = height;
     cfg.simFastPath = fastPath;
+    common.applyGeomThreads(cfg);
     return cfg;
 }
 

@@ -17,6 +17,7 @@
 
 #include "core/dtexl.hh"
 #include "power/energy_model.hh"
+#include "telemetry/cli_options.hh"
 #include "workloads/scenegen.hh"
 
 namespace dtexl {
@@ -43,6 +44,12 @@ struct BenchOptions
      * for A/B equivalence checks — results are bit-identical.
      */
     bool fastPath = true;
+    /**
+     * The shared flags as parsed (--geom-threads in particular);
+     * baseline()/dtexl()/upperBound() resolve them into each config,
+     * including the jobs x geom-threads oversubscription clamp.
+     */
+    CommonCliOptions common;
 
     /** Parse argv; exits with a message on --help or bad input. */
     static BenchOptions parse(int argc, char **argv);

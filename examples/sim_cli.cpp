@@ -8,7 +8,7 @@
  *
  * Usage:
  *   sim_cli [--bench=GTr[,CCS,...] | --scene=file.dscene] [--frames=N]
- *           [--jobs=N] [--trace=trace.json] [--stats]
+ *           [--jobs=N] [--geom-threads=N] [--trace=trace.json] [--stats]
  *           [--stats-json=stats.json] [--timeline-csv=timeline.csv]
  *           [--save-scene=file.dscene] [--preset=baseline|dtexl]
  *           [--reference-path] [key=value ...]
@@ -116,6 +116,7 @@ main(int argc, char **argv)
     for (const auto &[k, v] : options)
         applyConfigOption(cfg, k, v);
     cfg.simFastPath = cfg.simFastPath && common.fastPath;
+    common.applyGeomThreads(cfg);
     cfg.validate();
 
     std::printf("%s\n", cfg.describe().c_str());

@@ -7,10 +7,18 @@ reference implementations (fastpath=0) — and records, per benchmark:
 
   * simulated cycles (identical between the two runs, by construction),
   * wall time of the simulation phase (scene generation excluded),
+  * a per-phase wall-time breakdown (geometry front-end vs raster)
+    from the engine's job.<label>.{geometry,raster}.wall_us counters,
   * simulator throughput in Mcycles/s for both paths,
   * the wall-time speedup of the fast path,
   * the wall-time overhead of telemetry=1 (stall attribution) relative
     to the plain fast path, gated at --max-telemetry-overhead (1.05x).
+
+The report also embeds host metadata (CPU model, core count, compiler)
+so committed BENCH_perf.json numbers carry their provenance, and
+--baseline FILE arms a regression gate: the run fails if the geomean
+fast-path Mcycles/s drops more than --max-regression (default 15%)
+below the baseline file's.
 
 The run doubles as an end-to-end A/B check: every per-frame statistics
 line printed by sim_cli (cycles, quads, cache/DRAM accesses, energy)
@@ -21,7 +29,8 @@ scheduler noise.
 Usage:
   python3 scripts/run_perf.py [--build-dir build] [--out BENCH_perf.json]
       [--benches GTr,SWa,CCS,SoD] [--frames 2] [--width 980]
-      [--height 384] [--repeat 3]
+      [--height 384] [--repeat 3] [--baseline BENCH_perf.json]
+      [--max-regression 0.15]
 
 Requires a Release build (cmake -DCMAKE_BUILD_TYPE=Release); Debug
 timings are not meaningful and the script refuses obvious Debug trees.
@@ -30,9 +39,12 @@ timings are not meaningful and the script refuses obvious Debug trees.
 import argparse
 import json
 import math
+import os
+import platform
 import re
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -45,7 +57,7 @@ FRAME_RE = re.compile(r"^\S+ frame \d+: ")
 
 
 def run_sim(sim_cli, alias, frames, width, height, fastpath,
-            telemetry=0):
+            telemetry=0, phases=False):
     cmd = [
         str(sim_cli),
         f"--bench={alias}",
@@ -56,38 +68,108 @@ def run_sim(sim_cli, alias, frames, width, height, fastpath,
         f"fastpath={fastpath}",
         f"telemetry={telemetry}",
     ]
-    proc = subprocess.run(
-        cmd, capture_output=True, text=True, check=True
-    )
-    summary = None
-    frame_lines = []
-    for line in proc.stdout.splitlines():
-        m = SUMMARY_RE.match(line)
-        if m:
-            summary = m
-        elif FRAME_RE.match(line):
-            frame_lines.append(line)
-    if summary is None:
-        sys.exit(f"no summary line in sim_cli output:\n{proc.stdout}")
-    return {
-        "cycles": int(summary["cycles"]),
-        "wall_ms": float(summary["wall"]),
-        "frame_lines": frame_lines,
-    }
+    stats_path = None
+    if phases:
+        fd, stats_path = tempfile.mkstemp(suffix=".json",
+                                          prefix="run_perf_stats_")
+        os.close(fd)
+        cmd.append(f"--stats-json={stats_path}")
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=True
+        )
+        summary = None
+        frame_lines = []
+        for line in proc.stdout.splitlines():
+            m = SUMMARY_RE.match(line)
+            if m:
+                summary = m
+            elif FRAME_RE.match(line):
+                frame_lines.append(line)
+        if summary is None:
+            sys.exit(f"no summary line in sim_cli output:\n{proc.stdout}")
+        result = {
+            "cycles": int(summary["cycles"]),
+            "wall_ms": float(summary["wall"]),
+            "frame_lines": frame_lines,
+        }
+        if phases:
+            result["phase_wall_ms"] = phase_breakdown(stats_path)
+        return result
+    finally:
+        if stats_path is not None:
+            try:
+                os.unlink(stats_path)
+            except OSError:
+                pass
+
+
+def phase_breakdown(stats_path):
+    """Geometry/raster host wall time from a --stats-json dump.
+
+    The engine splits the tiling architecture's two phases at the
+    Parameter Buffer boundary: "geometry" covers the vertex/assembly/
+    binning front-end, "raster" everything from tile fetch to flush.
+    """
+    nodes = json.loads(Path(stats_path).read_text())["nodes"]
+    out = {"geometry": 0.0, "raster": 0.0}
+    for path, counters in nodes.items():
+        for phase in out:
+            if path.endswith("." + phase):
+                out[phase] += counters.get("wall_us", 0) / 1e3
+    return out
 
 
 def best_of(sim_cli, alias, frames, width, height, fastpath, repeat,
-            telemetry=0):
+            telemetry=0, phases=False):
     best = None
     for _ in range(repeat):
         r = run_sim(sim_cli, alias, frames, width, height, fastpath,
-                    telemetry)
+                    telemetry, phases=phases)
         if best is None or r["wall_ms"] < best["wall_ms"]:
             if best is not None and r["frame_lines"] != best["frame_lines"]:
                 sys.exit(f"{alias}: non-deterministic frame stats "
                          f"across repeats")
             best = r
     return best
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def host_metadata(build_dir):
+    """CPU model, core count and compiler of the measuring host."""
+    cpu_model = ""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    cpu_model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    meta = {
+        "cpu_model": cpu_model,
+        "cores": os.cpu_count() or 1,
+        "platform": platform.platform(),
+    }
+    compiler = ""
+    cache = Path(build_dir) / "CMakeCache.txt"
+    if cache.exists():
+        for line in cache.read_text().splitlines():
+            if line.startswith("CMAKE_CXX_COMPILER:"):
+                compiler = line.split("=", 1)[1].strip()
+                break
+    if compiler:
+        try:
+            out = subprocess.run([compiler, "--version"],
+                                 capture_output=True, text=True)
+            first = out.stdout.splitlines()
+            meta["compiler"] = first[0] if first else compiler
+        except OSError:
+            meta["compiler"] = compiler
+    return meta
 
 
 def telemetry_overhead(sim_cli, alias, frames, width, height, repeat,
@@ -127,7 +209,18 @@ def main():
     ap.add_argument("--max-telemetry-overhead", type=float, default=1.05,
                     help="fail if geomean telemetry=1 wall-time "
                          "overhead exceeds this ratio")
+    ap.add_argument("--baseline", default=None,
+                    help="committed BENCH_perf.json to gate against")
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="fail if geomean fast-path Mcycles/s drops "
+                         "more than this fraction below --baseline")
     args = ap.parse_args()
+
+    # Read the baseline before any run (and before --out, which may be
+    # the same file, is overwritten).
+    baseline = None
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
 
     build = Path(args.build_dir)
     sim_cli = build / "examples" / "sim_cli"
@@ -145,7 +238,7 @@ def main():
         print(f"== {alias} ({args.frames} frames at "
               f"{args.width}x{args.height}) ==", flush=True)
         fast = best_of(sim_cli, alias, args.frames, args.width,
-                       args.height, 1, args.repeat)
+                       args.height, 1, args.repeat, phases=True)
         ref = best_of(sim_cli, alias, args.frames, args.width,
                       args.height, 0, args.repeat)
 
@@ -174,6 +267,7 @@ def main():
             "speedup": speedup,
             "telemetry_overhead": overhead,
             "stats_bit_identical": True,
+            "phase_wall_ms": fast["phase_wall_ms"],
         }
         benches.append(entry)
         print(f"   fast {fast['wall_ms']:9.1f} ms "
@@ -190,6 +284,7 @@ def main():
     report = {
         "generated_by": "scripts/run_perf.py",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": host_metadata(args.build_dir),
         "config": {
             "width": args.width,
             "height": args.height,
@@ -200,17 +295,43 @@ def main():
         },
         "benches": benches,
         "max_speedup": max(speedups),
-        "geomean_speedup": math.exp(
-            sum(math.log(s) for s in speedups) / len(speedups)
+        "geomean_speedup": geomean(speedups),
+        "geomean_mcycles_per_s_fast": geomean(
+            [b["mcycles_per_s_fast"] for b in benches]
         ),
-        "geomean_telemetry_overhead": math.exp(
-            sum(math.log(o) for o in overheads) / len(overheads)
-        ),
+        "geomean_telemetry_overhead": geomean(overheads),
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}: max speedup {report['max_speedup']:.2f}x, "
           f"geomean {report['geomean_speedup']:.2f}x, telemetry "
           f"overhead {report['geomean_telemetry_overhead']:.3f}x")
+
+    if baseline is not None:
+        base_benches = {b["alias"]: b for b in baseline["benches"]}
+        shared = [b["alias"] for b in benches
+                  if b["alias"] in base_benches]
+        if not shared:
+            sys.exit("--baseline shares no benchmarks with this run")
+        base_g = geomean(
+            [base_benches[a]["mcycles_per_s_fast"] for a in shared]
+        )
+        new_g = geomean(
+            [b["mcycles_per_s_fast"] for b in benches
+             if b["alias"] in base_benches]
+        )
+        ratio = new_g / base_g
+        report["baseline_geomean_mcycles_per_s_fast"] = base_g
+        report["vs_baseline"] = ratio
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"perf gate: {new_g:.3f} vs baseline {base_g:.3f} "
+              f"Mcycles/s geomean ({ratio:.2f}x, floor "
+              f"{1.0 - args.max_regression:.2f}x)")
+        if ratio < 1.0 - args.max_regression:
+            print(f"ERROR: geomean fast-path throughput regressed "
+                  f"{(1.0 - ratio) * 100:.1f}% vs {args.baseline} "
+                  f"(budget {args.max_regression * 100:.0f}%)",
+                  file=sys.stderr)
+            return 1
 
     if report["geomean_telemetry_overhead"] > args.max_telemetry_overhead:
         print(f"ERROR: telemetry=1 geomean overhead "

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "common/log.hh"
 
@@ -96,6 +97,15 @@ GpuConfig::describe() const
        << "  Latency : " << dram.rowHitLatency << "-" << dram.rowMissLatency
        << " cycles, " << dram.numBanks << " banks\n";
     return os.str();
+}
+
+std::uint32_t
+GpuConfig::resolvedGeomThreads() const
+{
+    if (geomThreads != 0)
+        return geomThreads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
 void
@@ -261,6 +271,8 @@ applyConfigOption(GpuConfig &cfg, const std::string &key,
         cfg.telemetryLevel = parseUint(key, value);
     } else if (key == "sample_cycles") {
         cfg.telemetrySamplePeriod = parseUint(key, value);
+    } else if (key == "geom_threads") {
+        cfg.geomThreads = parseUint(key, value);
     } else {
         fatal("unknown config option '%s'", key.c_str());
     }

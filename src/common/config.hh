@@ -130,6 +130,23 @@ struct GpuConfig
      * spacing is quantized up to tile granularity.
      */
     std::uint32_t telemetrySamplePeriod = 8192;
+    /**
+     * Host worker threads for the geometry/tiling front-end (simulator
+     * infrastructure, not modelled hardware): the functional per-draw
+     * work — vertex transforms, assembly culling, LOD, tile-overlap
+     * tests — fans out across this many threads, then a serial replay
+     * applies the timed memory accesses in submission order, so
+     * results are bit-identical for every value (enforced by
+     * tests/test_parallel_geom.cc). 0 = auto (hardware concurrency,
+     * the default), 1 = the original serial path. Set with the
+     * `geom_threads` key or `--geom-threads` on the CLIs; the CLIs
+     * clamp jobs x geom-threads oversubscription
+     * (CommonCliOptions::applyGeomThreads()).
+     */
+    std::uint32_t geomThreads = 0;
+
+    /** geomThreads with 0 resolved to the host's hardware concurrency. */
+    std::uint32_t resolvedGeomThreads() const;
 
     // --- Memory hierarchy (Table II) ---
     CacheConfig vertexCache  {8 * 1024, 64, 4, 1, 8};
@@ -171,8 +188,8 @@ GpuConfig makeUpperBoundConfig();
  * Apply a textual "key=value" option to a configuration (the CLI
  * driver's interface). Supported keys: grouping, order, assignment,
  * decoupled, hiz, warps, fifo, width, height, tile, l1tex_kib,
- * l2_kib, fastpath, telemetry, sample_cycles. fatal() on unknown keys
- * or bad values.
+ * l2_kib, fastpath, telemetry, sample_cycles, geom_threads. fatal()
+ * on unknown keys or bad values.
  */
 void applyConfigOption(GpuConfig &cfg, const std::string &key,
                        const std::string &value);

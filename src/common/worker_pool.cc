@@ -1,0 +1,97 @@
+#include "common/worker_pool.hh"
+
+namespace dtexl {
+
+WorkerPool::WorkerPool(unsigned threads)
+{
+    for (unsigned t = 1; t < threads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+WorkerPool::drain()
+{
+    // Snapshot the job fields; they are stable for the job's lifetime
+    // (the caller blocks in parallelFor until `finished == jobSize`,
+    // which requires every claimed index's fn call to have returned).
+    const std::function<void(std::size_t)> *f;
+    std::size_t n;
+    {
+        std::lock_guard<std::mutex> lk(m);
+        f = job;
+        n = jobSize;
+    }
+    if (!f)
+        return;  // woke after the job completed; nothing to claim
+    std::size_t did = 0;
+    for (;;) {
+        const std::size_t i = next.fetch_add(1,
+                                             std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        (*f)(i);
+        ++did;
+    }
+    std::lock_guard<std::mutex> lk(m);
+    finished += did;
+    if (finished == jobSize)
+        done.notify_all();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(m);
+            wake.wait(lk,
+                      [&] { return stopping || jobSeq != seen; });
+            if (stopping)
+                return;
+            seen = jobSeq;
+        }
+        drain();
+    }
+}
+
+void
+WorkerPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(m);
+        job = &fn;
+        jobSize = n;
+        next.store(0, std::memory_order_relaxed);
+        finished = 0;
+        ++jobSeq;
+    }
+    wake.notify_all();
+    drain();  // the calling thread works too
+    {
+        std::unique_lock<std::mutex> lk(m);
+        done.wait(lk, [&] { return finished == jobSize; });
+        job = nullptr;
+    }
+}
+
+} // namespace dtexl

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small persistent worker pool for intra-job parallelism.
+ *
+ * The batch driver (core/engine.hh) parallelizes across independent
+ * jobs; this pool parallelizes *inside* one simulation — currently the
+ * geometry/tiling front-end, whose functional work (vertex transforms,
+ * assembly culling, tile-overlap tests) is pure per draw and can fan
+ * out while the timed replay stays serial (see core/geometry_phase.cc
+ * for the determinism argument).
+ *
+ * Threads are created once and parked on a condition variable between
+ * parallelFor() calls, so a per-frame fan-out does not pay thread
+ * creation. parallelFor() distributes indices through an atomic
+ * cursor (same pattern as engine runBatch) and the caller's thread
+ * works too, so a pool of size 1 degenerates to a plain loop.
+ */
+
+#ifndef DTEXL_COMMON_WORKER_POOL_HH
+#define DTEXL_COMMON_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dtexl {
+
+/** Persistent thread pool with a blocking parallel-for. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads Total workers including the calling thread;
+     *                values <= 1 create no threads at all.
+     */
+    explicit WorkerPool(unsigned threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total workers including the calling thread (>= 1). */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers.size()) + 1;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing indices across the
+     * pool plus the calling thread; returns when all calls finished.
+     * fn must be safe to call concurrently for distinct i. Not
+     * reentrant: parallelFor() must not be called from inside fn.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    /** Pull indices from the current job until it is drained. */
+    void drain();
+
+    std::vector<std::thread> workers;
+
+    std::mutex m;
+    std::condition_variable wake;   ///< workers wait for a job/stop
+    std::condition_variable done;   ///< caller waits for completion
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::size_t jobSize = 0;
+    std::uint64_t jobSeq = 0;       ///< bumped per parallelFor call
+    std::atomic<std::size_t> next{0};
+    std::size_t finished = 0;       ///< indices completed this job
+    bool stopping = false;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_WORKER_POOL_HH

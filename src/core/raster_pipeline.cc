@@ -92,39 +92,43 @@ RasterPipeline::setScene(const Scene &next)
 }
 
 std::uint32_t
-RasterPipeline::pipeOf(const Quad &q,
+RasterPipeline::pipeOf(const QuadStream &qs, std::uint32_t qi,
                        const std::array<CoreId, kNumSubtiles> &perm) const
 {
-    return singlePipe() ? 0u : perm[q.subtile];
+    return singlePipe() ? 0u : perm[qs.subtile(qi)];
 }
 
 std::uint32_t
-RasterPipeline::slotOf(const Quad &q) const
+RasterPipeline::slotOf(const QuadStream &qs, std::uint32_t qi) const
 {
     if (singlePipe()) {
-        return static_cast<std::uint32_t>(q.quadInTile.y) *
+        const Coord2 qc = qs.quadInTile(qi);
+        return static_cast<std::uint32_t>(qc.y) *
                    cfg.quadsPerTileSide() +
-               static_cast<std::uint32_t>(q.quadInTile.x);
+               static_cast<std::uint32_t>(qc.x);
     }
-    return q.slot;
+    return qs.slot(qi);
 }
 
 bool
-RasterPipeline::earlyZTest(PipeState &ps, const Quad &q,
-                           std::uint8_t &coverage, bool late_z) const
+RasterPipeline::earlyZTest(PipeState &ps, const QuadStream &qs,
+                           std::uint32_t qi, std::uint8_t &coverage,
+                           bool late_z) const
 {
     if (late_z)
         return true;  // test deferred to the Late Z-Test at blending
-    const std::uint32_t base = slotOf(q) * 4;
+    const std::uint32_t base = slotOf(qs, qi) * 4;
+    const bool blends = qs.prim(qi)->shader.blends;
     std::uint8_t out = 0;
     for (unsigned k = 0; k < 4; ++k) {
         if (!(coverage & (1u << k)))
             continue;
         float &stored = ps.depth[base + k];
-        if (q.frags[k].depth < stored) {
+        const float d = qs.depth(qi, k);
+        if (d < stored) {
             out |= static_cast<std::uint8_t>(1u << k);
-            if (!q.prim->shader.blends)
-                stored = q.frags[k].depth;
+            if (!blends)
+                stored = d;
         }
     }
     coverage = out;
@@ -132,24 +136,27 @@ RasterPipeline::earlyZTest(PipeState &ps, const Quad &q,
 }
 
 void
-RasterPipeline::blendQuad(PipeState &ps, const Quad &q,
-                          std::uint8_t coverage, bool late_z)
+RasterPipeline::blendQuad(PipeState &ps, const QuadStream &qs,
+                          std::uint32_t qi, std::uint8_t coverage,
+                          bool late_z)
 {
-    const std::uint32_t base = slotOf(q) * 4;
+    const std::uint32_t base = slotOf(qs, qi) * 4;
+    const Primitive *prim = qs.prim(qi);
     for (unsigned k = 0; k < 4; ++k) {
         if (!(coverage & (1u << k)))
             continue;
         if (late_z) {
             float &stored = ps.depth[base + k];
-            if (!(q.frags[k].depth < stored))
+            const float d = qs.depth(qi, k);
+            if (!(d < stored))
                 continue;
-            if (!q.prim->shader.blends)
-                stored = q.frags[k].depth;
+            if (!prim->shader.blends)
+                stored = d;
         }
         ps.color[base + k] =
             blendPixel(ps.color[base + k],
-                       shadeColor(q.prim->id, static_cast<std::uint32_t>(k)),
-                       q.prim->shader.blends);
+                       shadeColor(prim->id, static_cast<std::uint32_t>(k)),
+                       prim->shader.blends);
     }
 }
 
@@ -268,9 +275,9 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
     // below is a single pointer test on the hot path.
     Telemetry *const tmon = (tel && tel->counters()) ? tel : nullptr;
 
-    // Current tile's quads, raster order — the pooled arena, so
+    // Current tile's quads, raster order — the pooled SoA arena, so
     // steady-state tiles rasterize into already-grown storage.
-    std::vector<Quad> &quads = quadArena;
+    QuadStream &quads = quadArena;
     quads.clear();
     // Per-tile temporaries hoisted out of the tile loop so their
     // capacity is reused; every element is rewritten per tile.
@@ -311,11 +318,14 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
         // --- Schedule: grouping + assignment ---
         const std::array<CoreId, kNumSubtiles> perm =
             assigner.next(tile.coord);
-        for (Quad &q : quads) {
-            if (!singlePipe()) {
-                q.subtile = layout.subtileOf(q.quadInTile);
-                q.slot = static_cast<std::uint16_t>(
-                    layout.slotOf(q.quadInTile));
+        const auto n_tile_quads = static_cast<std::uint32_t>(
+            quads.size());
+        if (!singlePipe()) {
+            for (std::uint32_t qi = 0; qi < n_tile_quads; ++qi) {
+                const Coord2 qc = quads.quadInTile(qi);
+                quads.setSubtile(qi, layout.subtileOf(qc));
+                quads.setSlot(qi, static_cast<std::uint16_t>(
+                                      layout.slotOf(qc)));
             }
         }
         std::array<std::uint8_t, kNumSubtiles> inv_perm{};
@@ -391,19 +401,20 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                    static_cast<std::size_t>(qc.x / 4);
         };
 
-        for (Quad &q : quads) {
+        for (std::uint32_t qi = 0; qi < n_tile_quads; ++qi) {
+            const Coord2 q_coord = quads.quadInTile(qi);
             if (use_hiz) {
                 float q_min = 1.0f;
                 for (unsigned k = 0; k < 4; ++k)
-                    if (q.covered(k))
-                        q_min = std::min(q_min, q.frags[k].depth);
-                if (!(q_min < hiz_block_max[hiz_block_of(q.quadInTile)])) {
+                    if (quads.covered(qi, k))
+                        q_min = std::min(q_min, quads.depth(qi, k));
+                if (!(q_min < hiz_block_max[hiz_block_of(q_coord)])) {
                     ++fs.quadsCulledHiZ;
                     ++*hot.hizCulled;
                     continue;
                 }
             }
-            const std::uint32_t p = pipeOf(q, perm);
+            const std::uint32_t p = pipeOf(quads, qi, perm);
             PipeState &ps = pipes[p];
 
             // Rasterizer emission slot (peak throughput + FIFO
@@ -452,25 +463,25 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
             last_consume[p] = std::max(last_consume[p], c);
             ++*hot.ezTests;
 
-            std::uint8_t coverage = q.coverage;
-            if (earlyZTest(ps, q, coverage, late_z)) {
+            std::uint8_t coverage = quads.coverage(qi);
+            if (earlyZTest(ps, quads, qi, coverage, late_z)) {
                 // Update the conservative HiZ pyramid: an opaque quad
                 // covering all four fragments lowers its cell's
                 // farthest depth.
-                if (use_hiz && !q.prim->shader.blends &&
+                if (use_hiz && !quads.prim(qi)->shader.blends &&
                     coverage == 0xF) {
                     float q_max = 0.0f;
                     for (unsigned k = 0; k < 4; ++k)
-                        q_max = std::max(q_max, q.frags[k].depth);
-                    const std::size_t qi =
-                        static_cast<std::size_t>(q.quadInTile.y) *
+                        q_max = std::max(q_max, quads.depth(qi, k));
+                    const std::size_t cell =
+                        static_cast<std::size_t>(q_coord.y) *
                             n_quads_side +
-                        static_cast<std::size_t>(q.quadInTile.x);
-                    if (q_max < hiz_quad_max[qi]) {
-                        hiz_quad_max[qi] = q_max;
+                        static_cast<std::size_t>(q_coord.x);
+                    if (q_max < hiz_quad_max[cell]) {
+                        hiz_quad_max[cell] = q_max;
                         // Recompute the block's max lazily.
-                        const Coord2 base{(q.quadInTile.x / 4) * 4,
-                                          (q.quadInTile.y / 4) * 4};
+                        const Coord2 base{(q_coord.x / 4) * 4,
+                                          (q_coord.y / 4) * 4};
                         float bm = 0.0f;
                         for (std::int32_t dy = 0; dy < 4; ++dy) {
                             for (std::int32_t dx = 0; dx < 4; ++dx) {
@@ -491,11 +502,11 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                                                      std::size_t>(xx)]);
                             }
                         }
-                        hiz_block_max[hiz_block_of(q.quadInTile)] = bm;
+                        hiz_block_max[hiz_block_of(q_coord)] = bm;
                     }
                 }
-                q.coverage = coverage;
-                ps.batch.push_back(&q);
+                quads.setCoverage(qi, coverage);
+                ps.batch.push_back(qi);
                 ps.arrivals.push_back(c + 1);
             } else {
                 ++fs.quadsCulledEarlyZ;
@@ -511,8 +522,8 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
         batch_inputs.clear();
         for (std::uint32_t p = 0; p < n_pipes; ++p) {
             core_ptrs.push_back(cores[p].get());
-            batch_inputs.push_back({&pipes[p].batch, &pipes[p].arrivals,
-                                    fs_gate[p]});
+            batch_inputs.push_back({&quads, &pipes[p].batch,
+                                    &pipes[p].arrivals, fs_gate[p]});
         }
         const std::vector<ShaderCore::BatchResult> results =
             ShaderCore::runBatches(core_ptrs, batch_inputs);
@@ -582,8 +593,8 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                 }
                 ps.blendBusyUntil = commit;
                 last_commit = std::max(last_commit, commit);
-                blendQuad(ps, *ps.batch[i], ps.batch[i]->coverage,
-                          late_z);
+                blendQuad(ps, quads, ps.batch[i],
+                          quads.coverage(ps.batch[i]), late_z);
                 ++*hot.blendOps;
             }
             ps.blendFinish = last_commit;

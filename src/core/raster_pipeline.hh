@@ -114,8 +114,8 @@ class RasterPipeline
         std::vector<float> depth;
         /** Color per subtile pixel (4 per slot). */
         std::vector<PixelColor> color;
-        /** Surviving quads of the current tile, in EZ order. */
-        std::vector<const Quad *> batch;
+        /** Surviving quads of the current tile (arena indices), EZ order. */
+        std::vector<std::uint32_t> batch;
         std::vector<Cycle> arrivals;
     };
 
@@ -123,18 +123,19 @@ class RasterPipeline
     bool singlePipe() const { return cfg.numPipelines == 1; }
 
     /** Pipeline that owns a quad this tile. */
-    std::uint32_t pipeOf(const Quad &q,
+    std::uint32_t pipeOf(const QuadStream &qs, std::uint32_t qi,
                          const std::array<CoreId, kNumSubtiles> &perm)
         const;
     /** Z/Color slot of a quad within its pipeline's bank. */
-    std::uint32_t slotOf(const Quad &q) const;
+    std::uint32_t slotOf(const QuadStream &qs, std::uint32_t qi) const;
 
     /** Early-Z depth test; prunes coverage, returns survival. */
-    bool earlyZTest(PipeState &ps, const Quad &q, std::uint8_t &coverage,
+    bool earlyZTest(PipeState &ps, const QuadStream &qs,
+                    std::uint32_t qi, std::uint8_t &coverage,
                     bool late_z) const;
     /** Blend a committed quad into the pipeline's color bank. */
-    void blendQuad(PipeState &ps, const Quad &q, std::uint8_t coverage,
-                   bool late_z);
+    void blendQuad(PipeState &ps, const QuadStream &qs, std::uint32_t qi,
+                   std::uint8_t coverage, bool late_z);
     /**
      * Flush a set of subtile slots to the framebuffer through the Tile
      * Cache; returns the completion cycle. With transaction
@@ -167,10 +168,11 @@ class RasterPipeline
      * Pooled per-frame scratch (simFastPath spirit, but value-neutral:
      * contents are fully rewritten per tile, so reusing capacity
      * cannot change results). quadArena holds the current tile's
-     * rasterized quads; beginFrame() resets length, keeping capacity,
-     * so steady-state frames rasterize without heap traffic.
+     * rasterized quads in SoA layout (each pass touches only the
+     * field arrays it needs); beginFrame() resets length, keeping
+     * capacity, so steady-state frames rasterize without heap traffic.
      */
-    std::vector<Quad> quadArena;
+    QuadStream quadArena;
     /** flushBank() fast-path scratch: one line address per pixel. */
     std::vector<Addr> flushAddrs;
 

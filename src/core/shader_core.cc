@@ -38,10 +38,13 @@ ShaderCore::beginFrame()
 }
 
 Cycle
-ShaderCore::sampleQuad(const Quad &quad, Cycle cycle)
+ShaderCore::sampleQuad(Warp &warp, Cycle cycle)
 {
-    const ShaderDesc &shader = quad.prim->shader;
-    const TextureDesc &tex = scene->texture(quad.prim->texture);
+    const QuadStream &qs = *warp.stream;
+    const std::uint32_t qi = warp.quadIndex;
+    const Primitive *prim = qs.prim(qi);
+    const ShaderDesc &shader = prim->shader;
+    const TextureDesc &tex = scene->texture(prim->texture);
     // Texture unit throughput in half-cycles per fragment sample: two
     // bilinear (or nearest) samples per cycle, one trilinear or
     // anisotropic sample per cycle.
@@ -51,24 +54,39 @@ ShaderCore::sampleQuad(const Quad &quad, Cycle cycle)
             ? 2
             : 1;
     texUnitFreeHalf = std::max(texUnitFreeHalf, cycle * 2);
-    // Per-quad level of detail from the fragment uv derivatives.
-    const float lod = quad.lod(tex.side());
+    const std::uint8_t cov = qs.coverage(qi);
+
+    if (!warp.fpValid) {
+        // Per-quad level of detail from the fragment uv derivatives.
+        // Footprints depend only on (uv, lod, filter), which are fixed
+        // for the warp's lifetime, so resolve them once and replay the
+        // cached line lists on subsequent tex instructions.
+        const float lod = qs.lod(qi, tex.side());
+        for (unsigned k = 0; k < 4; ++k) {
+            warp.fpCount[k] = 0;
+            if (!(cov & (1u << k)))
+                continue;
+            const Vec2f uv = qs.uv(qi, k);
+            const SampleFootprint fp =
+                sampleFootprint(tex, shader.filter, uv.x, uv.y, lod);
+            warp.fpCount[k] = static_cast<std::uint8_t>(
+                footprintLines(fp, cfg.textureCache.lineBytes,
+                               warp.fpLines[k]));
+        }
+        warp.fpValid = true;
+    }
 
     Cycle ready = cycle;
-    std::array<Addr, SampleFootprint::kMaxTexels> lines;
     for (unsigned k = 0; k < 4; ++k) {
-        if (!quad.covered(k))
+        if (!(cov & (1u << k)))
             continue;
         const Cycle issue = texUnitFreeHalf / 2;
         texUnitFreeHalf += half_cost;
-        const SampleFootprint fp =
-            sampleFootprint(tex, shader.filter, quad.frags[k].uv.x,
-                            quad.frags[k].uv.y, lod);
-        const std::uint32_t n_lines =
-            footprintLines(fp, cfg.textureCache.lineBytes, lines);
+        const std::uint32_t n_lines = warp.fpCount[k];
         Cycle data = issue;
         for (std::uint32_t l = 0; l < n_lines; ++l)
-            data = std::max(data, mem.textureRead(coreId, lines[l],
+            data = std::max(data, mem.textureRead(coreId,
+                                                  warp.fpLines[k][l],
                                                   issue));
         ++*hot.texSamples;
         *hot.texLineReads += n_lines;
@@ -89,7 +107,7 @@ ShaderCore::issueInstruction(Warp &warp, Cycle cycle)
         return;
     }
     dtexl_assert(warp.texLeft > 0, "issue on a finished warp");
-    warp.readyAt = sampleQuad(*warp.quad, cycle);
+    warp.readyAt = sampleQuad(warp, cycle);
     --warp.texLeft;
     warp.aluLeft = warp.texLeft > 0 ? warp.aluPerSegment : warp.aluTail;
     ++*hot.texInstructions;
@@ -99,7 +117,8 @@ ShaderCore::issueInstruction(Warp &warp, Cycle cycle)
 struct ShaderCore::CoreRun
 {
     ShaderCore *core = nullptr;
-    const std::vector<const Quad *> *quads = nullptr;
+    const QuadStream *stream = nullptr;
+    const std::vector<std::uint32_t> *quads = nullptr;
     const std::vector<Cycle> *arrivals = nullptr;
     Cycle gate = 0;
     std::vector<Warp> warps;
@@ -166,10 +185,10 @@ ShaderCore::admitWarps(CoreRun &run)
 {
     const std::size_t n = run.quads->size();
     while (run.nextPending < n && run.activeCount < run.warps.size()) {
-        const Quad *quad = (*run.quads)[run.nextPending];
+        const std::uint32_t qi = (*run.quads)[run.nextPending];
         const Cycle ready =
             std::max((*run.arrivals)[run.nextPending], run.gate);
-        const ShaderDesc &sh = quad->prim->shader;
+        const ShaderDesc &sh = run.stream->prim(qi)->shader;
         Warp *slot = nullptr;
         for (Warp &w : run.warps) {
             if (!w.active) {
@@ -186,7 +205,8 @@ ShaderCore::admitWarps(CoreRun &run)
             ++*hot.warps;
             continue;
         }
-        slot->quad = quad;
+        slot->stream = run.stream;
+        slot->quadIndex = qi;
         slot->batchIndex = run.nextPending;
         slot->readyAt = ready;
         slot->texLeft = sh.texSamples;
@@ -201,11 +221,12 @@ ShaderCore::admitWarps(CoreRun &run)
                 : sh.aluOps);
         slot->aluLeft =
             sh.texSamples > 0 ? slot->aluPerSegment : slot->aluTail;
+        slot->fpValid = false;  // slot reuse: footprint is per-quad
         slot->active = true;
         ++run.activeCount;
         ++run.nextPending;
         ++*hot.warps;
-        *hot.fragments += quad->coveredCount();
+        *hot.fragments += run.stream->coveredCount(qi);
     }
 }
 
@@ -218,6 +239,7 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
     for (std::size_t c = 0; c < cores.size(); ++c) {
         CoreRun &run = runs[c];
         run.core = cores[c];
+        run.stream = inputs[c].stream;
         run.quads = inputs[c].quads;
         run.arrivals = inputs[c].arrivals;
         run.gate = inputs[c].gate;
@@ -339,7 +361,12 @@ ShaderCore::BatchResult
 ShaderCore::runBatch(const std::vector<const Quad *> &quads,
                      const std::vector<Cycle> &arrivals, Cycle gate)
 {
-    BatchInput input{&quads, &arrivals, gate};
+    QuadStream stream;
+    std::vector<std::uint32_t> indices;
+    indices.reserve(quads.size());
+    for (const Quad *q : quads)
+        indices.push_back(stream.push(*q));
+    BatchInput input{&stream, &indices, &arrivals, gate};
     return runBatches({this}, {input}).front();
 }
 

@@ -19,6 +19,8 @@
 #include "geom/scene.hh"
 #include "mem/hierarchy.hh"
 #include "raster/quad.hh"
+#include "raster/quad_stream.hh"
+#include "texture/sampler.hh"
 
 namespace dtexl {
 
@@ -49,6 +51,10 @@ class ShaderCore
      * The Fragment Stage processes one subtile at a time (the paper's
      * barrier), so batches on one core never overlap.
      *
+     * AoS adapter over runBatches(): copies the quads into a local
+     * QuadStream. Kept for tests and standalone use; the pipeline
+     * calls runBatches() with its SoA arena directly.
+     *
      * @param quads    Quads in Early-Z output order.
      * @param arrivals Cycle each quad becomes available (>= its EZ
      *                 completion); same order as @p quads.
@@ -60,7 +66,9 @@ class ShaderCore
     /** One core's inputs for runBatches(). */
     struct BatchInput
     {
-        const std::vector<const Quad *> *quads = nullptr;
+        const QuadStream *stream = nullptr;
+        /** Indices into @ref stream, in Early-Z output order. */
+        const std::vector<std::uint32_t> *quads = nullptr;
         const std::vector<Cycle> *arrivals = nullptr;
         Cycle gate = 0;
     };
@@ -101,7 +109,8 @@ class ShaderCore
   private:
     struct Warp
     {
-        const Quad *quad = nullptr;
+        const QuadStream *stream = nullptr;
+        std::uint32_t quadIndex = 0;   ///< index into `stream`
         std::size_t batchIndex = 0;
         Cycle readyAt = 0;
         std::uint16_t aluLeft = 0;     ///< ALU ops before next tex/end
@@ -109,6 +118,20 @@ class ShaderCore
         std::uint16_t aluPerSegment = 0;
         std::uint16_t aluTail = 0;     ///< ALU ops after the last tex
         bool active = false;
+
+        /**
+         * Per-fragment deduplicated texture-line footprint, computed
+         * on the warp's first texture instruction and reused by the
+         * rest: a warp's uv, lod and filter never change between its
+         * tex instructions, so every one touches the same lines —
+         * only the access timing differs. Caching skips the repeated
+         * footprint resolve (floor/Morton per texel), which showed in
+         * profiles; the issued line reads are bit-identical.
+         */
+        bool fpValid = false;
+        std::array<std::uint8_t, 4> fpCount{};
+        std::array<std::array<Addr, SampleFootprint::kMaxTexels>, 4>
+            fpLines;
     };
 
     /** Per-core in-flight state of runBatches(); see shader_core.cc. */
@@ -117,7 +140,7 @@ class ShaderCore
     /** Issue the warp's next instruction at @p cycle; updates state. */
     void issueInstruction(Warp &warp, Cycle cycle);
     /** Execute a texture instruction; returns data-ready cycle. */
-    Cycle sampleQuad(const Quad &quad, Cycle cycle);
+    Cycle sampleQuad(Warp &warp, Cycle cycle);
     /** Admit pending quads into free warp slots. */
     void admitWarps(CoreRun &run);
     /** Re-bind the cached stat references (stats_ clears per frame). */

@@ -1,28 +1,82 @@
 #include "geom/vertex_stage.hh"
 
 #include <algorithm>
-#include <deque>
+#include <array>
 
 namespace dtexl {
 
-Cycle
-VertexStage::processDraw(const DrawCommand &draw, Cycle now,
-                         std::vector<TransformedVertex> &out)
+void
+VertexStage::shadeSequence(const DrawCommand &draw,
+                           std::vector<std::uint32_t> &order,
+                           std::uint64_t &reuse)
 {
-    out.clear();
-    out.resize(draw.vertices.size());
+    order.clear();
+    reuse = 0;
 
-    Cycle cursor = now;
+    // Hardware walks the index stream; non-indexed access to unused
+    // vertices never happens.
+    if (draw.indices.empty()) {
+        order.reserve(draw.vertices.size());
+        for (std::uint32_t i = 0; i < draw.vertices.size(); ++i)
+            order.push_back(i);
+        return;
+    }
+
+    // FIFO post-transform cache of recently shaded indices, kept in a
+    // fixed ring (capacity is a compile-time constant): overwriting
+    // the oldest slot when full is push_back + pop_front, and
+    // membership only needs the live set, not its order.
+    std::array<std::uint32_t, kPostTransformEntries> ptc;
+    std::size_t ptcHead = 0;  // next slot to overwrite
+    std::size_t ptcSize = 0;
+    for (std::uint32_t idx : draw.indices) {
+        bool hit = false;
+        for (std::size_t k = 0; k < ptcSize; ++k) {
+            if (ptc[k] == idx) {
+                hit = true;
+                break;
+            }
+        }
+        if (hit) {
+            ++reuse;
+            continue;
+        }
+        // Miss: the vertex program runs (idempotent, so re-shading an
+        // index evicted from the FIFO is functionally harmless and
+        // pays the realistic re-fetch + re-transform cost).
+        order.push_back(idx);
+        ptc[ptcHead] = idx;
+        ptcHead = (ptcHead + 1) % kPostTransformEntries;
+        ptcSize = std::min(ptcSize + 1, kPostTransformEntries);
+    }
+}
+
+TransformedVertex
+VertexStage::transformVertex(const GpuConfig &cfg,
+                             const DrawCommand &draw, std::uint32_t i)
+{
     const float half_w = static_cast<float>(cfg.screenWidth) * 0.5f;
     const float half_h = static_cast<float>(cfg.screenHeight) * 0.5f;
 
-    // FIFO post-transform cache of recently shaded indices.
-    std::deque<std::uint32_t> ptc;
-    auto in_ptc = [&](std::uint32_t idx) {
-        return std::find(ptc.begin(), ptc.end(), idx) != ptc.end();
-    };
+    const Vertex &v = draw.vertices[i];
+    const Vec4f clip = draw.transform.apply(v.pos);
+    const float inv_w = clip.w != 0.0f ? 1.0f / clip.w : 1.0f;
 
-    auto shade = [&](std::uint32_t i) {
+    TransformedVertex tv;
+    tv.screen.x = (clip.x * inv_w * 0.5f + 0.5f) * 2.0f * half_w;
+    tv.screen.y = (clip.y * inv_w * 0.5f + 0.5f) * 2.0f * half_h;
+    tv.depth = std::clamp(clip.z * inv_w * 0.5f + 0.5f, 0.0f, 1.0f);
+    tv.uv = v.uv;
+    return tv;
+}
+
+Cycle
+VertexStage::replayTiming(const DrawCommand &draw,
+                          const std::vector<std::uint32_t> &order,
+                          std::uint64_t reuse, Cycle now)
+{
+    Cycle cursor = now;
+    for (std::uint32_t i : order) {
         // Attribute fetch through the Vertex Cache; a vertex record may
         // straddle a line boundary, touch both lines.
         const Addr a = draw.vertexBufferAddr + i * kVertexFetchBytes;
@@ -32,44 +86,25 @@ VertexStage::processDraw(const DrawCommand &draw, Cycle now,
             (last / cfg.vertexCache.lineBytes)) {
             data = std::max(data, mem.vertexRead(last, cursor));
         }
-
-        const Vertex &v = draw.vertices[i];
-        const Vec4f clip = draw.transform.apply(v.pos);
-        const float inv_w = clip.w != 0.0f ? 1.0f / clip.w : 1.0f;
-
-        TransformedVertex tv;
-        tv.screen.x = (clip.x * inv_w * 0.5f + 0.5f) * 2.0f * half_w;
-        tv.screen.y = (clip.y * inv_w * 0.5f + 0.5f) * 2.0f * half_h;
-        tv.depth = std::clamp(clip.z * inv_w * 0.5f + 0.5f, 0.0f, 1.0f);
-        tv.uv = v.uv;
-        out[i] = tv;
-
         cursor = std::max(data, cursor + kTransformCost);
         ++vertexCount;
-
-        ptc.push_back(i);
-        if (ptc.size() > kPostTransformEntries)
-            ptc.pop_front();
-    };
-
-    // Hardware walks the index stream; non-indexed access to unused
-    // vertices never happens.
-    if (draw.indices.empty()) {
-        for (std::uint32_t i = 0; i < draw.vertices.size(); ++i)
-            shade(i);
-        return cursor;
     }
-    for (std::uint32_t idx : draw.indices) {
-        if (in_ptc(idx)) {
-            ++reuseCount;
-            continue;
-        }
-        // Miss: run the vertex program (idempotent, so re-shading an
-        // index evicted from the FIFO is functionally harmless and
-        // pays the realistic re-fetch + re-transform cost).
-        shade(idx);
-    }
+    reuseCount += reuse;
     return cursor;
+}
+
+Cycle
+VertexStage::processDraw(const DrawCommand &draw, Cycle now,
+                         std::vector<TransformedVertex> &out)
+{
+    out.clear();
+    out.resize(draw.vertices.size());
+
+    std::uint64_t reuse = 0;
+    shadeSequence(draw, orderScratch, reuse);
+    for (std::uint32_t i : orderScratch)
+        out[i] = transformVertex(cfg, draw, i);
+    return replayTiming(draw, orderScratch, reuse, now);
 }
 
 } // namespace dtexl

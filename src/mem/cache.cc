@@ -73,8 +73,12 @@ Cache::purgeMshrs(Cycle now)
     // in-flight intervals remain, so exceeding the cap means more
     // concurrent fills than the bounded history can distinguish.
     const std::size_t cap = std::size_t{cfg.numMshrs} * 8;
-    while (mshrIntervals.size() > cap)
-        mshrIntervals.pop_front();
+    if (mshrIntervals.size() > cap) {
+        mshrIntervals.erase(mshrIntervals.begin(),
+                            mshrIntervals.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    mshrIntervals.size() - cap));
+    }
 }
 
 Cycle
@@ -163,18 +167,20 @@ Cache::access(Addr addr, AccessType type, Cycle now)
 
     const Cycle start = arbitratePort(now);
 
-    // Lazily retire completed fills for this line.
-    if (auto it = pendingFills.find(la);
-        it != pendingFills.end() && it->second <= start) {
-        pendingFills.erase(it);
+    // One pending-fill lookup serves both the lazy retire and the
+    // hit-under-fill check below (the double find showed in profiles).
+    auto pending = pendingFills.find(la);
+    if (pending != pendingFills.end() && pending->second <= start) {
+        pendingFills.erase(pending);
+        pending = pendingFills.end();
     }
 
     if (Line *line = lookup(la, type)) {
         (void)line;
         Cycle done = start + cfg.hitLatency;
-        if (auto it = pendingFills.find(la); it != pendingFills.end()) {
+        if (pending != pendingFills.end()) {
             ++*hot.hitUnderFill;
-            done = std::max(done, it->second);
+            done = std::max(done, pending->second);
         } else {
             ++*(type == AccessType::Read ? hot.readHit : hot.writeHit);
         }

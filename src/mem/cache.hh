@@ -9,10 +9,8 @@
 #define DTEXL_MEM_CACHE_HH
 
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
@@ -143,8 +141,13 @@ class Cache : public MemLevel
      */
     Line *lastHit = nullptr;
 
-    /** Pending line fills: line address -> fill completion cycle. */
-    std::map<Addr, Cycle> pendingFills;
+    /**
+     * Pending line fills: line address -> fill completion cycle. Only
+     * ever point-queried (find/erase/insert), so the hash container is
+     * invisible to results; it replaces a std::map that showed up in
+     * profiles at one find per access.
+     */
+    std::unordered_map<Addr, Cycle> pendingFills;
 
     /**
      * In-flight miss intervals [start, fill). MSHR capacity is
@@ -158,7 +161,7 @@ class Cache : public MemLevel
         Cycle start;
         Cycle fill;
     };
-    std::deque<MshrInterval> mshrIntervals;
+    std::vector<MshrInterval> mshrIntervals;
 
     /**
      * Port occupancy: portsPerCycle * kPortWindow accesses per

@@ -172,6 +172,25 @@ class RateWindow
         stalled = false;
         const Cycle *base = ring.data() + head;
         Cycle start = now;
+        {
+            // Append fast path, O(1): with nothing after `start`, the
+            // only candidate run the k loop below could flag is `start`
+            // plus the newest `cap` entries (k = cap is the only k with
+            // first + cap <= n), so the whole violation scan collapses
+            // to one comparison against base[n - cap]. After one
+            // advance to base[n - cap] + win the run spans exactly
+            // `win` cycles — no violation — and `start` only grew, so
+            // the append precondition still holds.
+            const std::size_t n = ring.size() - head;
+            if (n == 0 || start >= base[n - 1]) {
+                if (n >= cap && start < base[n - cap] + win) {
+                    stalled = true;
+                    start = base[n - cap] + win;
+                }
+                ring.push_back(start);
+                return start;
+            }
+        }
         for (;;) {
             const std::size_t n = ring.size() - head;
             // Append fast path: nothing after `start`, so the only

@@ -78,6 +78,35 @@ struct Tri
         f.uv.y = w0 * uv[0].y + w1 * uv[1].y + w2 * uv[2].y;
         return f;
     }
+
+    /**
+     * Coverage and interpolation from one set of edge evaluations.
+     * interpolate()'s weights are e1 * inv and e2 * inv with the same
+     * e1/e2 covers() computes, so sharing them is bit-exact with
+     * calling covers() and interpolate() separately — which the inner
+     * rasterization loop used to do, evaluating each edge twice per
+     * fragment.
+     */
+    Fragment
+    eval(const Vec2f &c, bool &covered) const
+    {
+        const float e0 = edge(p[0], p[1], c);
+        const float e1 = edge(p[1], p[2], c);
+        const float e2 = edge(p[2], p[0], c);
+        const bool i0 = e0 > 0.0f || (e0 == 0.0f && topLeft(p[0], p[1]));
+        const bool i1 = e1 > 0.0f || (e1 == 0.0f && topLeft(p[1], p[2]));
+        const bool i2 = e2 > 0.0f || (e2 == 0.0f && topLeft(p[2], p[0]));
+        covered = i0 && i1 && i2;
+        const float inv = 1.0f / area2;
+        const float w0 = e1 * inv;
+        const float w1 = e2 * inv;
+        const float w2 = 1.0f - w0 - w1;
+        Fragment f;
+        f.depth = w0 * z[0] + w1 * z[1] + w2 * z[2];
+        f.uv.x = w0 * uv[0].x + w1 * uv[1].x + w2 * uv[2].x;
+        f.uv.y = w0 * uv[0].y + w1 * uv[1].y + w2 * uv[2].y;
+        return f;
+    }
 };
 
 } // namespace
@@ -93,9 +122,17 @@ Rasterizer::pixelCovered(const Primitive &prim, std::uint32_t px,
                        static_cast<float>(py) + 0.5f});
 }
 
+namespace {
+
+/**
+ * Shared traversal behind the AoS and SoA rasterize() overloads; the
+ * emit sink receives (quad coords, coverage, fragments) for each
+ * non-empty quad in raster order.
+ */
+template <typename Emit>
 std::size_t
-Rasterizer::rasterize(const Primitive &prim, Coord2 tile_coord,
-                      std::vector<Quad> &out) const
+rasterizeTo(const GpuConfig &cfg, const Primitive &prim,
+            Coord2 tile_coord, Emit &&emit)
 {
     const Tri tri(prim);
     if (tri.area2 == 0.0f)
@@ -127,10 +164,8 @@ Rasterizer::rasterize(const Primitive &prim, Coord2 tile_coord,
     std::size_t emitted = 0;
     for (std::int32_t qy = y0; qy < y1; qy += 2) {
         for (std::int32_t qx = x0; qx < x1; qx += 2) {
-            Quad quad;
-            quad.prim = &prim;
-            quad.quadInTile = Coord2{(qx - tile_px) / 2,
-                                     (qy - tile_py) / 2};
+            std::array<Fragment, 4> frags;
+            std::uint8_t coverage = 0;
             for (unsigned k = 0; k < 4; ++k) {
                 const std::int32_t px = qx + static_cast<std::int32_t>(
                                                  k % 2);
@@ -141,19 +176,55 @@ Rasterizer::rasterize(const Primitive &prim, Coord2 tile_coord,
                 // Attributes are interpolated for all four fragments
                 // (helper pixels); coverage only for true hits inside
                 // the screen.
-                quad.frags[k] = tri.interpolate(c);
+                bool covered = false;
+                frags[k] = tri.eval(c, covered);
                 const bool on_screen =
                     px < static_cast<std::int32_t>(cfg.screenWidth) &&
                     py < static_cast<std::int32_t>(cfg.screenHeight);
-                if (on_screen && tri.covers(c))
-                    quad.coverage |= (1u << k);
+                if (on_screen && covered)
+                    coverage |= static_cast<std::uint8_t>(1u << k);
             }
-            if (quad.coverage != 0) {
-                out.push_back(quad);
+            if (coverage != 0) {
+                emit(Coord2{(qx - tile_px) / 2, (qy - tile_py) / 2},
+                     coverage, frags);
                 ++emitted;
             }
         }
     }
+    return emitted;
+}
+
+} // namespace
+
+std::size_t
+Rasterizer::rasterize(const Primitive &prim, Coord2 tile_coord,
+                      std::vector<Quad> &out) const
+{
+    const std::size_t emitted = rasterizeTo(
+        cfg, prim, tile_coord,
+        [&](Coord2 qc, std::uint8_t coverage,
+            const std::array<Fragment, 4> &frags) {
+            Quad quad;
+            quad.prim = &prim;
+            quad.quadInTile = qc;
+            quad.coverage = coverage;
+            quad.frags = frags;
+            out.push_back(quad);
+        });
+    quadCount += emitted;
+    return emitted;
+}
+
+std::size_t
+Rasterizer::rasterize(const Primitive &prim, Coord2 tile_coord,
+                      QuadStream &out) const
+{
+    const std::size_t emitted = rasterizeTo(
+        cfg, prim, tile_coord,
+        [&](Coord2 qc, std::uint8_t coverage,
+            const std::array<Fragment, 4> &frags) {
+            out.push(&prim, qc, coverage, frags);
+        });
     quadCount += emitted;
     return emitted;
 }

@@ -12,6 +12,7 @@
 
 #include "common/config.hh"
 #include "raster/quad.hh"
+#include "raster/quad_stream.hh"
 
 namespace dtexl {
 
@@ -31,6 +32,14 @@ class Rasterizer
      */
     std::size_t rasterize(const Primitive &prim, Coord2 tile_coord,
                           std::vector<Quad> &out) const;
+
+    /**
+     * SoA variant used by the pipeline hot path: appends to a
+     * QuadStream instead of materializing AoS quads. Same traversal,
+     * same interpolation, same emission order — bit-identical content.
+     */
+    std::size_t rasterize(const Primitive &prim, Coord2 tile_coord,
+                          QuadStream &out) const;
 
     std::uint64_t quadsEmitted() const { return quadCount; }
 

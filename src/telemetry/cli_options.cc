@@ -1,7 +1,10 @@
 #include "telemetry/cli_options.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
+#include "common/config.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "telemetry/export.hh"
@@ -16,6 +19,16 @@ CommonCliOptions::tryParse(const std::string &arg)
         if (n < 1 || n > 256)
             fatal("--jobs must be in [1, 256]");
         jobs = static_cast<unsigned>(n);
+        return true;
+    }
+    if (arg.rfind("--geom-threads=", 0) == 0) {
+        const char *value = arg.c_str() + 15;
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(value, &end, 10);
+        if (end == value || *end != '\0' || n > 256)
+            fatal("--geom-threads must be a number in [0, 256] "
+                  "(0 = auto)");
+        geomThreads = static_cast<std::uint32_t>(n);
         return true;
     }
     if (arg == "--reference-path") {
@@ -46,11 +59,43 @@ CommonCliOptions::tryParse(const std::string &arg)
     return false;
 }
 
+void
+CommonCliOptions::applyGeomThreads(GpuConfig &cfg) const
+{
+    if (geomThreads != kGeomThreadsUnset)
+        cfg.geomThreads = geomThreads;
+
+    // Every batch-driver worker runs its own geometry front-end, so the
+    // host thread demand is the product. Oversubscribing slows the
+    // whole batch down; clamp and tell the user once.
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const std::uint64_t demand =
+        static_cast<std::uint64_t>(jobs) * cfg.resolvedGeomThreads();
+    if (demand > hw) {
+        const auto clamped = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(hw / jobs));
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("--jobs=%u x %u geometry threads oversubscribes %u "
+                 "hardware threads; clamping geometry threads to %u",
+                 jobs, cfg.resolvedGeomThreads(), hw, clamped);
+        }
+        cfg.geomThreads = clamped;
+    }
+}
+
 const char *
 CommonCliOptions::helpText()
 {
     return
         "  --jobs=N            worker threads for the batch driver\n"
+        "  --geom-threads=N    host threads for each simulation's "
+        "geometry\n"
+        "                      front-end (0 = auto; results are "
+        "bit-identical\n"
+        "                      for any value)\n"
         "  --trace=FILE        write Chrome-trace JSON "
         "(chrome://tracing)\n"
         "  --stats-json=FILE   write a flat JSON dump of all counters\n"

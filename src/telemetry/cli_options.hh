@@ -11,15 +11,27 @@
 #ifndef DTEXL_TELEMETRY_CLI_OPTIONS_HH
 #define DTEXL_TELEMETRY_CLI_OPTIONS_HH
 
+#include <cstdint>
 #include <string>
 
 namespace dtexl {
 
+struct GpuConfig;
+
 /** Options common to every CLI; parse side effects arm the globals. */
 struct CommonCliOptions
 {
+    /** --geom-threads value meaning "flag not given". */
+    static constexpr std::uint32_t kGeomThreadsUnset = ~0u;
+
     /** Worker threads for the batch driver (--jobs=N, [1, 256]). */
     unsigned jobs = 1;
+    /**
+     * Geometry front-end threads per simulation (--geom-threads=N,
+     * [0, 256]; 0 = auto). Unset leaves GpuConfig::geomThreads (or a
+     * geom_threads key=value option) alone.
+     */
+    std::uint32_t geomThreads = kGeomThreadsUnset;
     /** --reference-path clears GpuConfig::simFastPath (A/B checks). */
     bool fastPath = true;
     /** --trace=FILE: Chrome-trace JSON; enables TraceWriter. */
@@ -36,6 +48,16 @@ struct CommonCliOptions
      * TelemetryExport.
      */
     bool tryParse(const std::string &arg);
+
+    /**
+     * Resolve --geom-threads into @p cfg: applies the flag when given,
+     * then clamps --jobs x geometry-threads oversubscription to the
+     * host's hardware concurrency (one warn() per process). Call after
+     * every other config option is applied, before cfg.validate().
+     * Results are bit-identical for any thread count, so the clamp
+     * only affects host throughput, never simulation output.
+     */
+    void applyGeomThreads(GpuConfig &cfg) const;
 
     /** Help lines for the shared flags (one per line, indented). */
     static const char *helpText();

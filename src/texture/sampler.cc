@@ -9,14 +9,16 @@ namespace dtexl {
 
 namespace {
 
-/** Wrap a texel coordinate into [0, side) for repeat addressing. */
+/**
+ * Wrap a texel coordinate into [0, side) for repeat addressing. Sides
+ * are powers of two (asserted by TextureDesc), so the Euclidean
+ * remainder is the low bits of the two's-complement representation —
+ * a mask instead of a 64-bit division.
+ */
 std::uint32_t
 wrap(std::int64_t c, std::uint32_t side)
 {
-    std::int64_t m = c % static_cast<std::int64_t>(side);
-    if (m < 0)
-        m += side;
-    return static_cast<std::uint32_t>(m);
+    return static_cast<std::uint32_t>(c) & (side - 1);
 }
 
 /** Add the 2x2 bilinear tap around (u, v) at the given level. */

@@ -1,7 +1,6 @@
 #include "texture/texture.hh"
 
 #include "common/log.hh"
-#include "sfc/morton.hh"
 
 namespace dtexl {
 
@@ -30,23 +29,6 @@ TextureDesc::TextureDesc(TextureId id, Addr base_addr, std::uint32_t side,
             break;
     }
     total = a - base_addr;
-}
-
-Addr
-TextureDesc::texelAddr(std::uint32_t level, std::uint32_t x,
-                       std::uint32_t y) const
-{
-    dtexl_assert(level < mipBases.size(), "mip level out of range");
-    const std::uint32_t s = levelSide(level);
-    dtexl_assert(x < s && y < s, "texel out of range");
-    const std::uint32_t bs = blockSide(fmt);
-    if (bs > 1) {
-        // Compressed: address the 4x4 block in block-Morton order;
-        // each ETC2 block is 8 bytes.
-        return mipBases[level] + mortonEncode(x / bs, y / bs) * 8;
-    }
-    const TexelRate r = texelRate(fmt);
-    return mipBases[level] + mortonEncode(x, y) * r.bytesNum;
 }
 
 } // namespace dtexl

@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
+#include "sfc/morton.hh"
 #include "texture/format.hh"
 
 namespace dtexl {
@@ -59,10 +61,26 @@ class TextureDesc
     /**
      * Byte address of texel (x, y) at the given mip level. For
      * compressed formats this is the address of the texel's block (the
-     * unit actually fetched).
+     * unit actually fetched). Defined inline: this is the innermost
+     * call of the texture-sampling hot path (four calls per bilinear
+     * tap).
      */
-    Addr texelAddr(std::uint32_t level, std::uint32_t x,
-                   std::uint32_t y) const;
+    Addr
+    texelAddr(std::uint32_t level, std::uint32_t x,
+              std::uint32_t y) const
+    {
+        dtexl_assert(level < mipBases.size(), "mip level out of range");
+        dtexl_assert(x < levelSide(level) && y < levelSide(level),
+                     "texel out of range");
+        const std::uint32_t bs = blockSide(fmt);
+        if (bs > 1) {
+            // Compressed: address the 4x4 block in block-Morton order;
+            // each ETC2 block is 8 bytes.
+            return mipBases[level] + mortonEncode(x / bs, y / bs) * 8;
+        }
+        const TexelRate r = texelRate(fmt);
+        return mipBases[level] + mortonEncode(x, y) * r.bytesNum;
+    }
 
     /** Total bytes of the whole mip chain. */
     std::uint64_t totalBytes() const { return total; }

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Thread-count invariance of the parallel geometry/tiling front-end:
+ * GpuConfig::geomThreads is a host-parallelism knob only, so every
+ * observable output — FrameStats including the image hash, and the
+ * full StatRegistry — must be bit-identical for any thread count, on
+ * every preset. Also unit-tests the WorkerPool the front-end fans out
+ * over. Runs under the ThreadSanitizer CI build, which would flag any
+ * racing access in the fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/worker_pool.hh"
+#include "core/dtexl.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+/** Every FrameStats field, including the image hash. */
+void
+expectSameStats(const FrameStats &a, const FrameStats &b,
+                const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.geometryCycles, b.geometryCycles);
+    EXPECT_EQ(a.rasterCycles, b.rasterCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_DOUBLE_EQ(a.fps, b.fps);
+    EXPECT_EQ(a.verticesProcessed, b.verticesProcessed);
+    EXPECT_EQ(a.primitivesBinned, b.primitivesBinned);
+    EXPECT_EQ(a.quadsRasterized, b.quadsRasterized);
+    EXPECT_EQ(a.quadsCulledEarlyZ, b.quadsCulledEarlyZ);
+    EXPECT_EQ(a.quadsCulledHiZ, b.quadsCulledHiZ);
+    EXPECT_EQ(a.quadsShaded, b.quadsShaded);
+    EXPECT_EQ(a.fragmentsShaded, b.fragmentsShaded);
+    EXPECT_EQ(a.shaderInstructions, b.shaderInstructions);
+    EXPECT_EQ(a.textureSamples, b.textureSamples);
+    EXPECT_EQ(a.earlyZTests, b.earlyZTests);
+    EXPECT_EQ(a.blendOps, b.blendOps);
+    EXPECT_EQ(a.flushLineWrites, b.flushLineWrites);
+    EXPECT_EQ(a.l1TexAccesses, b.l1TexAccesses);
+    EXPECT_EQ(a.l1TexMisses, b.l1TexMisses);
+    EXPECT_EQ(a.l1VertexAccesses, b.l1VertexAccesses);
+    EXPECT_EQ(a.l1TileAccesses, b.l1TileAccesses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+    EXPECT_EQ(a.quadsPerSc, b.quadsPerSc);
+    EXPECT_EQ(a.barrierIdleCycles, b.barrierIdleCycles);
+    EXPECT_DOUBLE_EQ(a.textureReplication, b.textureReplication);
+    EXPECT_EQ(a.imageHash, b.imageHash);
+}
+
+/**
+ * Render 2 animated frames of @p alias under @p cfg with 1, 2 and 8
+ * geometry threads; every frame of every thread count must be
+ * bit-exact against the serial run.
+ */
+void
+threadCountInvariant(GpuConfig cfg, const std::string &alias)
+{
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+
+    const BenchmarkParams &p = benchmarkByAlias(alias);
+    const Scene f0 = generateScene(p, cfg, 0);
+    const Scene f1 = generateScene(p, cfg, 1);
+    const Scene *frames[] = {&f0, &f1};
+
+    GpuConfig serial_cfg = cfg;
+    serial_cfg.geomThreads = 1;
+    GpuSimulator serial(serial_cfg, f0);
+    std::vector<FrameStats> want;
+    for (const Scene *s : frames) {
+        serial.setScene(*s);
+        want.push_back(serial.renderFrame());
+    }
+
+    for (std::uint32_t threads : {2u, 8u}) {
+        GpuConfig par_cfg = cfg;
+        par_cfg.geomThreads = threads;
+        GpuSimulator par(par_cfg, f0);
+        for (std::size_t f = 0; f < 2; ++f) {
+            par.setScene(*frames[f]);
+            const FrameStats fs = par.renderFrame();
+            expectSameStats(want[f], fs,
+                            alias + " threads=" +
+                                std::to_string(threads) + " frame " +
+                                std::to_string(f));
+        }
+    }
+}
+
+TEST(ParallelGeom, BaselinePresetInvariant)
+{
+    threadCountInvariant(makeBaselineConfig(), "SWa");
+}
+
+TEST(ParallelGeom, DTexLPresetInvariant)
+{
+    threadCountInvariant(makeDTexLConfig(), "GTr");
+}
+
+TEST(ParallelGeom, UpperBoundPresetInvariant)
+{
+    threadCountInvariant(makeUpperBoundConfig(), "SoD");
+}
+
+TEST(ParallelGeom, ExtensionsInvariant)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.hierarchicalZ = true;
+    cfg.transactionElimination = true;
+    cfg.texturePrefetch = true;
+    threadCountInvariant(cfg, "CCS");
+}
+
+TEST(ParallelGeom, AutoThreadsMatchesSerial)
+{
+    // geomThreads = 0 resolves to the host's hardware concurrency,
+    // whatever that is; the result must still match the serial run.
+    GpuConfig cfg = makeBaselineConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    const Scene scene =
+        generateScene(benchmarkByAlias("Mze"), cfg, 0);
+
+    GpuConfig serial_cfg = cfg;
+    serial_cfg.geomThreads = 1;
+    GpuConfig auto_cfg = cfg;
+    auto_cfg.geomThreads = 0;
+    EXPECT_GE(auto_cfg.resolvedGeomThreads(), 1u);
+
+    GpuSimulator serial(serial_cfg, scene);
+    GpuSimulator autop(auto_cfg, scene);
+    expectSameStats(serial.renderFrame(), autop.renderFrame(),
+                    "Mze auto threads");
+}
+
+/**
+ * The flat stats-JSON dump (what --stats-json writes) must match
+ * key-for-key across thread counts, except the host wall-clock
+ * counters which are inherently non-deterministic.
+ */
+TEST(ParallelGeom, StatRegistryBitExact)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    const Scene scene =
+        generateScene(benchmarkByAlias("GTr"), cfg, 0);
+
+    GpuConfig serial_cfg = cfg;
+    serial_cfg.geomThreads = 1;
+    GpuConfig par_cfg = cfg;
+    par_cfg.geomThreads = 8;
+
+    StatRegistry serial_reg("serial"), par_reg("par");
+    GpuSimulator serial(serial_cfg, scene);
+    GpuSimulator par(par_cfg, scene);
+    serial.setStatRegistry(&serial_reg, "engine");
+    par.setStatRegistry(&par_reg, "engine");
+    (void)serial.renderFrame();
+    (void)par.renderFrame();
+
+    ASSERT_EQ(serial_reg.paths(), par_reg.paths());
+    for (const std::string &path : serial_reg.paths()) {
+        const auto &a = serial_reg.node(path).counters();
+        const auto &b = par_reg.node(path).counters();
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (const auto &[key, value] : a) {
+            if (key == "wall_us")
+                continue;
+            EXPECT_EQ(value, b.at(key)) << path << "." << key;
+        }
+    }
+}
+
+TEST(WorkerPool, CoversEveryIndexOnce)
+{
+    for (unsigned threads : {1u, 2u, 5u}) {
+        WorkerPool pool(threads);
+        EXPECT_GE(pool.size(), 1u);
+        std::vector<std::atomic<int>> hits(1000);
+        pool.parallelFor(hits.size(), [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(WorkerPool, ReusableAcrossCalls)
+{
+    WorkerPool pool(4);
+    std::atomic<std::uint64_t> sum{0};
+    for (int round = 0; round < 50; ++round) {
+        sum.store(0);
+        pool.parallelFor(round, [&](std::size_t i) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        const std::uint64_t n = static_cast<std::uint64_t>(round);
+        EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+    }
+}
+
+TEST(WorkerPool, ZeroAndOneSized)
+{
+    WorkerPool pool(3);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+} // namespace
+} // namespace dtexl

@@ -208,8 +208,8 @@ TEST(ShaderCore, RunBatchesInterleavesFairly)
     const std::size_t n = 24;
     // Separate quad storage per core so textures regions differ a bit
     // but the workload is statistically identical.
-    std::array<std::vector<Quad>, 4> stores;
-    std::array<std::vector<const Quad *>, 4> ptrs;
+    std::array<QuadStream, 4> streams;
+    std::array<std::vector<std::uint32_t>, 4> indices;
     std::vector<Cycle> arrivals(n, 0);
     for (int c = 0; c < 4; ++c) {
         for (std::size_t i = 0; i < n; ++i) {
@@ -220,17 +220,15 @@ TEST(ShaderCore, RunBatchesInterleavesFairly)
                             256.0f;
             for (unsigned k = 0; k < 4; ++k)
                 q.frags[k].uv = {u, static_cast<float>(k) / 256.0f};
-            stores[c].push_back(q);
+            indices[c].push_back(streams[c].push(q));
         }
-        for (const Quad &q : stores[c])
-            ptrs[c].push_back(&q);
     }
 
     std::vector<ShaderCore *> core_ptrs;
     std::vector<ShaderCore::BatchInput> inputs;
     for (int c = 0; c < 4; ++c) {
         core_ptrs.push_back(cores[c].get());
-        inputs.push_back({&ptrs[c], &arrivals, 0});
+        inputs.push_back({&streams[c], &indices[c], &arrivals, 0});
     }
     const auto results = ShaderCore::runBatches(core_ptrs, inputs);
     Cycle min_fin = results[0].finish, max_fin = results[0].finish;
@@ -253,8 +251,12 @@ TEST(ShaderCore, RunBatchesMatchesSoloRunsWhenIndependent)
     const auto qb = fb.makeQuads(10);
     std::vector<Cycle> arrivals(10, 5);
     const auto r_solo = solo.runBatch(qa, arrivals, 0);
+    QuadStream sb;
+    std::vector<std::uint32_t> ib;
+    for (const Quad *q : qb)
+        ib.push_back(sb.push(*q));
     const auto r_joint =
-        ShaderCore::runBatches({&joint}, {{&qb, &arrivals, 0}});
+        ShaderCore::runBatches({&joint}, {{&sb, &ib, &arrivals, 0}});
     EXPECT_EQ(r_solo.completion, r_joint.front().completion);
 }
 
