@@ -66,7 +66,7 @@ setWarpSched(GpuConfig &cfg, std::uint32_t v)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     BenchOptions opt = BenchOptions::parse(argc, argv);
     if (opt.aliases.empty())
@@ -89,4 +89,10 @@ main(int argc, char **argv)
     for (std::uint32_t w : {0u, 1u, 2u})
         sweepPoint(opt, "warp_sched", setWarpSched, w);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

@@ -18,7 +18,7 @@ using namespace dtexl;
 using namespace dtexl::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
@@ -57,4 +57,10 @@ main(int argc, char **argv)
     std::printf("\npaper reference: locality scheduler ~0.53x L2 "
                 "accesses, but several-fold worse thread balance\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

@@ -20,7 +20,7 @@ using namespace dtexl;
 using namespace dtexl::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
@@ -73,4 +73,10 @@ main(int argc, char **argv)
     std::printf("\npaper reference: coarse groupings trade ~45%% fewer "
                 "L2 accesses for ~6-10x worse quad balance\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

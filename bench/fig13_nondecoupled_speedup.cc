@@ -14,7 +14,7 @@ using namespace dtexl;
 using namespace dtexl::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
@@ -42,4 +42,10 @@ main(int argc, char **argv)
     }
     printRow("geomean", {geoMeanRatio(sq), geoMeanRatio(yr)});
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

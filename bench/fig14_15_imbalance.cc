@@ -34,7 +34,7 @@ printViolin(const char *alias, const char *cfg, const Distribution &d)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
@@ -66,4 +66,10 @@ main(int argc, char **argv)
                     quad_devs[i].second);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

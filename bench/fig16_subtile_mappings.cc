@@ -48,7 +48,7 @@ const Mapping kMappings[] = {
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
@@ -102,4 +102,10 @@ main(int argc, char **argv)
     std::printf("\ngap to upper bound closed: %.0f%% (paper: ~80%%)\n",
                 100.0 * best / bound);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

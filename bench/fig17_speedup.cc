@@ -17,7 +17,7 @@ using namespace dtexl;
 using namespace dtexl::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
 
@@ -54,4 +54,10 @@ main(int argc, char **argv)
     std::printf("\npaper reference: DTexL 1.2x average (1.4x GTr), "
                 "FG decoupled 1.09x\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

@@ -54,9 +54,12 @@ BenchOptions::parse(int argc, char **argv)
             opt.width = 1960;
             opt.height = 768;
         } else if (arg.rfind("--scale=", 0) == 0) {
-            const double s = std::atof(arg.c_str() + 8);
-            if (s <= 0.0 || s > 1.0)
-                fatal("--scale must be in (0, 1]");
+            const char *value = arg.c_str() + 8;
+            char *end = nullptr;
+            const double s = std::strtod(value, &end);
+            if (end == value || *end != '\0' || s <= 0.0 || s > 1.0)
+                fatal("--scale must be a number in (0, 1], got '%s'",
+                      value);
             opt.width = static_cast<std::uint32_t>(1960 * s) & ~31u;
             opt.height = static_cast<std::uint32_t>(768 * s) & ~31u;
             if (opt.width == 0 || opt.height == 0)
@@ -104,7 +107,8 @@ BenchOptions::parse(int argc, char **argv)
                 CommonCliOptions::helpText());
             std::exit(0);
         } else {
-            fatal("unknown option '%s'", arg.c_str());
+            CommonCliOptions::rejectUnknown(
+                arg, "run with --help for the option list");
         }
     }
     opt.jobs = common.jobs;
@@ -219,6 +223,22 @@ runGrid(const std::vector<GridJob> &jobs, const BenchOptions &opt)
 
     const std::vector<BatchResult> raw =
         runBatch(batch, opt.jobs, &registry);
+
+    // A figure's table is meaningless with holes, so any failed grid
+    // job aborts the whole binary: summarize every failure, flush the
+    // exporters, and rethrow the first failure's classification so the
+    // guarded main exits with its kind's code.
+    if (reportBatchFailures(raw) > 0) {
+        TelemetryExport::global().flush();
+        TraceWriter::global().flush();
+        for (const BatchResult &r : raw) {
+            if (!r.ok) {
+                throw SimError(r.errorKind,
+                               "grid job '" + r.label +
+                                   "' failed: " + r.error);
+            }
+        }
+    }
 
     std::vector<RunOutput> out(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -51,7 +51,11 @@ struct BenchOptions
      */
     CommonCliOptions common;
 
-    /** Parse argv; exits with a message on --help or bad input. */
+    /**
+     * Parse argv; exits 0 after printing --help, throws
+     * SimError{UserInput} on an unknown option or malformed value
+     * (the guarded main maps it to kExitUserError).
+     */
     static BenchOptions parse(int argc, char **argv);
 
     /** GpuConfig preset resized to the selected screen. */
@@ -101,6 +105,11 @@ struct GridJob
  * engine's runBatch() (each worker owns its own GpuSimulator; the
  * scene cache is shared). Results are returned in job order and are
  * bit-identical for any --jobs value.
+ *
+ * A figure binary cannot use a grid with holes, so any failed job
+ * aborts the run: failures are summarized on stderr, the exporters
+ * flushed, and the first failure rethrown as SimError for the guarded
+ * main (distinct exit code per failure kind).
  */
 std::vector<RunOutput> runGrid(const std::vector<GridJob> &jobs,
                                const BenchOptions &opt);

@@ -16,7 +16,7 @@ using namespace dtexl;
 using namespace dtexl::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const GpuConfig base = opt.baseline();
@@ -47,4 +47,10 @@ main(int argc, char **argv)
     }
     std::printf("\nall images identical to the baseline renders\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

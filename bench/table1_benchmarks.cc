@@ -14,7 +14,7 @@ using namespace dtexl;
 using namespace dtexl::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     const GpuConfig cfg = opt.baseline();
@@ -41,4 +41,10 @@ main(int argc, char **argv)
                         r.fs.quadsRasterized));
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

@@ -13,7 +13,7 @@ using namespace dtexl;
 using namespace dtexl::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const BenchOptions opt = BenchOptions::parse(argc, argv);
     GpuConfig cfg = opt.baseline();
@@ -28,4 +28,10 @@ main(int argc, char **argv)
     std::printf("\nDTexL preset:\n%s",
                 makeDTexLConfig().describe().c_str());
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return benchMain(argc, argv); });
 }

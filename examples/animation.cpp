@@ -19,7 +19,7 @@
 using namespace dtexl;
 
 int
-main(int argc, char **argv)
+exampleMain(int argc, char **argv)
 {
     const std::string alias = argc > 1 ? argv[1] : "SoD";
     const int frames = argc > 2 ? std::atoi(argv[2]) : 5;
@@ -69,4 +69,10 @@ main(int argc, char **argv)
     std::printf("\nmean speedup: %.3fx\n",
                 total_speedup / frames);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return exampleMain(argc, argv); });
 }

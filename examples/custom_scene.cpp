@@ -56,7 +56,7 @@ rect(const GpuConfig &cfg, float x0, float y0, float x1, float y1,
 } // namespace
 
 int
-main()
+exampleMain()
 {
     GpuConfig cfg = makeBaselineConfig();
     cfg.screenWidth = 640;
@@ -147,4 +147,10 @@ main()
     std::printf("images identical: %s\n",
                 a.imageHash == b.imageHash ? "yes" : "NO (bug!)");
     return a.imageHash == b.imageHash ? 0 : 1;
+}
+
+int
+main()
+{
+    return dtexl::runGuardedMain([&] { return exampleMain(); });
 }

@@ -17,7 +17,7 @@
 #include "workloads/scenegen.hh"
 
 int
-main(int argc, char **argv)
+exampleMain(int argc, char **argv)
 {
     using namespace dtexl;
 
@@ -104,4 +104,10 @@ main(int argc, char **argv)
     std::printf("  energy: %+.1f%%\n",
                 100.0 * (eb.total() / ea.total() - 1.0));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return exampleMain(argc, argv); });
 }

@@ -40,7 +40,7 @@ runRow(const char *label, const GpuConfig &cfg, const Scene &scene,
 } // namespace
 
 int
-main(int argc, char **argv)
+exampleMain(int argc, char **argv)
 {
     std::string alias = "SoD";
     bool full = false;
@@ -108,4 +108,10 @@ main(int argc, char **argv)
                ref_fs.l2Accesses);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return dtexl::runGuardedMain([&] { return exampleMain(argc, argv); });
 }

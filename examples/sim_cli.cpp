@@ -61,7 +61,7 @@ printFrame(const std::string &label, std::size_t f,
 } // namespace
 
 int
-main(int argc, char **argv)
+simCliMain(int argc, char **argv)
 {
     std::string bench_list = "SoD";
     std::string scene_path;
@@ -89,9 +89,14 @@ main(int argc, char **argv)
         } else if (arg.rfind("--save-scene=", 0) == 0) {
             save_path = value_of("--save-scene=");
         } else if (arg.rfind("--frames=", 0) == 0) {
-            frames = std::atoi(value_of("--frames=").c_str());
-            if (frames < 1)
-                fatal("--frames must be >= 1");
+            const std::string value = value_of("--frames=");
+            char *end = nullptr;
+            const long n = std::strtol(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || n < 1 ||
+                n > 100000)
+                fatal("--frames must be a number in [1, 100000], "
+                      "got '%s'", value.c_str());
+            frames = static_cast<int>(n);
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--preset=dtexl") {
@@ -110,7 +115,11 @@ main(int argc, char **argv)
             const std::size_t eq = arg.find('=');
             options.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
         } else {
-            fatal("unknown argument '%s'", arg.c_str());
+            CommonCliOptions::rejectUnknown(
+                arg, "usage: sim_cli [--bench=A[,B,...] | "
+                     "--scene=FILE] [--frames=N] [--stats] "
+                     "[--preset=baseline|dtexl] [key=value ...] plus "
+                     "the shared flags (see --help)");
         }
     }
     for (const auto &[k, v] : options)
@@ -188,6 +197,8 @@ main(int argc, char **argv)
 
     EnergyModel energy;
     for (const BatchResult &r : results) {
+        if (!r.ok)
+            continue;
         for (std::size_t f = 0; f < r.frames.size(); ++f)
             printFrame(r.label, f, r.frames[f],
                        energy.compute(cfg, r.frames[f]));
@@ -210,5 +221,15 @@ main(int argc, char **argv)
         std::printf("\n%s", registry.dump().c_str());
     TelemetryExport::global().flush();
     TraceWriter::global().flush();
-    return 0;
+    // Failed jobs are summarized after the artifacts are safe on disk;
+    // the exit code distinguishes all-ok / user error / internal /
+    // watchdog / partial batch (see DESIGN.md).
+    reportBatchFailures(results);
+    return batchExitCode(results);
+}
+
+int
+main(int argc, char **argv)
+{
+    return runGuardedMain([&] { return simCliMain(argc, argv); });
 }

@@ -80,7 +80,7 @@ showAssignment(TileOrder o, SubtileAssignment a, std::uint32_t tx,
 } // namespace
 
 int
-main()
+exampleMain()
 {
     std::printf("==== Figure 6: quad groupings (one 32x32 tile, "
                 "16x16 quads) ====\n\n");
@@ -105,4 +105,10 @@ main()
     showAssignment(TileOrder::RectHilbert, SubtileAssignment::Flip2, 4,
                    4);
     return 0;
+}
+
+int
+main()
+{
+    return dtexl::runGuardedMain([&] { return exampleMain(); });
 }

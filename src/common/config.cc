@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace dtexl {
 
@@ -111,30 +112,77 @@ GpuConfig::resolvedGeomThreads() const
 void
 GpuConfig::validate() const
 {
+    // Every check names the offending knob and its legal range; the
+    // whole function throws SimError{Config} only (never exits), so a
+    // bad job in a batch fails alone (core/engine.cc).
+    if (clockHz == 0)
+        throwConfigError("clockHz must be positive");
+    if (screenWidth == 0 || screenHeight == 0)
+        throwConfigError(
+            "screen resolution %ux%u: width and height must be >= 1",
+            screenWidth, screenHeight);
     if (tileSize == 0 || tileSize % 2 != 0)
-        fatal("tile size must be a positive multiple of 2 (quads are 2x2)");
+        throwConfigError(
+            "tile size %u: must be a positive multiple of 2 "
+            "(quads are 2x2)", tileSize);
     if (numPipelines != 1 && numPipelines != 4)
-        fatal("numPipelines must be 1 (upper bound) or 4");
+        throwConfigError(
+            "numPipelines %u: must be 1 (upper bound) or 4",
+            numPipelines);
     if (numPipelines == 4 && quadsPerTileSide() % 2 != 0)
-        fatal("tile must split into 2x2 subtiles of whole quads");
+        throwConfigError(
+            "tile size %u: tile must split into 2x2 subtiles of whole "
+            "quads (tile/2 even)", tileSize);
+    if (maxWarpsPerCore == 0)
+        throwConfigError("warps (maxWarpsPerCore) must be >= 1");
+    if (stageFifoDepth == 0)
+        throwConfigError("fifo (stageFifoDepth) must be >= 1");
+    if (rasterQuadsPerCycle == 0)
+        throwConfigError("rasterQuadsPerCycle must be >= 1");
     auto check_cache = [](const char *name, const CacheConfig &c) {
         if (c.sizeBytes == 0 || c.lineBytes == 0 || c.ways == 0)
-            fatal("%s cache has a zero parameter", name);
+            throwConfigError(
+                "%s cache: size (%u B), line (%u B) and ways (%u) must "
+                "all be positive", name, c.sizeBytes, c.lineBytes,
+                c.ways);
+        if ((c.lineBytes & (c.lineBytes - 1)) != 0)
+            throwConfigError(
+                "%s cache: line size %u B must be a power of two",
+                name, c.lineBytes);
         if (c.sizeBytes % (c.lineBytes * c.ways) != 0)
-            fatal("%s cache size not divisible into sets", name);
+            throwConfigError(
+                "%s cache: size %u B not divisible into %u-way sets of "
+                "%u B lines", name, c.sizeBytes, c.ways, c.lineBytes);
         if ((c.numSets() & (c.numSets() - 1)) != 0)
-            fatal("%s cache set count must be a power of two", name);
+            throwConfigError(
+                "%s cache: set count %u must be a power of two", name,
+                c.numSets());
+        if (c.numMshrs == 0)
+            throwConfigError("%s cache: numMshrs must be >= 1", name);
     };
     check_cache("vertex", vertexCache);
     check_cache("texture", textureCache);
     check_cache("tile", tileCache);
     check_cache("L2", l2Cache);
     if (dram.bytesPerCycle == 0 || dram.numBanks == 0)
-        fatal("DRAM bandwidth/banks must be positive");
+        throwConfigError(
+            "dram: bytesPerCycle (%u) and numBanks (%u) must be "
+            "positive", dram.bytesPerCycle, dram.numBanks);
+    if (dram.rowBytes == 0)
+        throwConfigError("dram: rowBytes must be positive");
+    if (dram.rowMissLatency < dram.rowHitLatency)
+        throwConfigError(
+            "dram: rowMissLatency %u must be >= rowHitLatency %u",
+            dram.rowMissLatency, dram.rowHitLatency);
     if (telemetryLevel > 2)
-        fatal("telemetry level must be 0, 1 or 2");
+        throwConfigError(
+            "telemetry level %u: must be 0, 1 or 2", telemetryLevel);
     if (telemetryLevel >= 2 && telemetrySamplePeriod == 0)
-        fatal("sample_cycles must be >= 1");
+        throwConfigError("sample_cycles must be >= 1");
+    if (geomThreads > 256)
+        throwConfigError(
+            "geom_threads %u: must be in [0, 256] (0 = auto)",
+            geomThreads);
 }
 
 GpuConfig
@@ -273,6 +321,14 @@ applyConfigOption(GpuConfig &cfg, const std::string &key,
         cfg.telemetrySamplePeriod = parseUint(key, value);
     } else if (key == "geom_threads") {
         cfg.geomThreads = parseUint(key, value);
+    } else if (key == "watchdog_cycles") {
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0')
+            fatal("option watchdog_cycles: '%s' is not a number "
+                  "(cycles; 0 disables the watchdog)", value.c_str());
+        cfg.watchdogCycles = v;
     } else {
         fatal("unknown config option '%s'", key.c_str());
     }

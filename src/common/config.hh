@@ -148,6 +148,21 @@ struct GpuConfig
     /** geomThreads with 0 resolved to the host's hardware concurrency. */
     std::uint32_t resolvedGeomThreads() const;
 
+    /**
+     * Forward-progress watchdog budget in simulated cycles (simulator
+     * infrastructure, not modelled hardware): if the event-driven
+     * engine advances its clock by more than this many cycles without
+     * retiring a quad or completing a memory access while work is
+     * pending, the run is declared hung and a SimError{Watchdog}
+     * carrying a pipeline-state dump is raised instead of spinning
+     * forever. Real frames retire work every few hundred cycles, so
+     * the default (200M, ~a third of a second of simulated time) only
+     * trips on genuine deadlocks — e.g. a leaked stage-FIFO credit or
+     * a lost memory completion (see common/fault_inject.hh). 0
+     * disables the watchdog. Set with the `watchdog_cycles` key.
+     */
+    std::uint64_t watchdogCycles = 200'000'000;
+
     // --- Memory hierarchy (Table II) ---
     CacheConfig vertexCache  {8 * 1024, 64, 4, 1, 8};
     CacheConfig textureCache {16 * 1024, 64, 4, 1, 16};
@@ -165,7 +180,10 @@ struct GpuConfig
     /** Human-readable multi-line dump (used by bench/table2_config). */
     std::string describe() const;
 
-    /** Sanity-check the configuration; fatal() on invalid combinations. */
+    /**
+     * Check every knob; throws SimError{Config} naming the offending
+     * knob and its legal range on any invalid value or combination.
+     */
     void validate() const;
 };
 
@@ -188,8 +206,9 @@ GpuConfig makeUpperBoundConfig();
  * Apply a textual "key=value" option to a configuration (the CLI
  * driver's interface). Supported keys: grouping, order, assignment,
  * decoupled, hiz, warps, fifo, width, height, tile, l1tex_kib,
- * l2_kib, fastpath, telemetry, sample_cycles, geom_threads. fatal()
- * on unknown keys or bad values.
+ * l2_kib, fastpath, telemetry, sample_cycles, geom_threads,
+ * watchdog_cycles. Throws SimError{UserInput} on unknown keys or bad
+ * values.
  */
 void applyConfigOption(GpuConfig &cfg, const std::string &key,
                        const std::string &value);

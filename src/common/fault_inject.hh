@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fault-injection harness (tests and CI only; see DESIGN.md).
+ *
+ * Five injection sites cover the failure classes the hardened engine
+ * must survive: corrupt/truncated scene input, a mis-sized config, a
+ * leaked barrier credit, and a dropped memory completion. The harness
+ * is always compiled in so the shipping binary is the tested binary,
+ * but it is *disarmed* by default: every hook reduces to one relaxed
+ * atomic load of a zero flag, so golden results are byte-identical
+ * with the harness present (test_fault_inject.cc proves this).
+ *
+ * Hooks fire a bounded number of times (arm(site, n)) and then
+ * self-disarm, so an injected fault is deterministic and cannot
+ * cascade across jobs that share the process.
+ */
+
+#ifndef DTEXL_COMMON_FAULT_INJECT_HH
+#define DTEXL_COMMON_FAULT_INJECT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dtexl {
+
+/** Injection sites (one per failure class the engine must survive). */
+enum class FaultSite : std::uint32_t
+{
+    SceneTruncate,      ///< scene parser sees EOF mid-file
+    SceneCorruptToken,  ///< scene parser sees a garbage token
+    ConfigMisSize,      ///< GpuSimulator receives an invalid cache size
+    BarrierCreditLeak,  ///< raster pipe loses a stage-FIFO credit
+    DropMemCompletion,  ///< a texture read's fill never completes
+    kNumSites,
+};
+
+const char *toString(FaultSite site);
+
+/** Parse a site name ("scene-truncate", ...); throws SimError on junk. */
+FaultSite faultSiteFromString(const std::string &name);
+
+/**
+ * Stall cycle injected for "never completes" faults. Deliberately NOT
+ * kCycleNever: downstream stages add latencies to completion cycles
+ * and ~0 would wrap around; 2^62 leaves headroom while still being
+ * astronomically far beyond any real simulation.
+ */
+inline constexpr Cycle kFaultStallCycle = Cycle{1} << 62;
+
+class FaultInject
+{
+  public:
+    static FaultInject &global();
+
+    /** Arm @p site to fire on its next @p count hook evaluations. */
+    void arm(FaultSite site, std::uint32_t count = 1);
+
+    /** Disarm every site (tests call this in teardown). */
+    void disarmAll();
+
+    /**
+     * Hot-path hook: true when @p site is armed with shots remaining
+     * (consumes one shot). The disarmed cost is a single relaxed load.
+     */
+    bool fire(FaultSite site)
+    {
+        if (armed_.load(std::memory_order_relaxed) == 0)
+            return false;
+        return fireSlow(site);
+    }
+
+    /** Times @p site actually fired since the last disarmAll(). */
+    std::uint64_t fired(FaultSite site) const;
+
+  private:
+    FaultInject() = default;
+    bool fireSlow(FaultSite site);
+
+    static constexpr std::size_t kSites =
+        static_cast<std::size_t>(FaultSite::kNumSites);
+
+    /** Number of sites with shots remaining (0 == fully disarmed). */
+    std::atomic<std::uint32_t> armed_{0};
+    std::atomic<std::uint32_t> shots_[kSites] = {};
+    std::atomic<std::uint64_t> fired_[kSites] = {};
+};
+
+/** RAII arm/disarm for tests: arms in ctor, disarms ALL sites in dtor. */
+class ScopedFault
+{
+  public:
+    explicit ScopedFault(FaultSite site, std::uint32_t count = 1)
+    {
+        FaultInject::global().arm(site, count);
+    }
+    ~ScopedFault() { FaultInject::global().disarmAll(); }
+    ScopedFault(const ScopedFault &) = delete;
+    ScopedFault &operator=(const ScopedFault &) = delete;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_FAULT_INJECT_HH

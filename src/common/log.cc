@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/sim_error.hh"
+
 namespace dtexl {
 
 namespace {
@@ -39,8 +41,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::abort();
+    throw SimError(ErrorKind::Internal, std::move(msg));
 }
 
 void
@@ -50,8 +51,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    std::exit(1);
+    throw SimError(ErrorKind::UserInput, std::move(msg));
 }
 
 void
@@ -89,9 +89,12 @@ panicAssert(const char *cond, const char *file, int line,
         msg = ": " + vformat(fmt, ap);
         va_end(ap);
     }
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d%s\n",
-                 cond, file, line, msg.c_str());
-    std::abort();
+    std::string what = "assertion '";
+    what += cond;
+    what += "' failed";
+    what += msg;
+    throw SimError(ErrorKind::Internal, std::move(what),
+                   std::string(file) + ":" + std::to_string(line));
 }
 
 } // namespace dtexl

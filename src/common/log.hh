@@ -1,8 +1,12 @@
 /**
  * @file
- * Error and status reporting, following the gem5 panic/fatal convention:
- * panic() flags simulator bugs (aborts), fatal() flags unusable user
- * configuration (clean exit), warn()/inform() report status.
+ * Error and status reporting, following the gem5 panic/fatal naming
+ * convention: panic() flags simulator bugs, fatal() flags unusable
+ * user configuration, warn()/inform() report status. Unlike gem5,
+ * panic/fatal do not kill the process: they throw SimError
+ * (sim_error.hh) so the batch driver can isolate a failing job and
+ * every CLI can exit with a structured code from one top-level
+ * handler.
  */
 
 #ifndef DTEXL_COMMON_LOG_HH
@@ -17,15 +21,15 @@ namespace dtexl {
 enum class LogLevel { Inform, Warn, Fatal, Panic };
 
 /**
- * Report a condition that can never happen unless the simulator itself is
- * broken. Prints the message and aborts (may dump core).
+ * Report a condition that can never happen unless the simulator itself
+ * is broken. Throws SimError{Internal}.
  */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**
- * Report a condition caused by an invalid user configuration. Prints the
- * message and exits with status 1.
+ * Report a condition caused by an invalid user configuration. Throws
+ * SimError{UserInput}.
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
@@ -53,8 +57,9 @@ std::string vformat(const char *fmt, std::va_list ap);
 
 /**
  * Simulator-internal invariant check. Unlike assert(), stays on in release
- * builds; violation is a panic (a DTexL bug, not a user error). An optional
- * printf-style message may follow the condition.
+ * builds; violation is a panic (a DTexL bug, not a user error — throws
+ * SimError{Internal}). An optional printf-style message may follow the
+ * condition.
  */
 #define dtexl_assert(cond, ...)                                             \
     do {                                                                    \

@@ -1,0 +1,211 @@
+#include "common/sim_error.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+const char *
+toString(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::UserInput: return "user-input";
+      case ErrorKind::Config: return "config";
+      case ErrorKind::Io: return "io";
+      case ErrorKind::Watchdog: return "watchdog";
+      case ErrorKind::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+int
+exitCodeFor(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::UserInput:
+      case ErrorKind::Config:
+      case ErrorKind::Io:
+        return kExitUserError;
+      case ErrorKind::Watchdog:
+        return kExitWatchdog;
+      case ErrorKind::Internal:
+        return kExitInternal;
+    }
+    return kExitInternal;
+}
+
+SimError::SimError(ErrorKind kind, std::string message,
+                   std::string context, std::string dump)
+    : std::runtime_error(std::move(message)), kind_(kind),
+      context_(std::move(context)), dump_(std::move(dump))
+{
+}
+
+std::string
+SimError::describe() const
+{
+    std::string s = toString(kind_);
+    s += ": ";
+    s += what();
+    if (!context_.empty()) {
+        s += " (";
+        s += context_;
+        s += ")";
+    }
+    return s;
+}
+
+namespace {
+
+[[noreturn]] void
+vthrow(ErrorKind kind, const char *fmt, std::va_list ap)
+{
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    throw SimError(kind, std::move(msg));
+}
+
+} // namespace
+
+void
+throwUserError(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vthrow(ErrorKind::UserInput, fmt, ap);
+}
+
+void
+throwConfigError(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vthrow(ErrorKind::Config, fmt, ap);
+}
+
+void
+throwIoError(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vthrow(ErrorKind::Io, fmt, ap);
+}
+
+// ---- Failure-path artifact flushing -------------------------------
+
+namespace {
+
+std::mutex flush_mu;
+std::vector<std::function<void()>> flush_hooks;
+
+std::mutex crash_mu;
+std::string crash_dir = ".";
+
+} // namespace
+
+void
+registerFailureFlush(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lk(flush_mu);
+    flush_hooks.push_back(std::move(hook));
+}
+
+void
+flushFailureArtifacts() noexcept
+{
+    // Copy under the lock so a hook that (re-)registers can't deadlock,
+    // and so concurrent failing jobs serialize only on the copy.
+    std::vector<std::function<void()>> hooks;
+    {
+        std::lock_guard<std::mutex> lk(flush_mu);
+        hooks = flush_hooks;
+    }
+    for (const auto &hook : hooks) {
+        try {
+            hook();
+        } catch (...) {
+            // A broken exporter must not mask the original failure.
+        }
+    }
+}
+
+// ---- Crash reports ------------------------------------------------
+
+void
+setCrashReportDir(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lk(crash_mu);
+    crash_dir = dir.empty() ? "." : dir;
+}
+
+const std::string &
+crashReportDir()
+{
+    std::lock_guard<std::mutex> lk(crash_mu);
+    return crash_dir;
+}
+
+std::string
+writeCrashReport(const std::string &label, const SimError &err) noexcept
+{
+    try {
+        std::string base;
+        base.reserve(label.size());
+        for (char c : label) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' ||
+                            c == '_' || c == '.';
+            base += ok ? c : '_';
+        }
+        if (base.empty())
+            base = "job";
+        const std::string path =
+            crashReportDir() + "/crash-" + base + ".txt";
+        std::ofstream os(path);
+        if (!os)
+            return "";
+        os << "DTexL crash report\n"
+           << "==================\n"
+           << "job:     " << label << "\n"
+           << "kind:    " << toString(err.kind()) << "\n"
+           << "error:   " << err.what() << "\n";
+        if (!err.context().empty())
+            os << "context: " << err.context() << "\n";
+        if (!err.dump().empty())
+            os << "\npipeline state\n--------------\n" << err.dump();
+        os.flush();
+        return os ? path : "";
+    } catch (...) {
+        return "";
+    }
+}
+
+int
+runGuardedMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const SimError &e) {
+        flushFailureArtifacts();
+        if (!e.dump().empty()) {
+            const std::string report = writeCrashReport("main", e);
+            if (!report.empty())
+                std::fprintf(stderr, "crash report written to %s\n",
+                             report.c_str());
+        }
+        std::fprintf(stderr, "error: %s\n", e.describe().c_str());
+        return exitCodeFor(e.kind());
+    } catch (const std::exception &e) {
+        flushFailureArtifacts();
+        std::fprintf(stderr, "error: internal: %s\n", e.what());
+        return kExitInternal;
+    }
+}
+
+} // namespace dtexl

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Structured, recoverable error model for the simulator.
+ *
+ * The taxonomy (see DESIGN.md "Error handling & fault tolerance"):
+ *  - ErrorKind::UserInput  — malformed scene files, CLI flags, or
+ *    key=value options: the user can fix the input and retry.
+ *  - ErrorKind::Config     — a GpuConfig that fails validate(): the
+ *    message names the knob and its legal range.
+ *  - ErrorKind::Io         — a file could not be opened or written.
+ *  - ErrorKind::Watchdog   — the forward-progress watchdog detected a
+ *    hung simulation; the error carries a pipeline-state dump.
+ *  - ErrorKind::Internal   — a simulator invariant was violated
+ *    (panic()/dtexl_assert): a DTexL bug, never a user error.
+ *
+ * All kinds are thrown as SimError so the batch driver can isolate a
+ * failing job (core/engine.hh) and the CLIs can exit with a distinct,
+ * scriptable code per kind. Nothing in the library calls exit() or
+ * abort() on an error path anymore.
+ */
+
+#ifndef DTEXL_COMMON_SIM_ERROR_HH
+#define DTEXL_COMMON_SIM_ERROR_HH
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace dtexl {
+
+/** Failure classification; drives exit codes and batch reporting. */
+enum class ErrorKind
+{
+    UserInput,
+    Config,
+    Io,
+    Watchdog,
+    Internal,
+};
+
+/** Human-readable kind name ("user-input", "watchdog", ...). */
+const char *toString(ErrorKind kind);
+
+// Process exit codes shared by every CLI (documented in DESIGN.md).
+inline constexpr int kExitSuccess = 0;
+/** Bad scene/flags/config — the user can fix the input. */
+inline constexpr int kExitUserError = 2;
+/** Simulator invariant violated (panic/dtexl_assert). */
+inline constexpr int kExitInternal = 3;
+/** A batch finished but some (not all) jobs failed. */
+inline constexpr int kExitPartialBatch = 4;
+/** The forward-progress watchdog fired (crash report written). */
+inline constexpr int kExitWatchdog = 5;
+
+/** Exit code a process should use for a failure of @p kind. */
+int exitCodeFor(ErrorKind kind);
+
+/**
+ * The simulator's one exception type. what() is the primary message;
+ * context() optionally pins the error to a source ("scene.dscene:12:7",
+ * "option warps"); dump() optionally carries a multi-line
+ * pipeline-state dump (watchdog failures) destined for a crash report.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, std::string message,
+             std::string context = "", std::string dump = "");
+
+    ErrorKind kind() const { return kind_; }
+    const std::string &context() const { return context_; }
+    const std::string &dump() const { return dump_; }
+
+    /** "kind: message (context)" single-line form for summaries. */
+    std::string describe() const;
+
+  private:
+    ErrorKind kind_;
+    std::string context_;
+    std::string dump_;
+};
+
+/** Throw a SimError with a printf-formatted message. */
+[[noreturn]] void throwUserError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void throwConfigError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void throwIoError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// ---- Failure-path artifact flushing -------------------------------
+//
+// Exporters (TraceWriter, TelemetryExport) buffer in memory and write
+// on an explicit flush, with an atexit backstop. Exceptional unwinds
+// must not lose partial artifacts, so exporters register a hook when
+// armed and every failure path (runJob catch, runGuardedMain catch)
+// calls flushFailureArtifacts().
+
+/** Register a hook run by flushFailureArtifacts(); never unregistered. */
+void registerFailureFlush(std::function<void()> hook);
+
+/** Run all registered hooks (idempotent, thread-safe, never throws). */
+void flushFailureArtifacts() noexcept;
+
+// ---- Crash reports ------------------------------------------------
+
+/** Directory crash reports are written into ("." by default). */
+void setCrashReportDir(const std::string &dir);
+const std::string &crashReportDir();
+
+/**
+ * Write a crash report for @p err (kind, message, context, dump) named
+ * after @p label into crashReportDir(). Returns the file path, or ""
+ * when the file could not be written. Never throws.
+ */
+std::string writeCrashReport(const std::string &label,
+                             const SimError &err) noexcept;
+
+/**
+ * Canonical CLI wrapper: runs @p body, catching SimError (and any
+ * std::exception) at the top level. On failure it flushes the
+ * exporters, writes a crash report when the error carries a dump,
+ * prints a one-line diagnosis to stderr and returns the kind's exit
+ * code. Every driver binary's main() is one line through here.
+ */
+int runGuardedMain(const std::function<int()> &body);
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_SIM_ERROR_HH

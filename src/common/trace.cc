@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace dtexl {
 
@@ -52,11 +53,15 @@ TraceWriter::enable(const std::string &path)
     im.path = path;
     im.on.store(true, std::memory_order_release);
     // Write whatever was collected even if the binary never calls
-    // flush() explicitly (e.g. exits through fatal()'s exit(1)).
+    // flush() explicitly, and on every failure unwind (a failed batch
+    // job, a guarded main catching a SimError): flush() keeps the
+    // buffered events and rewrites the whole file, so repeated
+    // failure-path flushes stay valid JSON.
     static bool hooked = false;
     if (!hooked) {
         hooked = true;
         std::atexit([] { TraceWriter::global().flush(); });
+        registerFailureFlush([] { TraceWriter::global().flush(); });
     }
 }
 

@@ -40,7 +40,21 @@ WorkerPool::drain()
                                              std::memory_order_relaxed);
         if (i >= n)
             break;
-        (*f)(i);
+        // A task that throws must not escape a pool thread (that would
+        // std::terminate the process): capture the first exception for
+        // parallelFor to rethrow on the calling thread, skip the
+        // remaining indices, and keep the finished-count accounting
+        // intact so the caller's wait completes.
+        if (!errored.load(std::memory_order_relaxed)) {
+            try {
+                (*f)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(m);
+                if (!firstError)
+                    firstError = std::current_exception();
+                errored.store(true, std::memory_order_relaxed);
+            }
+        }
         ++did;
     }
     std::lock_guard<std::mutex> lk(m);
@@ -83,15 +97,22 @@ WorkerPool::parallelFor(std::size_t n,
         jobSize = n;
         next.store(0, std::memory_order_relaxed);
         finished = 0;
+        firstError = nullptr;
+        errored.store(false, std::memory_order_relaxed);
         ++jobSeq;
     }
     wake.notify_all();
     drain();  // the calling thread works too
+    std::exception_ptr err;
     {
         std::unique_lock<std::mutex> lk(m);
         done.wait(lk, [&] { return finished == jobSize; });
         job = nullptr;
+        err = firstError;
+        firstError = nullptr;
     }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace dtexl

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -54,6 +55,10 @@ class WorkerPool
      * pool plus the calling thread; returns when all calls finished.
      * fn must be safe to call concurrently for distinct i. Not
      * reentrant: parallelFor() must not be called from inside fn.
+     *
+     * If any fn(i) throws, the first captured exception is rethrown on
+     * the calling thread after the job drains (remaining indices are
+     * skipped); pool threads never leak an exception.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
@@ -73,6 +78,8 @@ class WorkerPool
     std::uint64_t jobSeq = 0;       ///< bumped per parallelFor call
     std::atomic<std::size_t> next{0};
     std::size_t finished = 0;       ///< indices completed this job
+    std::exception_ptr firstError;  ///< first task throw; m-guarded
+    std::atomic<bool> errored{false}; ///< fast skip after a throw
     bool stopping = false;
 };
 

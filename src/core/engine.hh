@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/sim_error.hh"
 #include "common/stat_registry.hh"
 #include "core/gpu.hh"
 
@@ -93,6 +94,17 @@ struct BatchResult
     double wallMs = 0.0;
     /** Worker that ran the job (0-based; determinism debugging). */
     std::uint32_t worker = 0;
+
+    // --- Fault isolation (see DESIGN.md "Error handling & fault
+    //     tolerance"): a job that throws fails alone. ---
+    /** False when the job failed; `frames` then holds what completed. */
+    bool ok = true;
+    /** Failure classification (meaningful only when !ok). */
+    ErrorKind errorKind = ErrorKind::Internal;
+    /** Single-line diagnosis, "kind: message (context)". */
+    std::string error;
+    /** Crash-report file for dump-carrying failures, or empty. */
+    std::string crashReportPath;
 };
 
 /**
@@ -102,10 +114,31 @@ struct BatchResult
  * Per-phase counters of job i land in @p registry (when non-null)
  * under "job.<label>"; each job has its own subtree, so the
  * single-writer-per-node contract of StatRegistry holds.
+ *
+ * Fault isolation: a job that throws SimError (bad config, scene
+ * error, watchdog, internal panic) is caught on its worker thread and
+ * reported through its BatchResult (ok=false, error, errorKind; plus a
+ * crash report file for watchdog failures). The remaining jobs run to
+ * completion and are bit-identical to the same batch without the
+ * failing job (tests/test_engine.cc).
  */
 std::vector<BatchResult> runBatch(const std::vector<BatchJob> &jobs,
                                   unsigned numWorkers,
                                   StatRegistry *registry = nullptr);
+
+/**
+ * Exit code for a finished batch: kExitSuccess when every job
+ * succeeded; the first failure's own code when every job failed (a
+ * systematic error, e.g. one bad config fanned over all jobs);
+ * kExitPartialBatch when failures and successes mix.
+ */
+int batchExitCode(const std::vector<BatchResult> &results);
+
+/**
+ * Print a per-failure summary of @p results to stderr (nothing when
+ * all jobs succeeded). Returns the number of failed jobs.
+ */
+std::size_t reportBatchFailures(const std::vector<BatchResult> &results);
 
 } // namespace dtexl
 

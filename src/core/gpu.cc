@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/fault_inject.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "telemetry/export.hh"
@@ -25,6 +26,10 @@ wallMicrosSince(std::chrono::steady_clock::time_point t0)
 GpuSimulator::GpuSimulator(const GpuConfig &cfg_in, const Scene &scene_in)
     : cfg(cfg_in), scene(&scene_in)
 {
+    // Fault harness: corrupt this simulator's private config copy so
+    // the real validator below must reject it (SimError{Config}).
+    if (FaultInject::global().fire(FaultSite::ConfigMisSize))
+        cfg.textureCache.sizeBytes += 13;
     cfg.validate();
     mem = std::make_unique<MemHierarchy>(cfg);
     fb = std::make_unique<FrameBuffer>(cfg);

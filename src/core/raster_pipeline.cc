@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <sstream>
 
+#include "common/fault_inject.hh"
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace dtexl {
 
@@ -265,6 +268,40 @@ RasterPipeline::flushBank(PipeState &ps, Coord2 tile_coord,
     return done;
 }
 
+std::string
+RasterPipeline::pipelineDump(std::uint32_t tile_sequence) const
+{
+    std::ostringstream os;
+    os << "raster pipeline at tile " << tile_sequence << " ("
+       << (cfg.decoupledBarriers ? "decoupled" : "coupled")
+       << " barriers, FIFO depth " << cfg.stageFifoDepth << ")\n";
+    for (std::uint32_t p = 0; p < numPipes(); ++p) {
+        const PipeState &ps = pipes[p];
+        os << "  pipe " << p << ": ez " << ps.ezFinish << " fs "
+           << ps.fsFinish << " blend " << ps.blendFinish << " flush "
+           << ps.flushDone << " | fifo " << ps.fifo.size() << "/"
+           << cfg.stageFifoDepth;
+        if (!ps.fifo.empty())
+            os << " (front " << ps.fifo.front() << ", back "
+               << ps.fifo.back() << ")";
+        os << "\n";
+    }
+    os << "memory in flight\n" << mem.dumpInFlight();
+    if (tel && tel->counters()) {
+        os << "telemetry occupancy (busy/stall cycles)\n";
+        for (std::size_t u = 0; u < kNumTelemetryUnits; ++u) {
+            const auto unit = static_cast<TelemetryUnit>(u);
+            const UnitTrack &t = tel->track(unit);
+            if (t.liveBusyCycles() == 0 && t.liveStallCycles() == 0)
+                continue;
+            os << "  " << unitName(unit) << ": busy "
+               << t.liveBusyCycles() << ", stall "
+               << t.liveStallCycles() << "\n";
+        }
+    }
+    return os.str();
+}
+
 Cycle
 RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
 {
@@ -287,6 +324,7 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
     std::vector<float> hiz_block_max;
     std::vector<double> t_samples(4), q_samples(4);
     Cycle frame_end = 0;
+    Cycle watchdog_progress = 0; // last tile's frame_end (watchdog)
     Cycle fetch_cursor = 0;      // when the fetcher may start a tile
     Cycle rast_free = 0;         // when the rasterizer may start a tile
     Cycle emit_cycle = 0;        // current emission cycle
@@ -417,6 +455,14 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
             const std::uint32_t p = pipeOf(quads, qi, perm);
             PipeState &ps = pipes[p];
 
+            // Fault harness: a leaked credit is a FIFO slot occupied
+            // by an entry whose consume cycle never comes; once it
+            // reaches the head, emission stalls forever and the
+            // watchdog below must catch it (disarmed cost: one
+            // relaxed load).
+            if (FaultInject::global().fire(FaultSite::BarrierCreditLeak))
+                ps.fifo.push_back(kFaultStallCycle);
+
             // Rasterizer emission slot (peak throughput + FIFO
             // back-pressure from the slowest pipeline).
             if (emitted_this_cycle >= cfg.rasterQuadsPerCycle) {
@@ -525,8 +571,17 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
             batch_inputs.push_back({&quads, &pipes[p].batch,
                                     &pipes[p].arrivals, fs_gate[p]});
         }
-        const std::vector<ShaderCore::BatchResult> results =
-            ShaderCore::runBatches(core_ptrs, batch_inputs);
+        std::vector<ShaderCore::BatchResult> results;
+        try {
+            results = ShaderCore::runBatches(core_ptrs, batch_inputs);
+        } catch (const SimError &e) {
+            if (e.kind() != ErrorKind::Watchdog)
+                throw;
+            // Augment the shader-core dump with the pipeline's own
+            // barrier/credit and memory state before unwinding.
+            throw SimError(ErrorKind::Watchdog, e.what(), e.context(),
+                           e.dump() + pipelineDump(tile.sequence));
+        }
 
         std::array<Cycle, kNumSubtiles> busy{};
         for (std::uint32_t p = 0; p < n_pipes; ++p) {
@@ -641,6 +696,25 @@ RasterPipeline::run(const ParamBuffer &pb, FrameStats &fs)
                 frame_end = std::max(frame_end, ps.flushDone);
             }
         }
+
+        // Forward-progress watchdog at tile granularity: a stuck
+        // barrier credit (a FIFO entry that never drains) drags every
+        // downstream stage of this tile to an unreachable cycle, so
+        // the tile's completion jumping more than the budget past the
+        // previous tile's means the pipeline is wedged, not slow.
+        if (cfg.watchdogCycles != 0 && frame_end > watchdog_progress &&
+            frame_end - watchdog_progress > cfg.watchdogCycles) {
+            std::ostringstream msg;
+            msg << "no forward progress: tile " << tile.sequence
+                << " completes at cycle " << frame_end << ", "
+                << (frame_end - watchdog_progress)
+                << " cycles past the previous tile (budget "
+                << cfg.watchdogCycles
+                << "; watchdog_cycles=0 disables)";
+            throw SimError(ErrorKind::Watchdog, msg.str(), "",
+                           pipelineDump(tile.sequence));
+        }
+        watchdog_progress = std::max(watchdog_progress, frame_end);
 
         // Time-series sampling at tile granularity (level 2).
         if (tmon && tmon->sampling())

@@ -149,6 +149,13 @@ class RasterPipeline
                     const std::vector<Coord2> &slot_to_quad, Cycle start,
                     FrameStats &fs);
 
+    /**
+     * Watchdog crash-report dump: per-pipe stage gates and FIFO/credit
+     * state, in-flight miss state of every memory level, and per-unit
+     * telemetry occupancy when telemetry is attached.
+     */
+    std::string pipelineDump(std::uint32_t tile_sequence) const;
+
     const GpuConfig &cfg;
     MemHierarchy &mem;
     const Scene *scene;

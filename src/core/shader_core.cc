@@ -1,9 +1,11 @@
 #include "core/shader_core.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "texture/sampler.hh"
 
 namespace dtexl {
@@ -230,6 +232,62 @@ ShaderCore::admitWarps(CoreRun &run)
     }
 }
 
+/**
+ * Per-warp state dump for the watchdog's crash report: which warps are
+ * in flight, what they wait for and how far their ready cycles sit
+ * beyond the last productive event.
+ */
+std::string
+ShaderCore::dumpRuns(const std::vector<CoreRun> &runs, Cycle progress)
+{
+    std::ostringstream os;
+    os << "shader cores (last progress cycle " << progress << ")\n";
+    for (std::size_t c = 0; c < runs.size(); ++c) {
+        const CoreRun &run = runs[c];
+        os << "  sc" << c << ": " << run.activeCount
+           << " active warp(s), admitted " << run.nextPending << "/"
+           << run.quads->size() << " quads, next issue at "
+           << run.nextIssueAt << "\n";
+        for (std::size_t w = 0; w < run.warps.size(); ++w) {
+            const Warp &warp = run.warps[w];
+            if (!warp.active)
+                continue;
+            os << "    warp " << w << ": quad " << warp.quadIndex
+               << " (batch " << warp.batchIndex << "), ready at "
+               << warp.readyAt << " (+"
+               << (warp.readyAt > progress ? warp.readyAt - progress
+                                           : 0)
+               << "), alu left " << warp.aluLeft << ", tex left "
+               << static_cast<unsigned>(warp.texLeft) << "\n";
+        }
+    }
+    return os.str();
+}
+
+/**
+ * Forward-progress check for the event loops below: the event-driven
+ * analog of "N wall cycles without a retirement" is the next event
+ * sitting more than the budget beyond the last one. A lost memory
+ * completion or leaked credit parks a warp at kFaultStallCycle (2^62),
+ * which no legitimate latency chain can reach.
+ */
+void
+ShaderCore::checkForwardProgress(const std::vector<CoreRun> &runs,
+                                 Cycle budget, Cycle progress,
+                                 Cycle next_event)
+{
+    if (budget == 0 || next_event <= progress ||
+        next_event - progress <= budget)
+        return;
+    std::ostringstream msg;
+    msg << "no forward progress: next shader-core event at cycle "
+        << next_event << " is " << (next_event - progress)
+        << " cycles past the last productive event (budget " << budget
+        << "; watchdog_cycles=0 disables)";
+    throw SimError(ErrorKind::Watchdog, msg.str(), "",
+                   dumpRuns(runs, progress));
+}
+
 std::vector<ShaderCore::BatchResult>
 ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
                        const std::vector<BatchInput> &inputs)
@@ -270,6 +328,19 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
     // the earliest cycle with the lowest run index breaking ties, so
     // the issue sequences — and therefore every downstream memory
     // access and stat — are identical (tests/test_fastpath_equiv.cc).
+    // Forward-progress watchdog baseline: the latest cycle at which
+    // work legitimately becomes available (gates and EZ arrivals). Any
+    // event budget cycles beyond the last productive one means a warp
+    // is parked on a completion that will never come.
+    const Cycle watchdog_budget =
+        cores.empty() ? 0 : cores.front()->cfg.watchdogCycles;
+    Cycle progress = 0;
+    for (const CoreRun &run : runs) {
+        progress = std::max(progress, run.gate);
+        if (!run.arrivals->empty())
+            progress = std::max(progress, run.arrivals->back());
+    }
+
     const bool fast_path =
         !cores.empty() && cores.front()->cfg.simFastPath;
     if (fast_path) {
@@ -292,6 +363,9 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
             }
             if (best == runs.size())
                 break;
+            checkForwardProgress(runs, watchdog_budget, progress,
+                                 best_cycle);
+            progress = best_cycle;
 
             CoreRun &run = runs[best];
             Warp *warp = cands[best].warp;
@@ -330,6 +404,9 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
             }
             if (!best_run)
                 break;
+            checkForwardProgress(runs, watchdog_budget, progress,
+                                 best_cycle);
+            progress = best_cycle;
 
             best_run->nextIssueAt = best_cycle + 1;
             best_run->lastIssued = best_warp;

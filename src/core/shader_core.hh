@@ -137,6 +137,18 @@ class ShaderCore
     /** Per-core in-flight state of runBatches(); see shader_core.cc. */
     struct CoreRun;
 
+    /** Watchdog: per-warp state dump for the crash report. */
+    static std::string dumpRuns(const std::vector<CoreRun> &runs,
+                                Cycle progress);
+    /**
+     * Watchdog: throw SimError{Watchdog} with a dump when the next
+     * event sits more than @p budget cycles past the last one
+     * (budget 0 = disabled).
+     */
+    static void checkForwardProgress(const std::vector<CoreRun> &runs,
+                                     Cycle budget, Cycle progress,
+                                     Cycle next_event);
+
     /** Issue the warp's next instruction at @p cycle; updates state. */
     void issueInstruction(Warp &warp, Cycle cycle);
     /** Execute a texture instruction; returns data-ready cycle. */

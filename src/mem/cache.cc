@@ -306,4 +306,20 @@ Cache::flushAll()
     port.clear();
 }
 
+std::string
+Cache::dumpInFlight() const
+{
+    std::string s = name + ": " +
+                    std::to_string(pendingFills.size()) +
+                    " pending fill(s), " +
+                    std::to_string(mshrIntervals.size()) +
+                    " MSHR interval(s)";
+    Cycle last_fill = 0;
+    for (const MshrInterval &iv : mshrIntervals)
+        last_fill = std::max(last_fill, iv.fill);
+    if (last_fill > 0)
+        s += ", last fill at " + std::to_string(last_fill);
+    return s;
+}
+
 } // namespace dtexl

@@ -82,6 +82,12 @@ class Cache : public MemLevel
     StatSet &stats() { return stats_; }
 
     /**
+     * One-line summary of in-flight miss state (pending fills and
+     * MSHR intervals) for the watchdog's crash report.
+     */
+    std::string dumpInFlight() const;
+
+    /**
      * Attach (or detach, with nullptr) the telemetry track this cache
      * attributes cycles into: port-arbitration gaps as BankConflict,
      * MSHR waits as MshrFull, one busy cycle per accepted access.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/fault_inject.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "telemetry/telemetry.hh"
@@ -31,6 +32,11 @@ class MemHierarchy
     Cycle
     textureRead(CoreId core, Addr addr, Cycle now)
     {
+        // Fault harness: a dropped completion parks the requester on a
+        // fill that never arrives; the forward-progress watchdog must
+        // catch it (disarmed cost: one relaxed load).
+        if (FaultInject::global().fire(FaultSite::DropMemCompletion))
+            return kFaultStallCycle;
         return texL1s[core]->access(addr, AccessType::Read, now);
     }
 
@@ -60,6 +66,19 @@ class MemHierarchy
 
     /** Total accesses reaching the shared L2 (the paper's key metric). */
     std::uint64_t l2Accesses() const { return l2Cache->accesses(); }
+
+    /** In-flight miss state of every level (watchdog crash report). */
+    std::string
+    dumpInFlight() const
+    {
+        std::string s;
+        for (const auto &l1 : texL1s)
+            s += "  " + l1->dumpInFlight() + "\n";
+        s += "  " + vertexL1->dumpInFlight() + "\n";
+        s += "  " + tileL1->dumpInFlight() + "\n";
+        s += "  " + l2Cache->dumpInFlight() + "\n";
+        return s;
+    }
 
     /**
      * Texture-block replication snapshot (the paper's Section II-B

@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "common/config.hh"
+#include "common/fault_inject.hh"
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "common/trace.hh"
 #include "telemetry/export.hh"
 
@@ -15,9 +17,12 @@ bool
 CommonCliOptions::tryParse(const std::string &arg)
 {
     if (arg.rfind("--jobs=", 0) == 0) {
-        const long n = std::atol(arg.c_str() + 7);
-        if (n < 1 || n > 256)
-            fatal("--jobs must be in [1, 256]");
+        const char *value = arg.c_str() + 7;
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(value, &end, 10);
+        if (end == value || *end != '\0' || n < 1 || n > 256)
+            throwUserError("--jobs must be a number in [1, 256], got "
+                           "'%s'", value);
         jobs = static_cast<unsigned>(n);
         return true;
     }
@@ -56,7 +61,45 @@ CommonCliOptions::tryParse(const std::string &arg)
         TelemetryExport::global().setTimelineCsvPath(timelineCsvPath);
         return true;
     }
+    if (arg.rfind("--crash-dir=", 0) == 0) {
+        crashDir = arg.substr(12);
+        if (crashDir.empty())
+            fatal("--crash-dir needs a directory path");
+        setCrashReportDir(crashDir);
+        return true;
+    }
+    if (arg.rfind("--inject-fault=", 0) == 0) {
+        // SITE or SITE:COUNT. faultSiteFromString() throws a user
+        // error listing the legal site names on junk.
+        std::string spec = arg.substr(15);
+        std::uint32_t count = 1;
+        const std::size_t colon = spec.find(':');
+        if (colon != std::string::npos) {
+            const std::string num = spec.substr(colon + 1);
+            char *end = nullptr;
+            const unsigned long n =
+                std::strtoul(num.c_str(), &end, 10);
+            if (end == num.c_str() || *end != '\0' || n < 1 ||
+                n > 1'000'000) {
+                throwUserError("--inject-fault count must be in "
+                               "[1, 1000000], got '%s'", num.c_str());
+            }
+            count = static_cast<std::uint32_t>(n);
+            spec.resize(colon);
+        }
+        FaultInject::global().arm(faultSiteFromString(spec), count);
+        return true;
+    }
     return false;
+}
+
+void
+CommonCliOptions::rejectUnknown(const std::string &arg,
+                                const char *usage)
+{
+    throwUserError("unknown argument '%s'%s%s", arg.c_str(),
+                   usage && *usage ? "\n" : "",
+                   usage ? usage : "");
 }
 
 void
@@ -105,7 +148,17 @@ CommonCliOptions::helpText()
         "  --reference-path    disable the simulator hot-path "
         "optimizations (A/B\n"
         "                      equivalence check; results are "
-        "bit-identical)\n";
+        "bit-identical)\n"
+        "  --crash-dir=DIR     directory for watchdog crash reports "
+        "(default .)\n"
+        "  --inject-fault=SITE[:N]\n"
+        "                      arm a fault-injection site for its next "
+        "N hook\n"
+        "                      evaluations (testing/CI; sites: "
+        "scene-truncate,\n"
+        "                      scene-corrupt-token, config-mis-size,\n"
+        "                      barrier-credit-leak, "
+        "drop-mem-completion)\n";
 }
 
 } // namespace dtexl

@@ -40,14 +40,27 @@ struct CommonCliOptions
     std::string statsJsonPath;
     /** --timeline-csv=FILE: level-2 sampler rows as CSV. */
     std::string timelineCsvPath;
+    /** --crash-dir=DIR: where watchdog crash reports land. */
+    std::string crashDir;
 
     /**
      * Consume @p arg if it is one of the shared flags (returns true);
-     * fatal() on a malformed value. Side effects: --trace enables the
-     * global TraceWriter, --stats-json/--timeline-csv arm the global
-     * TelemetryExport.
+     * throws SimError{UserInput} on a malformed value. Side effects:
+     * --trace enables the global TraceWriter, --stats-json /
+     * --timeline-csv arm the global TelemetryExport, --crash-dir sets
+     * the crash-report directory, --inject-fault=SITE[:N] arms a
+     * fault-injection site.
      */
     bool tryParse(const std::string &arg);
+
+    /**
+     * Throw the canonical unknown-argument SimError{UserInput} for
+     * @p arg, appending @p usage (typically the binary's usage/help
+     * text) to the message. Every CLI's final else branch lands here so
+     * unknown flags exit with kExitUserError and a usage hint.
+     */
+    [[noreturn]] static void rejectUnknown(const std::string &arg,
+                                           const char *usage = "");
 
     /**
      * Resolve --geom-threads into @p cfg: applies the flag when given,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "common/trace.hh"
 
 namespace dtexl {
@@ -35,8 +36,18 @@ struct TelemetryExport::Impl
         if (!hooked) {
             hooked = true;
             std::atexit([] { TelemetryExport::global().flush(); });
+            // Exceptional unwinds (a failed job, a guarded main)
+            // flush through the non-detaching checkpoint so partial
+            // artifacts survive even if the process never reaches a
+            // clean exit, while the registry stays attached for the
+            // batch's final flush().
+            registerFailureFlush(
+                [] { TelemetryExport::global().checkpoint(); });
         }
     }
+
+    /** Write both files; caller holds mu. */
+    void writeLocked();
 };
 
 TelemetryExport::Impl &
@@ -110,11 +121,9 @@ TelemetryExport::appendTimelineRow(const std::string &label,
 }
 
 void
-TelemetryExport::flush()
+TelemetryExport::Impl::writeLocked()
 {
-    Impl &im = impl();
-    std::lock_guard<std::mutex> lock(im.mu);
-
+    Impl &im = *this;
     if (!im.statsJsonPath.empty() && im.registry) {
         FILE *f = std::fopen(im.statsJsonPath.c_str(), "w");
         if (!f) {
@@ -144,9 +153,6 @@ TelemetryExport::flush()
             std::fprintf(f, "}\n}\n");
             std::fclose(f);
         }
-        // Detach: the registry may be a stack local of main(); the
-        // atexit backstop must not touch it after an explicit flush.
-        im.registry = nullptr;
     }
 
     if (!im.timelineCsvPath.empty() && !im.rows.empty()) {
@@ -164,9 +170,28 @@ TelemetryExport::flush()
                              static_cast<unsigned long long>(r.value));
             }
             std::fclose(f);
-            im.rows.clear();
         }
     }
+}
+
+void
+TelemetryExport::flush()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.writeLocked();
+    // Detach: the registry may be a stack local of main(); the atexit
+    // backstop must not touch it after an explicit flush.
+    im.registry = nullptr;
+    im.rows.clear();
+}
+
+void
+TelemetryExport::checkpoint()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.writeLocked();
 }
 
 } // namespace dtexl

@@ -53,6 +53,16 @@ class TelemetryExport
      */
     void flush();
 
+    /**
+     * Failure-path flush: write both files like flush() but keep the
+     * registry attached and the rows buffered, so a batch that
+     * continues after one job fails still produces complete final
+     * artifacts. Registered with registerFailureFlush() when a path is
+     * armed; every failure unwind calls it via
+     * flushFailureArtifacts().
+     */
+    void checkpoint();
+
   private:
     struct Impl;
     Impl &impl();

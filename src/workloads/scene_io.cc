@@ -1,10 +1,17 @@
 #include "workloads/scene_io.hh"
 
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <vector>
 
+#include "common/fault_inject.hh"
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace dtexl {
 
@@ -25,44 +32,196 @@ filterName(FilterMode f)
     panic("unknown FilterMode %d", static_cast<int>(f));
 }
 
-FilterMode
-filterFromName(const std::string &name)
+/**
+ * Line-and-token scene parser. Every diagnostic carries a
+ * "source:line:column" context and the offending token, so a user can
+ * jump straight to the broken spot of a hand-edited scene. All errors
+ * are SimError{UserInput} — a bad scene never aborts the process.
+ */
+class SceneParser
 {
-    if (name == "nearest")
+  public:
+    SceneParser(std::istream &is, std::string source)
+        : is_(is), source_(std::move(source))
+    {
+    }
+
+    /** One whitespace-separated token plus its 1-based column. */
+    struct Token
+    {
+        std::string text;
+        std::size_t col = 1;
+    };
+
+    /**
+     * Read the next non-empty, non-comment line and split it into
+     * tokens; throws a truncation error naming @p what at EOF.
+     */
+    std::vector<Token> nextLine(const char *what)
+    {
+        std::string line;
+        while (!truncated_ && std::getline(is_, line)) {
+            ++lineNo_;
+            if (FaultInject::global().fire(FaultSite::SceneTruncate)) {
+                truncated_ = true;
+                break;
+            }
+            if (FaultInject::global().fire(
+                    FaultSite::SceneCorruptToken)) {
+                // Corrupt the line's first token (trailing tokens can
+                // be legally ignored; the leading one never is).
+                line.insert(0, "\x7f!corrupt!");
+            }
+            std::vector<Token> toks = tokenize(line);
+            if (toks.empty() || toks[0].text[0] == '#')
+                continue;
+            return toks;
+        }
+        throw SimError(
+            ErrorKind::UserInput,
+            vformatMsg("unexpected end of file while reading %s",
+                       what),
+            location(1));
+    }
+
+    [[noreturn]] void
+    failAt(const Token &tok, const std::string &msg) const
+    {
+        throw SimError(ErrorKind::UserInput,
+                       msg + ": '" + printable(tok.text) + "'",
+                       location(tok.col));
+    }
+
+    [[noreturn]] void
+    failLine(const std::string &msg) const
+    {
+        throw SimError(ErrorKind::UserInput, msg, location(1));
+    }
+
+    /** Expect exactly the keyword @p kw as @p tok. */
+    void
+    expectKeyword(const Token &tok, const char *kw) const
+    {
+        if (tok.text != kw)
+            failAt(tok, vformatMsg("expected '%s'", kw));
+    }
+
+    std::uint64_t
+    parseU64(const Token &tok, const char *what) const
+    {
+        const char *s = tok.text.c_str();
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || tok.text[0] == '-')
+            failAt(tok, vformatMsg("%s is not a non-negative integer",
+                                   what));
+        return v;
+    }
+
+    std::uint32_t
+    parseU32(const Token &tok, const char *what) const
+    {
+        const std::uint64_t v = parseU64(tok, what);
+        if (v > UINT32_MAX)
+            failAt(tok, vformatMsg("%s out of 32-bit range", what));
+        return static_cast<std::uint32_t>(v);
+    }
+
+    /** Strict finite float: rejects garbage, trailing junk, NaN/inf. */
+    float
+    parseF32(const Token &tok, const char *what) const
+    {
+        const char *s = tok.text.c_str();
+        char *end = nullptr;
+        const float v = std::strtof(s, &end);
+        if (end == s || *end != '\0')
+            failAt(tok, vformatMsg("%s is not a number", what));
+        if (!std::isfinite(v))
+            failAt(tok, vformatMsg("%s must be finite "
+                                   "(NaN/inf rejected)", what));
+        return v;
+    }
+
+  private:
+    std::string
+    location(std::size_t col) const
+    {
+        return source_ + ":" + std::to_string(lineNo_) + ":" +
+               std::to_string(col);
+    }
+
+    static std::string
+    vformatMsg(const char *fmt, ...)
+    {
+        std::va_list ap;
+        va_start(ap, fmt);
+        std::string s = vformat(fmt, ap);
+        va_end(ap);
+        return s;
+    }
+
+    /** Control bytes rendered as '?' so diagnostics stay printable. */
+    static std::string
+    printable(const std::string &raw)
+    {
+        std::string out;
+        out.reserve(raw.size());
+        for (char c : raw)
+            out += (c >= 0x20 && c != 0x7f) ? c : '?';
+        return out;
+    }
+
+    static std::vector<Token>
+    tokenize(const std::string &line)
+    {
+        std::vector<Token> toks;
+        std::size_t i = 0;
+        while (i < line.size()) {
+            if (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+                ++i;
+                continue;
+            }
+            const std::size_t start = i;
+            while (i < line.size() && line[i] != ' ' &&
+                   line[i] != '\t' && line[i] != '\r')
+                ++i;
+            toks.push_back(
+                Token{line.substr(start, i - start), start + 1});
+        }
+        return toks;
+    }
+
+    std::istream &is_;
+    std::string source_;
+    std::size_t lineNo_ = 0;
+    bool truncated_ = false;
+};
+
+FilterMode
+filterFromToken(const SceneParser &p, const SceneParser::Token &tok,
+                const std::string &value)
+{
+    if (value == "nearest")
         return FilterMode::Nearest;
-    if (name == "bilinear")
+    if (value == "bilinear")
         return FilterMode::Bilinear;
-    if (name == "trilinear")
+    if (value == "trilinear")
         return FilterMode::Trilinear;
-    if (name == "aniso2x")
+    if (value == "aniso2x")
         return FilterMode::Aniso2x;
-    fatal("scene file: unknown filter '%s'", name.c_str());
+    p.failAt(tok, "unknown filter (nearest|bilinear|trilinear|aniso2x)");
 }
 
 TexFormat
-formatFromName(const std::string &name)
+formatFromToken(const SceneParser &p, const SceneParser::Token &tok)
 {
-    if (name == "RGBA8")
+    if (tok.text == "RGBA8")
         return TexFormat::RGBA8;
-    if (name == "RGB565")
+    if (tok.text == "RGB565")
         return TexFormat::RGB565;
-    if (name == "ETC2")
+    if (tok.text == "ETC2")
         return TexFormat::ETC2;
-    fatal("scene file: unknown texture format '%s'", name.c_str());
-}
-
-/** Read one non-empty, non-comment line; fatal() at EOF. */
-std::string
-nextLine(std::istream &is, const char *what)
-{
-    std::string line;
-    while (std::getline(is, line)) {
-        const std::size_t start = line.find_first_not_of(" \t\r");
-        if (start == std::string::npos || line[start] == '#')
-            continue;
-        return line.substr(start);
-    }
-    fatal("scene file: unexpected end of file while reading %s", what);
+    p.failAt(tok, "unknown texture format (RGBA8|RGB565|ETC2)");
 }
 
 } // namespace
@@ -103,128 +262,132 @@ saveScene(std::ostream &os, const Scene &scene)
 }
 
 Scene
-loadScene(std::istream &is)
+loadScene(std::istream &is, const std::string &source)
 {
+    SceneParser p(is, source);
     Scene scene;
     {
-        std::istringstream header(nextLine(is, "header"));
-        std::string magic, version;
-        header >> magic >> version;
-        if (magic != kMagic || version != "v1")
-            fatal("scene file: bad header '%s %s'", magic.c_str(),
-                  version.c_str());
+        const auto header = p.nextLine("header");
+        if (header.size() < 2 || header[0].text != kMagic)
+            p.failAt(header[0], "bad scene magic (expected DTEXL_SCENE)");
+        if (header[1].text != "v1")
+            p.failAt(header[1],
+                     "unsupported scene version (expected v1)");
     }
     {
-        std::istringstream ts(nextLine(is, "texture count"));
-        std::string kw;
-        std::size_t n = 0;
-        ts >> kw >> n;
-        if (kw != "textures")
-            fatal("scene file: expected 'textures', got '%s'",
-                  kw.c_str());
+        const auto counts = p.nextLine("texture count");
+        p.expectKeyword(counts[0], "textures");
+        if (counts.size() < 2)
+            p.failLine("missing texture count after 'textures'");
+        const std::size_t n = p.parseU64(counts[1], "texture count");
         for (std::size_t i = 0; i < n; ++i) {
-            std::istringstream ls(nextLine(is, "texture"));
-            TextureId id;
-            Addr base;
-            std::uint32_t side;
-            std::string fmt;
-            ls >> id >> base >> side >> fmt;
-            if (!ls)
-                fatal("scene file: malformed texture line");
+            const auto toks = p.nextLine("texture");
+            if (toks.size() < 4)
+                p.failLine("texture line needs: id base side format");
+            const std::uint32_t id = p.parseU32(toks[0], "texture id");
+            const Addr base = p.parseU64(toks[1], "texture base");
+            const std::uint32_t side =
+                p.parseU32(toks[2], "texture side");
             if (id != i)
-                fatal("scene file: texture ids must be dense");
+                p.failAt(toks[0], "texture ids must be dense");
             scene.textures.emplace_back(id, base, side,
-                                        formatFromName(fmt));
+                                        formatFromToken(p, toks[3]));
         }
     }
     std::size_t n_draws = 0;
     {
-        std::istringstream ds(nextLine(is, "draw count"));
-        std::string kw;
-        ds >> kw >> n_draws;
-        if (kw != "draws")
-            fatal("scene file: expected 'draws', got '%s'", kw.c_str());
+        const auto counts = p.nextLine("draw count");
+        p.expectKeyword(counts[0], "draws");
+        if (counts.size() < 2)
+            p.failLine("missing draw count after 'draws'");
+        n_draws = p.parseU64(counts[1], "draw count");
     }
     for (std::size_t i = 0; i < n_draws; ++i) {
         DrawCommand d;
         {
-            std::istringstream ls(nextLine(is, "draw"));
-            std::string kw;
-            ls >> kw;
-            if (kw != "draw")
-                fatal("scene file: expected 'draw', got '%s'",
-                      kw.c_str());
-            std::string kv;
-            while (ls >> kv) {
-                const std::size_t eq = kv.find('=');
+            const auto toks = p.nextLine("draw");
+            p.expectKeyword(toks[0], "draw");
+            for (std::size_t t = 1; t < toks.size(); ++t) {
+                const auto &tok = toks[t];
+                const std::size_t eq = tok.text.find('=');
                 if (eq == std::string::npos)
-                    fatal("scene file: bad draw attribute '%s'",
-                          kv.c_str());
-                const std::string key = kv.substr(0, eq);
-                const std::string value = kv.substr(eq + 1);
+                    p.failAt(tok, "draw attribute is not key=value");
+                const std::string key = tok.text.substr(0, eq);
+                const std::string value = tok.text.substr(eq + 1);
+                SceneParser::Token vtok{value, tok.col + eq + 1};
                 if (key == "tex")
                     d.texture = static_cast<TextureId>(
-                        std::stoul(value));
+                        p.parseU32(vtok, "tex"));
                 else if (key == "vb")
-                    d.vertexBufferAddr = std::stoull(value);
+                    d.vertexBufferAddr = p.parseU64(vtok, "vb");
                 else if (key == "alu")
-                    d.shader.aluOps =
-                        static_cast<std::uint16_t>(std::stoul(value));
+                    d.shader.aluOps = static_cast<std::uint16_t>(
+                        p.parseU32(vtok, "alu"));
                 else if (key == "samples")
-                    d.shader.texSamples =
-                        static_cast<std::uint8_t>(std::stoul(value));
+                    d.shader.texSamples = static_cast<std::uint8_t>(
+                        p.parseU32(vtok, "samples"));
                 else if (key == "filter")
-                    d.shader.filter = filterFromName(value);
+                    d.shader.filter = filterFromToken(p, vtok, value);
                 else if (key == "blends")
                     d.shader.blends = value == "1";
                 else if (key == "modifies_depth")
                     d.shader.modifiesDepth = value == "1";
                 else
-                    fatal("scene file: unknown draw attribute '%s'",
-                          key.c_str());
+                    p.failAt(tok, "unknown draw attribute");
             }
             if (d.texture >= scene.textures.size())
-                fatal("scene file: draw references texture %u of %zu",
-                      d.texture, scene.textures.size());
+                p.failLine(
+                    "draw references texture " +
+                    std::to_string(d.texture) + " but the scene has " +
+                    std::to_string(scene.textures.size()));
         }
         {
-            std::istringstream vs(nextLine(is, "verts"));
-            std::string kw;
-            std::size_t n = 0;
-            vs >> kw >> n;
-            if (kw != "verts")
-                fatal("scene file: expected 'verts', got '%s'",
-                      kw.c_str());
+            const auto counts = p.nextLine("verts");
+            p.expectKeyword(counts[0], "verts");
+            if (counts.size() < 2)
+                p.failLine("missing vertex count after 'verts'");
+            const std::size_t n = p.parseU64(counts[1], "vertex count");
             for (std::size_t v = 0; v < n; ++v) {
-                std::istringstream ls(nextLine(is, "vertex"));
+                const auto toks = p.nextLine("vertex");
+                if (toks.size() < 6)
+                    p.failLine(
+                        "vertex line needs 6 numbers (pos.xyzw uv.xy)");
                 Vertex vert;
-                ls >> vert.pos.x >> vert.pos.y >> vert.pos.z >>
-                    vert.pos.w >> vert.uv.x >> vert.uv.y;
-                if (!ls)
-                    fatal("scene file: malformed vertex line");
+                vert.pos.x = p.parseF32(toks[0], "pos.x");
+                vert.pos.y = p.parseF32(toks[1], "pos.y");
+                vert.pos.z = p.parseF32(toks[2], "pos.z");
+                vert.pos.w = p.parseF32(toks[3], "pos.w");
+                vert.uv.x = p.parseF32(toks[4], "uv.x");
+                vert.uv.y = p.parseF32(toks[5], "uv.y");
                 d.vertices.push_back(vert);
             }
         }
         {
-            std::istringstream isz(nextLine(is, "indices"));
-            std::string kw;
-            std::size_t n = 0;
-            isz >> kw >> n;
-            if (kw != "indices")
-                fatal("scene file: expected 'indices', got '%s'",
-                      kw.c_str());
+            const auto counts = p.nextLine("indices");
+            p.expectKeyword(counts[0], "indices");
+            if (counts.size() < 2)
+                p.failLine("missing index count after 'indices'");
+            const std::size_t n = p.parseU64(counts[1], "index count");
             if (n % 3 != 0)
-                fatal("scene file: index count %zu not a triangle "
-                      "list", n);
-            std::istringstream ls(n > 0 ? nextLine(is, "index data")
-                                        : std::string());
-            for (std::size_t k = 0; k < n; ++k) {
-                std::uint32_t idx;
-                if (!(ls >> idx))
-                    fatal("scene file: missing index data");
-                if (idx >= d.vertices.size())
-                    fatal("scene file: index %u out of range", idx);
-                d.indices.push_back(idx);
+                p.failLine("index count " + std::to_string(n) +
+                           " is not a multiple of 3 (triangle list)");
+            if (n > 0) {
+                const auto toks = p.nextLine("index data");
+                if (toks.size() < n)
+                    p.failLine("index data has " +
+                               std::to_string(toks.size()) + " of " +
+                               std::to_string(n) + " indices");
+                for (std::size_t k = 0; k < n; ++k) {
+                    const std::uint32_t idx =
+                        p.parseU32(toks[k], "index");
+                    if (idx >= d.vertices.size())
+                        p.failAt(toks[k],
+                                 "index out of range (draw has " +
+                                     std::to_string(
+                                         d.vertices.size()) +
+                                     " vertices)");
+                    d.indices.push_back(idx);
+                }
             }
         }
         scene.draws.push_back(std::move(d));
@@ -237,10 +400,10 @@ saveSceneFile(const std::string &path, const Scene &scene)
 {
     std::ofstream os(path);
     if (!os)
-        fatal("cannot open '%s' for writing", path.c_str());
+        throwIoError("cannot open '%s' for writing", path.c_str());
     saveScene(os, scene);
     if (!os.good())
-        fatal("error writing '%s'", path.c_str());
+        throwIoError("error writing '%s'", path.c_str());
 }
 
 Scene
@@ -248,8 +411,8 @@ loadSceneFile(const std::string &path)
 {
     std::ifstream is(path);
     if (!is)
-        fatal("cannot open '%s'", path.c_str());
-    return loadScene(is);
+        throwIoError("cannot open '%s'", path.c_str());
+    return loadScene(is, path);
 }
 
 } // namespace dtexl

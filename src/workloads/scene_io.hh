@@ -20,16 +20,19 @@ namespace dtexl {
 /** Serialize a scene to the DTexL scene text format. */
 void saveScene(std::ostream &os, const Scene &scene);
 
-/** Convenience: serialize to a file; fatal() on I/O failure. */
+/** Convenience: serialize to a file; throws SimError{Io} on failure. */
 void saveSceneFile(const std::string &path, const Scene &scene);
 
 /**
- * Parse a scene from the DTexL scene text format; fatal() on a syntax
- * or semantic error (unknown version, bad references).
+ * Parse a scene from the DTexL scene text format. Any syntax or
+ * semantic error (unknown version, dangling texture reference,
+ * non-finite vertex, truncated file) throws SimError{UserInput} whose
+ * context is "source:line:column" and whose message quotes the
+ * offending token. @p source names the stream in diagnostics.
  */
-Scene loadScene(std::istream &is);
+Scene loadScene(std::istream &is, const std::string &source = "<scene>");
 
-/** Convenience: parse from a file; fatal() on I/O failure. */
+/** Convenience: parse from a file; throws SimError{Io|UserInput}. */
 Scene loadSceneFile(const std::string &path);
 
 } // namespace dtexl

@@ -222,6 +222,69 @@ TEST(Engine, RunBatchMatchesDirectSimulation)
     expectSameStats(results[0].frames[1], b, "job0 frame1");
 }
 
+TEST(Engine, FaultIsolationKeepsSiblingJobsBitExact)
+{
+    const std::vector<std::vector<Scene>> scenes = makeBatchScenes();
+    std::vector<BatchJob> jobs = makeBatch(scenes);
+    ASSERT_EQ(jobs.size(), 4u);
+
+    // Job 2's simulator constructor must reject this config: tiles are
+    // quad-aligned, so an odd tile size fails GpuConfig::validate().
+    jobs[2].cfg.tileSize = 3;
+
+    const std::vector<BatchResult> faulty = runBatch(jobs, 4);
+
+    ASSERT_EQ(faulty.size(), 4u);
+    // Submission order is preserved around the failure...
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(faulty[i].label, jobs[i].label);
+    // ...the broken job fails alone, classified as a config error...
+    EXPECT_TRUE(faulty[0].ok);
+    EXPECT_TRUE(faulty[1].ok);
+    EXPECT_TRUE(faulty[3].ok);
+    ASSERT_FALSE(faulty[2].ok);
+    EXPECT_EQ(faulty[2].errorKind, ErrorKind::Config);
+    EXPECT_NE(faulty[2].error.find("tile"), std::string::npos)
+        << faulty[2].error;
+    EXPECT_TRUE(faulty[2].frames.empty());
+    EXPECT_EQ(batchExitCode(faulty), kExitPartialBatch);
+
+    // ...and the surviving jobs are bit-identical to a clean batch
+    // that never contained the broken job.
+    const std::vector<BatchJob> clean = {jobs[0], jobs[1], jobs[3]};
+    const std::vector<BatchResult> ref = runBatch(clean, 3);
+    ASSERT_EQ(ref.size(), 3u);
+    const std::size_t pairs[3][2] = {{0, 0}, {1, 1}, {3, 2}};
+    for (const auto &pair : pairs) {
+        const BatchResult &got = faulty[pair[0]];
+        const BatchResult &want = ref[pair[1]];
+        ASSERT_EQ(got.frames.size(), want.frames.size());
+        for (std::size_t f = 0; f < got.frames.size(); ++f)
+            expectSameStats(got.frames[f], want.frames[f],
+                            got.label + " frame " + std::to_string(f));
+    }
+}
+
+TEST(Engine, BatchExitCodeClassification)
+{
+    std::vector<BatchResult> all_ok(2);
+    EXPECT_EQ(batchExitCode(all_ok), kExitSuccess);
+
+    std::vector<BatchResult> all_bad(2);
+    for (BatchResult &r : all_bad) {
+        r.ok = false;
+        r.errorKind = ErrorKind::UserInput;
+    }
+    EXPECT_EQ(batchExitCode(all_bad), kExitUserError);
+    all_bad[0].errorKind = ErrorKind::Watchdog;
+    EXPECT_EQ(batchExitCode(all_bad), kExitWatchdog);
+
+    std::vector<BatchResult> mixed(2);
+    mixed[1].ok = false;
+    mixed[1].errorKind = ErrorKind::Internal;
+    EXPECT_EQ(batchExitCode(mixed), kExitPartialBatch);
+}
+
 TEST(Engine, StatRegistryCollectsPerPhaseCounters)
 {
     const GpuConfig cfg = smallCfg();
@@ -269,17 +332,54 @@ TEST(Engine, BenchOptionsSkipsEmptyBenchmarkSegments)
 TEST(Engine, BenchOptionsRejectsUnknownAlias)
 {
     const char *argv[] = {"prog", "--benchmarks=NoSuchGame"};
-    EXPECT_EXIT(
-        bench::BenchOptions::parse(2, const_cast<char **>(argv)),
-        ::testing::ExitedWithCode(1), "unknown benchmark alias");
+    try {
+        bench::BenchOptions::parse(2, const_cast<char **>(argv));
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::UserInput);
+        EXPECT_EQ(exitCodeFor(e.kind()), kExitUserError);
+        EXPECT_NE(std::string(e.what()).find("unknown benchmark alias"),
+                  std::string::npos);
+    }
 }
 
 TEST(Engine, BenchOptionsRejectsAllEmptyList)
 {
     const char *argv[] = {"prog", "--benchmarks=,"};
-    EXPECT_EXIT(
-        bench::BenchOptions::parse(2, const_cast<char **>(argv)),
-        ::testing::ExitedWithCode(1), "at least one alias");
+    try {
+        bench::BenchOptions::parse(2, const_cast<char **>(argv));
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::UserInput);
+        EXPECT_NE(std::string(e.what()).find("at least one alias"),
+                  std::string::npos);
+    }
+}
+
+TEST(Engine, BenchOptionsRejectsUnknownFlag)
+{
+    const char *argv[] = {"prog", "--frobnicate"};
+    try {
+        bench::BenchOptions::parse(2, const_cast<char **>(argv));
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::UserInput);
+        EXPECT_NE(std::string(e.what()).find("unknown argument"),
+                  std::string::npos);
+        // The rejection carries a usage hint for the user.
+        EXPECT_NE(std::string(e.what()).find("--help"),
+                  std::string::npos);
+    }
+}
+
+TEST(Engine, CommonCliOptionsRejectsMalformedJobs)
+{
+    CommonCliOptions common;
+    EXPECT_THROW(common.tryParse("--jobs=12x"), SimError);
+    EXPECT_THROW(common.tryParse("--jobs=0"), SimError);
+    EXPECT_THROW(common.tryParse("--jobs="), SimError);
+    EXPECT_TRUE(common.tryParse("--jobs=12"));
+    EXPECT_EQ(common.jobs, 12u);
 }
 
 } // namespace

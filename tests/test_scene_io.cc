@@ -9,6 +9,7 @@
 
 #include <sstream>
 
+#include "common/sim_error.hh"
 #include "core/gpu.hh"
 #include "workloads/scene_io.hh"
 #include "workloads/scenegen.hh"
@@ -87,16 +88,52 @@ TEST(SceneIo, TinySceneRoundTrip)
     EXPECT_TRUE(b.draws[1].shader.blends);
 }
 
-TEST(SceneIoDeath, RejectsBadHeader)
+/**
+ * Expect loadScene() on @p text to throw SimError{UserInput} whose
+ * one-line describe() contains @p needle, and (when non-empty) whose
+ * context starts with @p ctx_prefix — the "source:line:column" anchor
+ * every scene diagnostic must carry.
+ */
+void
+expectSceneError(const std::string &text, const std::string &needle,
+                 const std::string &ctx_prefix = "")
 {
-    std::stringstream ss("NOT_A_SCENE v9\n");
-    EXPECT_EXIT(loadScene(ss), ::testing::ExitedWithCode(1),
-                "bad header");
+    std::stringstream ss(text);
+    try {
+        loadScene(ss, "test.dscene");
+        FAIL() << "expected SimError containing: " << needle;
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::UserInput) << e.describe();
+        EXPECT_NE(e.describe().find(needle), std::string::npos)
+            << e.describe();
+        if (!ctx_prefix.empty())
+            EXPECT_EQ(e.context().rfind(ctx_prefix, 0), 0u)
+                << e.context();
+    }
 }
 
-TEST(SceneIoDeath, RejectsDanglingTextureReference)
+TEST(SceneIoErrors, RejectsBadHeader)
 {
-    std::stringstream ss(
+    expectSceneError("NOT_A_SCENE v9\n", "bad scene magic",
+                     "test.dscene:1:1");
+}
+
+TEST(SceneIoErrors, RejectsUnsupportedVersion)
+{
+    expectSceneError("DTEXL_SCENE v9\n", "unsupported scene version",
+                     "test.dscene:1:13");
+}
+
+TEST(SceneIoErrors, RejectsTruncatedFile)
+{
+    expectSceneError("DTEXL_SCENE v1\n"
+                     "textures 1\n",
+                     "unexpected end of file");
+}
+
+TEST(SceneIoErrors, RejectsDanglingTextureReference)
+{
+    expectSceneError(
         "DTEXL_SCENE v1\n"
         "textures 1\n"
         "  0 4096 64 RGBA8\n"
@@ -104,14 +141,37 @@ TEST(SceneIoDeath, RejectsDanglingTextureReference)
         "draw tex=7 vb=0 alu=4 samples=1 filter=bilinear blends=0 "
         "modifies_depth=0\n"
         "  verts 0\n"
-        "  indices 0\n");
-    EXPECT_EXIT(loadScene(ss), ::testing::ExitedWithCode(1),
-                "references texture");
+        "  indices 0\n",
+        "references texture 7", "test.dscene:5");
 }
 
-TEST(SceneIoDeath, RejectsOutOfRangeIndex)
+TEST(SceneIoErrors, RejectsNaNVertex)
 {
-    std::stringstream ss(
+    expectSceneError(
+        "DTEXL_SCENE v1\n"
+        "textures 1\n"
+        "  0 4096 64 RGBA8\n"
+        "draws 1\n"
+        "draw tex=0 vb=0 alu=4 samples=1 filter=bilinear blends=0 "
+        "modifies_depth=0\n"
+        "  verts 1\n"
+        "    0 nan 0 1 0 0\n"
+        "  indices 0\n",
+        "must be finite", "test.dscene:7");
+}
+
+TEST(SceneIoErrors, RejectsGarbageNumber)
+{
+    expectSceneError("DTEXL_SCENE v1\n"
+                     "textures banana\n",
+                     "texture count is not a non-negative integer: "
+                     "'banana'",
+                     "test.dscene:2:10");
+}
+
+TEST(SceneIoErrors, RejectsOutOfRangeIndex)
+{
+    expectSceneError(
         "DTEXL_SCENE v1\n"
         "textures 1\n"
         "  0 4096 64 RGBA8\n"
@@ -121,9 +181,8 @@ TEST(SceneIoDeath, RejectsOutOfRangeIndex)
         "  verts 1\n"
         "    0 0 0 1 0 0\n"
         "  indices 3\n"
-        "    0 1 2\n");
-    EXPECT_EXIT(loadScene(ss), ::testing::ExitedWithCode(1),
-                "out of range");
+        "    0 1 2\n",
+        "index out of range", "test.dscene:9");
 }
 
 // ---------- config option parsing ----------
@@ -158,20 +217,25 @@ TEST(ConfigOptions, AppliesMachineKeys)
     EXPECT_NO_FATAL_FAILURE(cfg.validate());
 }
 
-TEST(ConfigOptionsDeath, RejectsUnknownKey)
+TEST(ConfigOptionsErrors, RejectsUnknownKey)
 {
     GpuConfig cfg;
-    EXPECT_EXIT(applyConfigOption(cfg, "bogus", "1"),
-                ::testing::ExitedWithCode(1), "unknown config option");
+    EXPECT_THROW(applyConfigOption(cfg, "bogus", "1"), SimError);
+    try {
+        applyConfigOption(cfg, "bogus", "1");
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::UserInput);
+        EXPECT_NE(std::string(e.what()).find("unknown config option"),
+                  std::string::npos);
+    }
 }
 
-TEST(ConfigOptionsDeath, RejectsBadValue)
+TEST(ConfigOptionsErrors, RejectsBadValue)
 {
     GpuConfig cfg;
-    EXPECT_EXIT(applyConfigOption(cfg, "warps", "many"),
-                ::testing::ExitedWithCode(1), "not a number");
-    EXPECT_EXIT(applyConfigOption(cfg, "grouping", "CG-blob"),
-                ::testing::ExitedWithCode(1), "unknown quad grouping");
+    EXPECT_THROW(applyConfigOption(cfg, "warps", "many"), SimError);
+    EXPECT_THROW(applyConfigOption(cfg, "grouping", "CG-blob"),
+                 SimError);
 }
 
 TEST(ConfigOptions, EnumRoundTrip)
