@@ -139,7 +139,7 @@ BenchOptions::baseline() const
     cfg.screenWidth = width;
     cfg.screenHeight = height;
     cfg.simFastPath = fastPath;
-    common.applyGeomThreads(cfg);
+    common.applyThreadKnobs(cfg);
     return cfg;
 }
 
@@ -150,7 +150,7 @@ BenchOptions::dtexl() const
     cfg.screenWidth = width;
     cfg.screenHeight = height;
     cfg.simFastPath = fastPath;
-    common.applyGeomThreads(cfg);
+    common.applyThreadKnobs(cfg);
     return cfg;
 }
 
@@ -161,7 +161,7 @@ BenchOptions::upperBound() const
     cfg.screenWidth = width;
     cfg.screenHeight = height;
     cfg.simFastPath = fastPath;
-    common.applyGeomThreads(cfg);
+    common.applyThreadKnobs(cfg);
     return cfg;
 }
 

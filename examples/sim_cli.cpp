@@ -8,7 +8,8 @@
  *
  * Usage:
  *   sim_cli [--bench=GTr[,CCS,...] | --scene=file.dscene] [--frames=N]
- *           [--jobs=N] [--geom-threads=N] [--trace=trace.json] [--stats]
+ *           [--jobs=N] [--geom-threads=N] [--raster-threads=N|auto]
+ *           [--trace=trace.json] [--stats]
  *           [--stats-json=stats.json] [--timeline-csv=timeline.csv]
  *           [--save-scene=file.dscene] [--preset=baseline|dtexl]
  *           [--reference-path] [key=value ...]
@@ -125,7 +126,7 @@ simCliMain(int argc, char **argv)
     for (const auto &[k, v] : options)
         applyConfigOption(cfg, k, v);
     cfg.simFastPath = cfg.simFastPath && common.fastPath;
-    common.applyGeomThreads(cfg);
+    common.applyThreadKnobs(cfg);
     cfg.validate();
 
     std::printf("%s\n", cfg.describe().c_str());
@@ -216,6 +217,14 @@ simCliMain(int argc, char **argv)
                     r.label.c_str(), r.frames.size(),
                     static_cast<unsigned long long>(sim_cycles),
                     r.wallMs, mcps);
+        // Per-domain wall breakdown of the partitioned raster loop
+        // (raster-threads > 1 only); scripts/run_perf.py parses it.
+        if (!r.domainWallMs.empty()) {
+            std::printf("%s domains:", r.label.c_str());
+            for (std::size_t d = 0; d < r.domainWallMs.size(); ++d)
+                std::printf(" d%zu=%.3fms", d, r.domainWallMs[d]);
+            std::printf("\n");
+        }
     }
     if (dump_stats)
         std::printf("\n%s", registry.dump().c_str());

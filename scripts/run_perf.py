@@ -12,13 +12,16 @@ reference implementations (fastpath=0) — and records, per benchmark:
   * simulator throughput in Mcycles/s for both paths,
   * the wall-time speedup of the fast path,
   * the wall-time overhead of telemetry=1 (stall attribution) relative
-    to the plain fast path, gated at --max-telemetry-overhead (1.05x).
+    to the plain fast path, gated at --max-telemetry-overhead (1.05x),
+  * an informational --raster-threads=auto run (per-domain wall
+    breakdown and speedup vs the serial raster loop); the regression
+    gate stays pinned to the serial (raster-threads=1) numbers.
 
-The report also embeds host metadata (CPU model, core count, compiler)
-so committed BENCH_perf.json numbers carry their provenance, and
---baseline FILE arms a regression gate: the run fails if the geomean
-fast-path Mcycles/s drops more than --max-regression (default 15%)
-below the baseline file's.
+The report also embeds host metadata (CPU model, logical and physical
+core counts, compiler) so committed BENCH_perf.json numbers carry
+their provenance, and --baseline FILE arms a regression gate: the run
+fails if the geomean fast-path Mcycles/s drops more than
+--max-regression (default 15%) below the baseline file's.
 
 The run doubles as an end-to-end A/B check: every per-frame statistics
 line printed by sim_cli (cycles, quads, cache/DRAM accesses, energy)
@@ -54,10 +57,11 @@ SUMMARY_RE = re.compile(
     r"(?P<mcps>[0-9.]+) Mcycles/s$"
 )
 FRAME_RE = re.compile(r"^\S+ frame \d+: ")
+DOMAIN_RE = re.compile(r"d\d+=(?P<ms>[0-9.]+)ms")
 
 
 def run_sim(sim_cli, alias, frames, width, height, fastpath,
-            telemetry=0, phases=False):
+            telemetry=0, phases=False, raster_threads=None):
     cmd = [
         str(sim_cli),
         f"--bench={alias}",
@@ -68,6 +72,8 @@ def run_sim(sim_cli, alias, frames, width, height, fastpath,
         f"fastpath={fastpath}",
         f"telemetry={telemetry}",
     ]
+    if raster_threads is not None:
+        cmd.append(f"--raster-threads={raster_threads}")
     stats_path = None
     if phases:
         fd, stats_path = tempfile.mkstemp(suffix=".json",
@@ -80,18 +86,24 @@ def run_sim(sim_cli, alias, frames, width, height, fastpath,
         )
         summary = None
         frame_lines = []
+        domain_wall_ms = []
         for line in proc.stdout.splitlines():
             m = SUMMARY_RE.match(line)
             if m:
                 summary = m
             elif FRAME_RE.match(line):
                 frame_lines.append(line)
+            elif " domains: " in line:
+                domain_wall_ms = [
+                    float(d["ms"]) for d in DOMAIN_RE.finditer(line)
+                ]
         if summary is None:
             sys.exit(f"no summary line in sim_cli output:\n{proc.stdout}")
         result = {
             "cycles": int(summary["cycles"]),
             "wall_ms": float(summary["wall"]),
             "frame_lines": frame_lines,
+            "domain_wall_ms": domain_wall_ms,
         }
         if phases:
             result["phase_wall_ms"] = phase_breakdown(stats_path)
@@ -121,11 +133,12 @@ def phase_breakdown(stats_path):
 
 
 def best_of(sim_cli, alias, frames, width, height, fastpath, repeat,
-            telemetry=0, phases=False):
+            telemetry=0, phases=False, raster_threads=None):
     best = None
     for _ in range(repeat):
         r = run_sim(sim_cli, alias, frames, width, height, fastpath,
-                    telemetry, phases=phases)
+                    telemetry, phases=phases,
+                    raster_threads=raster_threads)
         if best is None or r["wall_ms"] < best["wall_ms"]:
             if best is not None and r["frame_lines"] != best["frame_lines"]:
                 sys.exit(f"{alias}: non-deterministic frame stats "
@@ -149,9 +162,28 @@ def host_metadata(build_dir):
                     break
     except OSError:
         pass
+    logical = os.cpu_count() or 1
+    # Physical cores: unique (physical id, core id) pairs. SMT hosts
+    # report 2x the logical count, and throughput claims for the
+    # threaded simulator need the distinction; fall back to the
+    # logical count when /proc/cpuinfo lacks topology (VMs, non-x86).
+    physical = 0
+    try:
+        pairs = set()
+        phys_id = ""
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("physical id"):
+                    phys_id = line.split(":", 1)[1].strip()
+                elif line.startswith("core id"):
+                    pairs.add((phys_id, line.split(":", 1)[1].strip()))
+        physical = len(pairs)
+    except OSError:
+        pass
     meta = {
         "cpu_model": cpu_model,
-        "cores": os.cpu_count() or 1,
+        "logical_cores": logical,
+        "physical_cores": physical or logical,
         "platform": platform.platform(),
     }
     compiler = ""
@@ -255,6 +287,21 @@ def main():
                                       args.width, args.height,
                                       args.repeat, fast["frame_lines"])
 
+        # Informational multi-threaded run (--raster-threads=auto):
+        # never part of the regression gate, which stays pinned to the
+        # serial raster loop above so domain-count scheduling noise
+        # cannot mask (or fake) a hot-path regression. Doubles as an
+        # end-to-end invariance check: the partitioned loop must print
+        # byte-identical per-frame statistics. On hosts without spare
+        # cores the CLI clamp degrades it to the serial loop and no
+        # per-domain breakdown is recorded.
+        mt = best_of(sim_cli, alias, args.frames, args.width,
+                     args.height, 1, args.repeat, raster_threads="auto")
+        if mt["frame_lines"] != fast["frame_lines"]:
+            print("SERIAL:\n" + "\n".join(fast["frame_lines"]))
+            print("THREADED:\n" + "\n".join(mt["frame_lines"]))
+            sys.exit(f"{alias}: raster-threads=auto statistics diverge")
+
         speedup = ref["wall_ms"] / fast["wall_ms"]
         entry = {
             "alias": alias,
@@ -268,13 +315,25 @@ def main():
             "telemetry_overhead": overhead,
             "stats_bit_identical": True,
             "phase_wall_ms": fast["phase_wall_ms"],
+            "mt": {
+                "raster_threads": "auto",
+                "wall_ms": mt["wall_ms"],
+                "mcycles_per_s": mt["cycles"] / mt["wall_ms"] / 1e3,
+                "speedup_vs_serial": fast["wall_ms"] / mt["wall_ms"],
+                "domain_wall_ms": mt["domain_wall_ms"],
+                "note": "" if mt["domain_wall_ms"] else
+                        "host lacks spare cores; clamp ran the "
+                        "serial raster loop",
+            },
         }
         benches.append(entry)
         print(f"   fast {fast['wall_ms']:9.1f} ms "
               f"({entry['mcycles_per_s_fast']:6.2f} Mcycles/s) | "
               f"ref {ref['wall_ms']:9.1f} ms | "
               f"speedup {speedup:.2f}x | "
-              f"telemetry {overhead:.3f}x", flush=True)
+              f"telemetry {overhead:.3f}x | "
+              f"mt {entry['mt']['speedup_vs_serial']:.2f}x "
+              f"({len(mt['domain_wall_ms'])} domains)", flush=True)
 
     if not benches:
         sys.exit("no benchmarks selected")

@@ -109,6 +109,14 @@ GpuConfig::resolvedGeomThreads() const
     return hw > 0 ? hw : 1;
 }
 
+std::uint32_t
+GpuConfig::resolvedRasterThreads() const
+{
+    const std::uint32_t want =
+        rasterThreads == 0 ? numPipelines : rasterThreads;
+    return want < numPipelines ? want : numPipelines;
+}
+
 void
 GpuConfig::validate() const
 {
@@ -183,6 +191,10 @@ GpuConfig::validate() const
         throwConfigError(
             "geom_threads %u: must be in [0, 256] (0 = auto)",
             geomThreads);
+    if (rasterThreads > 256)
+        throwConfigError(
+            "raster_threads %u: must be in [0, 256] (0 = auto, "
+            "clamped to numPipelines)", rasterThreads);
 }
 
 GpuConfig
@@ -321,6 +333,8 @@ applyConfigOption(GpuConfig &cfg, const std::string &key,
         cfg.telemetrySamplePeriod = parseUint(key, value);
     } else if (key == "geom_threads") {
         cfg.geomThreads = parseUint(key, value);
+    } else if (key == "raster_threads") {
+        cfg.rasterThreads = parseUint(key, value);
     } else if (key == "watchdog_cycles") {
         char *end = nullptr;
         const unsigned long long v =

@@ -141,12 +141,37 @@ struct GpuConfig
      * the default), 1 = the original serial path. Set with the
      * `geom_threads` key or `--geom-threads` on the CLIs; the CLIs
      * clamp jobs x geom-threads oversubscription
-     * (CommonCliOptions::applyGeomThreads()).
+     * (CommonCliOptions::applyThreadKnobs()).
      */
     std::uint32_t geomThreads = 0;
 
     /** geomThreads with 0 resolved to the host's hardware concurrency. */
     std::uint32_t resolvedGeomThreads() const;
+
+    /**
+     * Host execution domains for the timed raster event loop
+     * (simulator infrastructure, not modelled hardware): the post-
+     * raster pipelines (subtile bank + shader core + private L1) are
+     * partitioned into this many execution domains, each running its
+     * own slice of the fragment-stage event loop on a worker thread,
+     * with accesses to the shared L2/DRAM committed in cycle order by
+     * a conservative merge protocol (common/channel.hh,
+     * core/exec_domain.hh) — so FrameStats, the image hash and every
+     * registry counter are bit-identical for every value (enforced by
+     * tests/test_raster_domains.cc). 1 = the original serial loop
+     * (default), 0 = auto (one domain per pipeline/bank); values above
+     * numPipelines clamp to it. Set with the `raster_threads` key or
+     * `--raster-threads` on the CLIs; the CLIs clamp the full
+     * jobs x geom-threads x raster-threads oversubscription
+     * (CommonCliOptions::applyThreadKnobs()).
+     */
+    std::uint32_t rasterThreads = 1;
+
+    /**
+     * rasterThreads with 0 resolved to one domain per pipeline and any
+     * value clamped to numPipelines (a domain owns at least one pipe).
+     */
+    std::uint32_t resolvedRasterThreads() const;
 
     /**
      * Forward-progress watchdog budget in simulated cycles (simulator
@@ -207,8 +232,8 @@ GpuConfig makeUpperBoundConfig();
  * driver's interface). Supported keys: grouping, order, assignment,
  * decoupled, hiz, warps, fifo, width, height, tile, l1tex_kib,
  * l2_kib, fastpath, telemetry, sample_cycles, geom_threads,
- * watchdog_cycles. Throws SimError{UserInput} on unknown keys or bad
- * values.
+ * raster_threads, watchdog_cycles. Throws SimError{UserInput} on
+ * unknown keys or bad values.
  */
 void applyConfigOption(GpuConfig &cfg, const std::string &key,
                        const std::string &value);

@@ -1,11 +1,13 @@
 #include "common/worker_pool.hh"
 
+#include "common/log.hh"
+
 namespace dtexl {
 
 WorkerPool::WorkerPool(unsigned threads)
 {
     for (unsigned t = 1; t < threads; ++t)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, t] { workerLoop(t); });
 }
 
 WorkerPool::~WorkerPool()
@@ -64,19 +66,59 @@ WorkerPool::drain()
 }
 
 void
-WorkerPool::workerLoop()
+WorkerPool::workerLoop(std::size_t id)
 {
     std::uint64_t seen = 0;
+    std::uint64_t gangSeen = 0;
     for (;;) {
+        bool gang = false;
+        const std::function<void(std::size_t)> *gfn = nullptr;
         {
             std::unique_lock<std::mutex> lk(m);
-            wake.wait(lk,
-                      [&] { return stopping || jobSeq != seen; });
+            wake.wait(lk, [&] {
+                return stopping || jobSeq != seen ||
+                       gangSeq != gangSeen;
+            });
             if (stopping)
                 return;
-            seen = jobSeq;
+            if (gangSeq != gangSeen) {
+                gangSeen = gangSeq;
+                gang = true;
+                gfn = gangJob;
+            } else {
+                seen = jobSeq;
+            }
         }
-        drain();
+        if (!gang) {
+            drain();
+            continue;
+        }
+        // Gang member: this worker IS index `id` (caller is index 0).
+        // A gang never spans more members than the pool guarantees
+        // concurrent threads for, so a member may busy-wait on its
+        // siblings without deadlock.
+        std::exception_ptr err;
+        bool ran = false;
+        if (id < gangSize) {
+            ran = true;
+            try {
+                (*gfn)(id);
+            } catch (...) {
+                err = std::current_exception();
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lk(m);
+            // Move, not copy: the worker must not keep a reference it
+            // would drop outside the lock — if that drop were the last
+            // one it would free the exception object concurrently with
+            // the caller reading it (all releases belong to the caller).
+            if (ran && err)
+                gangErrors[id] = std::move(err);
+            ++gangFinished;
+            if (gangFinished == workers.size())
+                done.notify_all();
+        }
     }
 }
 
@@ -110,6 +152,54 @@ WorkerPool::parallelFor(std::size_t n,
         job = nullptr;
         err = firstError;
         firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+WorkerPool::runGang(std::size_t n,
+                    const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        fn(0);
+        return;
+    }
+    dtexl_assert(n <= size(),
+                 "runGang needs one dedicated thread per member");
+    {
+        std::lock_guard<std::mutex> lk(m);
+        gangJob = &fn;
+        gangSize = n;
+        gangFinished = 0;
+        gangErrors.assign(n, nullptr);
+        ++gangSeq;
+    }
+    wake.notify_all();
+    // The caller is gang member 0; every worker w < n runs index w
+    // concurrently on its own thread.
+    std::exception_ptr callerErr;
+    try {
+        fn(0);
+    } catch (...) {
+        callerErr = std::current_exception();
+    }
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(m);
+        done.wait(lk, [&] { return gangFinished == workers.size(); });
+        gangJob = nullptr;
+        if (callerErr)
+            gangErrors[0] = std::move(callerErr);
+        for (std::exception_ptr &e : gangErrors) {
+            if (e) {
+                err = std::move(e);
+                break;
+            }
+        }
+        gangErrors.clear();
     }
     if (err)
         std::rethrow_exception(err);

@@ -63,8 +63,23 @@ class WorkerPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Gang-schedule fn(0..n-1) with every member on its *own* thread,
+     * all running concurrently: the caller executes index 0 and worker
+     * w executes index w (so n must be <= size()). parallelFor() makes
+     * no such guarantee — its atomic cursor lets one thread claim two
+     * indices — which would deadlock members that busy-wait on each
+     * other, as the raster execution domains do (core/exec_domain.hh).
+     *
+     * Exceptions are captured per index; after every member returns,
+     * the lowest-index exception is rethrown on the calling thread so
+     * the reported failure is deterministic.
+     */
+    void runGang(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
   private:
-    void workerLoop();
+    void workerLoop(std::size_t id);
     /** Pull indices from the current job until it is drained. */
     void drain();
 
@@ -81,6 +96,13 @@ class WorkerPool
     std::exception_ptr firstError;  ///< first task throw; m-guarded
     std::atomic<bool> errored{false}; ///< fast skip after a throw
     bool stopping = false;
+
+    /** Gang job state (runGang); worker w runs index w when w < size. */
+    const std::function<void(std::size_t)> *gangJob = nullptr;
+    std::size_t gangSize = 0;
+    std::uint64_t gangSeq = 0;      ///< bumped per runGang call
+    std::size_t gangFinished = 0;   ///< members completed this gang
+    std::vector<std::exception_ptr> gangErrors;  ///< per index; m-guarded
 };
 
 } // namespace dtexl

@@ -68,6 +68,9 @@ runJob(const BatchJob &job, StatRegistry *registry,
         for (std::uint32_t f = 1; f < n; ++f)
             session.renderFrame(job.scene(f));
         res.frames = session.history();
+        if (const ExecDomainSet *doms =
+                session.gpu().rasterPipeline().execDomains())
+            res.domainWallMs = doms->domainWallMs();
     } catch (const SimError &e) {
         res.ok = false;
         res.errorKind = e.kind();

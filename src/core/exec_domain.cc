@@ -1,0 +1,123 @@
+#include "core/exec_domain.hh"
+
+#include <chrono>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+ExecDomainSet::ExecDomainSet(const GpuConfig &cfg, MemHierarchy &mem,
+                             std::uint32_t numPipes)
+    : cfg(cfg), mem(mem), outcomes(DomainMerge::kMaxDomains)
+{
+    std::uint32_t want = cfg.resolvedRasterThreads();
+    if (want > numPipes)
+        want = numPipes;
+    dtexl_assert(want >= 1 && want <= DomainMerge::kMaxDomains);
+    // Contiguous partition, sizes as even as possible: 4 pipes over 3
+    // domains is {2, 1, 1}. Contiguity keeps the global core index of
+    // a domain's run = firstPipe + local run index, which is what the
+    // merge keys are packed from.
+    const std::uint32_t base = numPipes / want;
+    const std::uint32_t rem = numPipes % want;
+    std::uint32_t next = 0;
+    for (std::uint32_t d = 0; d < want; ++d) {
+        ExecDomain dom;
+        dom.firstPipe = next;
+        dom.numPipes = base + (d < rem ? 1 : 0);
+        next += dom.numPipes;
+        domains_.push_back(dom);
+    }
+    wallMs_.assign(domains_.size(), 0.0);
+    if (domains_.size() > 1)
+        pool = std::make_unique<WorkerPool>(
+            static_cast<unsigned>(domains_.size()));
+}
+
+std::vector<ShaderCore::BatchResult>
+ExecDomainSet::run(const std::vector<ShaderCore *> &cores,
+                   const std::vector<ShaderCore::BatchInput> &inputs)
+{
+    const std::uint32_t n_domains = numDomains();
+    if (n_domains <= 1)
+        return ShaderCore::runBatches(cores, inputs);
+
+    merge.reset(n_domains);
+    for (std::uint32_t d = 0; d < n_domains; ++d) {
+        const ExecDomain &dom = domains_[d];
+        for (std::uint32_t p = 0; p < dom.numPipes; ++p)
+            mem.textureL2Gate(dom.firstPipe + p).arm(&merge, d);
+    }
+
+    // Gates disarm and the channel drains on every exit path: a
+    // watchdog throw must leave the set reusable (the engine's
+    // fault-isolation contract lets sibling jobs, and even this
+    // simulator, carry on afterwards).
+    struct Cleanup
+    {
+        ExecDomainSet &set;
+        std::size_t nGates;
+        ~Cleanup()
+        {
+            for (std::uint32_t p = 0;
+                 p < static_cast<std::uint32_t>(nGates); ++p)
+                set.mem.textureL2Gate(p).disarm();
+            while (set.outcomes.tryPop()) {}
+        }
+    };
+
+    std::vector<Outcome> collected;
+
+    {
+        Cleanup cleanup{*this, cores.size()};
+        // Every domain runs regardless of sibling failures: a throwing
+        // domain publishes the maximal key on unwind (ScopedDomain), so
+        // nobody spins on it, and runGang rethrows the lowest-indexed
+        // exception only after all members returned — which also makes
+        // it safe to read pipeline/memory state for the crash report.
+        pool->runGang(n_domains, [&](std::size_t d) {
+            const ExecDomain &dom = domains_[d];
+            DomainMerge::ScopedDomain scope(
+                merge, static_cast<std::uint32_t>(d));
+            const auto t0 = std::chrono::steady_clock::now();
+            std::vector<ShaderCore *> my_cores(
+                cores.begin() + dom.firstPipe,
+                cores.begin() + dom.firstPipe + dom.numPipes);
+            std::vector<ShaderCore::BatchInput> my_inputs(
+                inputs.begin() + dom.firstPipe,
+                inputs.begin() + dom.firstPipe + dom.numPipes);
+            MergeHook hook{&merge, static_cast<std::uint32_t>(d),
+                           dom.firstPipe};
+            Outcome out;
+            out.domain = static_cast<std::uint32_t>(d);
+            out.results =
+                ShaderCore::runBatches(my_cores, my_inputs, &hook);
+            const auto t1 = std::chrono::steady_clock::now();
+            wallMs_[d] += std::chrono::duration<double, std::milli>(
+                              t1 - t0)
+                              .count();
+            outcomes.push(std::move(out));
+        });
+
+        // Deterministic commit: drain the channel, then write each
+        // domain's results into its pipe slots in domain order.
+        while (auto out = outcomes.tryPop())
+            collected.push_back(std::move(*out));
+    }
+    dtexl_assert(collected.size() == n_domains,
+                 "every domain must deliver exactly one outcome");
+    std::vector<ShaderCore::BatchResult> results(cores.size());
+    for (std::uint32_t d = 0; d < n_domains; ++d) {
+        for (Outcome &out : collected) {
+            if (out.domain != d)
+                continue;
+            const ExecDomain &dom = domains_[d];
+            for (std::uint32_t p = 0; p < dom.numPipes; ++p)
+                results[dom.firstPipe + p] =
+                    std::move(out.results[p]);
+        }
+    }
+    return results;
+}
+
+} // namespace dtexl

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Execution domains for the timed raster event loop.
+ *
+ * The four post-raster pipelines (Early-Z / Fragment / Blend per
+ * subtile bank, each with its own shader core and private L1 texture
+ * cache) are the natural partition of the paper's architecture: almost
+ * all of a frame's simulation time is spent in the fragment-stage
+ * event loop, whose cores couple *only* through the order of their
+ * misses at the shared L2/DRAM. An ExecDomainSet splits the cores into
+ * contiguous domains, runs each domain's slice of the event loop on
+ * its own WorkerPool thread (gang-scheduled: every domain is
+ * guaranteed a concurrent thread), and commits the shared-level
+ * traffic in cycle order through the DomainMerge protocol
+ * (common/channel.hh) armed on the per-pipe L2 gates
+ * (mem/hierarchy.hh). Domain outcomes come back over a bounded
+ * Channel and are committed in domain order.
+ *
+ * Because the merge reproduces the serial loop's shared-access order
+ * exactly and everything else a domain touches is domain-private
+ * (its cores, their warps and stats, the private texture L1s, the
+ * per-pipe telemetry tracks), FrameStats, the image hash and every
+ * registry counter are bit-identical for every domain count —
+ * enforced by tests/test_raster_domains.cc on every preset and under
+ * the ThreadSanitizer CI job.
+ */
+
+#ifndef DTEXL_CORE_EXEC_DOMAIN_HH
+#define DTEXL_CORE_EXEC_DOMAIN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/channel.hh"
+#include "common/config.hh"
+#include "common/worker_pool.hh"
+#include "core/shader_core.hh"
+#include "mem/hierarchy.hh"
+
+namespace dtexl {
+
+/**
+ * One execution domain: a contiguous slice of the pipeline array.
+ * The domain owns those pipes' shader cores, their private L1 texture
+ * caches and their L2 gates for the duration of a fragment stage.
+ */
+struct ExecDomain
+{
+    std::uint32_t firstPipe = 0;
+    std::uint32_t numPipes = 0;
+};
+
+/** Partitioned fragment-stage executor owned by one RasterPipeline. */
+class ExecDomainSet
+{
+  public:
+    /**
+     * Partition @p numPipes pipelines into
+     * cfg.resolvedRasterThreads() domains (sizes as even as possible,
+     * contiguous) and arm a worker pool with one thread per domain.
+     */
+    ExecDomainSet(const GpuConfig &cfg, MemHierarchy &mem,
+                  std::uint32_t numPipes);
+
+    std::uint32_t
+    numDomains() const
+    {
+        return static_cast<std::uint32_t>(domains_.size());
+    }
+
+    /**
+     * Run one tile's fragment stage partitioned across the domains;
+     * drop-in replacement for ShaderCore::runBatches() with identical
+     * results. If any domain throws (watchdog), every other domain
+     * still runs to completion — the merge is unblocked by the
+     * unwinding domain's finish() — and the lowest-indexed domain's
+     * exception is rethrown.
+     */
+    std::vector<ShaderCore::BatchResult>
+    run(const std::vector<ShaderCore *> &cores,
+        const std::vector<ShaderCore::BatchInput> &inputs);
+
+    /**
+     * Cumulative host wall time each domain spent executing its event
+     * loop slice, in milliseconds (perf reporting; never part of
+     * simulated state).
+     */
+    const std::vector<double> &domainWallMs() const { return wallMs_; }
+
+  private:
+    /** One domain's per-tile outcome, sent over the channel. */
+    struct Outcome
+    {
+        std::uint32_t domain = 0;
+        std::vector<ShaderCore::BatchResult> results;
+    };
+
+    const GpuConfig &cfg;
+    MemHierarchy &mem;
+    std::vector<ExecDomain> domains_;
+    DomainMerge merge;
+    Channel<Outcome> outcomes;
+    std::unique_ptr<WorkerPool> pool;
+    std::vector<double> wallMs_;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_CORE_EXEC_DOMAIN_HH

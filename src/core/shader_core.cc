@@ -290,7 +290,8 @@ ShaderCore::checkForwardProgress(const std::vector<CoreRun> &runs,
 
 std::vector<ShaderCore::BatchResult>
 ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
-                       const std::vector<BatchInput> &inputs)
+                       const std::vector<BatchInput> &inputs,
+                       const MergeHook *hook)
 {
     dtexl_assert(cores.size() == inputs.size());
     std::vector<CoreRun> runs(cores.size());
@@ -366,6 +367,18 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
             checkForwardProgress(runs, watchdog_budget, progress,
                                  best_cycle);
             progress = best_cycle;
+            if (hook) {
+                // Commit point of the cycle-ordered merge: siblings
+                // with smaller keys run first; the L2 gates block this
+                // event's shared-level accesses until the key is the
+                // global minimum.
+                hook->merge->publish(
+                    hook->domain,
+                    DomainMerge::packKey(
+                        best_cycle,
+                        hook->coreOffset +
+                            static_cast<std::uint32_t>(best)));
+            }
 
             CoreRun &run = runs[best];
             Warp *warp = cands[best].warp;
@@ -407,6 +420,14 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
             checkForwardProgress(runs, watchdog_budget, progress,
                                  best_cycle);
             progress = best_cycle;
+            if (hook) {
+                hook->merge->publish(
+                    hook->domain,
+                    DomainMerge::packKey(
+                        best_cycle,
+                        hook->coreOffset + static_cast<std::uint32_t>(
+                                               best_run - runs.data())));
+            }
 
             best_run->nextIssueAt = best_cycle + 1;
             best_run->lastIssued = best_warp;

@@ -36,6 +36,20 @@ CommonCliOptions::tryParse(const std::string &arg)
         geomThreads = static_cast<std::uint32_t>(n);
         return true;
     }
+    if (arg.rfind("--raster-threads=", 0) == 0) {
+        const std::string value = arg.substr(17);
+        if (value == "auto") {
+            rasterThreads = 0;
+            return true;
+        }
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || n > 256)
+            fatal("--raster-threads must be a number in [0, 256] or "
+                  "'auto' (0/auto = one per pipeline bank)");
+        rasterThreads = static_cast<std::uint32_t>(n);
+        return true;
+    }
     if (arg == "--reference-path") {
         fastPath = false;
         return true;
@@ -103,29 +117,39 @@ CommonCliOptions::rejectUnknown(const std::string &arg,
 }
 
 void
-CommonCliOptions::applyGeomThreads(GpuConfig &cfg) const
+CommonCliOptions::applyThreadKnobs(GpuConfig &cfg) const
 {
     if (geomThreads != kGeomThreadsUnset)
         cfg.geomThreads = geomThreads;
+    if (rasterThreads != kRasterThreadsUnset)
+        cfg.rasterThreads = rasterThreads;
 
-    // Every batch-driver worker runs its own geometry front-end, so the
-    // host thread demand is the product. Oversubscribing slows the
-    // whole batch down; clamp and tell the user once.
+    // Every batch-driver worker runs its own per-job thread pools, but
+    // the geometry front-end and the raster domains run in alternating
+    // phases, so the peak host demand is jobs x max(geom, raster), not
+    // the triple product. Oversubscribing slows the whole batch down;
+    // clamp both per-job knobs and tell the user once.
     const unsigned hw =
         std::max(1u, std::thread::hardware_concurrency());
-    const std::uint64_t demand =
-        static_cast<std::uint64_t>(jobs) * cfg.resolvedGeomThreads();
+    const std::uint32_t geom = cfg.resolvedGeomThreads();
+    const std::uint32_t raster = cfg.resolvedRasterThreads();
+    const std::uint64_t demand = static_cast<std::uint64_t>(jobs) *
+                                 std::max(geom, raster);
     if (demand > hw) {
         const auto clamped = std::max<std::uint32_t>(
             1, static_cast<std::uint32_t>(hw / jobs));
         static bool warned = false;
         if (!warned) {
             warned = true;
-            warn("--jobs=%u x %u geometry threads oversubscribes %u "
-                 "hardware threads; clamping geometry threads to %u",
-                 jobs, cfg.resolvedGeomThreads(), hw, clamped);
+            warn("--jobs=%u x max(%u geometry threads, %u raster "
+                 "domains) oversubscribes %u hardware threads; "
+                 "clamping both per-job knobs to %u",
+                 jobs, geom, raster, hw, clamped);
         }
-        cfg.geomThreads = clamped;
+        if (geom > clamped)
+            cfg.geomThreads = clamped;
+        if (raster > clamped)
+            cfg.rasterThreads = clamped;
     }
 }
 
@@ -139,6 +163,12 @@ CommonCliOptions::helpText()
         "                      front-end (0 = auto; results are "
         "bit-identical\n"
         "                      for any value)\n"
+        "  --raster-threads=N  execution domains for each simulation's "
+        "raster\n"
+        "                      event loop (N or 'auto' = one per "
+        "pipeline bank;\n"
+        "                      results are bit-identical for any "
+        "value)\n"
         "  --trace=FILE        write Chrome-trace JSON "
         "(chrome://tracing)\n"
         "  --stats-json=FILE   write a flat JSON dump of all counters\n"

@@ -21,8 +21,9 @@ struct GpuConfig;
 /** Options common to every CLI; parse side effects arm the globals. */
 struct CommonCliOptions
 {
-    /** --geom-threads value meaning "flag not given". */
+    /** --geom-threads/--raster-threads value meaning "not given". */
     static constexpr std::uint32_t kGeomThreadsUnset = ~0u;
+    static constexpr std::uint32_t kRasterThreadsUnset = ~0u;
 
     /** Worker threads for the batch driver (--jobs=N, [1, 256]). */
     unsigned jobs = 1;
@@ -32,6 +33,13 @@ struct CommonCliOptions
      * geom_threads key=value option) alone.
      */
     std::uint32_t geomThreads = kGeomThreadsUnset;
+    /**
+     * Raster execution domains per simulation (--raster-threads=N,
+     * [0, 256] or "auto"; 0/auto = one per pipeline bank). Unset
+     * leaves GpuConfig::rasterThreads (or a raster_threads key=value
+     * option) alone.
+     */
+    std::uint32_t rasterThreads = kRasterThreadsUnset;
     /** --reference-path clears GpuConfig::simFastPath (A/B checks). */
     bool fastPath = true;
     /** --trace=FILE: Chrome-trace JSON; enables TraceWriter. */
@@ -63,14 +71,17 @@ struct CommonCliOptions
                                            const char *usage = "");
 
     /**
-     * Resolve --geom-threads into @p cfg: applies the flag when given,
-     * then clamps --jobs x geometry-threads oversubscription to the
-     * host's hardware concurrency (one warn() per process). Call after
-     * every other config option is applied, before cfg.validate().
-     * Results are bit-identical for any thread count, so the clamp
-     * only affects host throughput, never simulation output.
+     * Resolve --geom-threads and --raster-threads into @p cfg, then
+     * clamp the whole thread hierarchy against the host: geometry
+     * workers and raster domains run in alternating phases, so peak
+     * demand is jobs x max(geom, raster); when that exceeds hardware
+     * concurrency both per-job knobs are clamped to hw/jobs with one
+     * consolidated warn() per process. Call after every other config
+     * option is applied, before cfg.validate(). Results are
+     * bit-identical for any thread count, so the clamp only affects
+     * host throughput, never simulation output.
      */
-    void applyGeomThreads(GpuConfig &cfg) const;
+    void applyThreadKnobs(GpuConfig &cfg) const;
 
     /** Help lines for the shared flags (one per line, indented). */
     static const char *helpText();

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Thread-count invariance of the partitioned raster event loop:
+ * GpuConfig::rasterThreads is a host-parallelism knob only, so every
+ * observable output — FrameStats including the image hash, and the
+ * full StatRegistry — must be bit-identical for any domain count, on
+ * every preset, on both simulator paths. Also unit-tests the Channel /
+ * DomainMerge primitives and WorkerPool::runGang the domains run on,
+ * and proves a watchdog trip inside one domain leaves sibling batch
+ * jobs bit-exact. Runs under the ThreadSanitizer CI build, which would
+ * flag any racing access in the domain fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/channel.hh"
+#include "common/fault_inject.hh"
+#include "common/sim_error.hh"
+#include "common/worker_pool.hh"
+#include "core/dtexl.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+/** Every FrameStats field, including the image hash. */
+void
+expectSameStats(const FrameStats &a, const FrameStats &b,
+                const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.geometryCycles, b.geometryCycles);
+    EXPECT_EQ(a.rasterCycles, b.rasterCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_DOUBLE_EQ(a.fps, b.fps);
+    EXPECT_EQ(a.verticesProcessed, b.verticesProcessed);
+    EXPECT_EQ(a.primitivesBinned, b.primitivesBinned);
+    EXPECT_EQ(a.quadsRasterized, b.quadsRasterized);
+    EXPECT_EQ(a.quadsCulledEarlyZ, b.quadsCulledEarlyZ);
+    EXPECT_EQ(a.quadsCulledHiZ, b.quadsCulledHiZ);
+    EXPECT_EQ(a.quadsShaded, b.quadsShaded);
+    EXPECT_EQ(a.fragmentsShaded, b.fragmentsShaded);
+    EXPECT_EQ(a.shaderInstructions, b.shaderInstructions);
+    EXPECT_EQ(a.textureSamples, b.textureSamples);
+    EXPECT_EQ(a.earlyZTests, b.earlyZTests);
+    EXPECT_EQ(a.blendOps, b.blendOps);
+    EXPECT_EQ(a.flushLineWrites, b.flushLineWrites);
+    EXPECT_EQ(a.l1TexAccesses, b.l1TexAccesses);
+    EXPECT_EQ(a.l1TexMisses, b.l1TexMisses);
+    EXPECT_EQ(a.l1VertexAccesses, b.l1VertexAccesses);
+    EXPECT_EQ(a.l1TileAccesses, b.l1TileAccesses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+    EXPECT_EQ(a.quadsPerSc, b.quadsPerSc);
+    EXPECT_EQ(a.barrierIdleCycles, b.barrierIdleCycles);
+    EXPECT_DOUBLE_EQ(a.textureReplication, b.textureReplication);
+    EXPECT_EQ(a.imageHash, b.imageHash);
+}
+
+/**
+ * Render 2 animated frames of @p alias under @p cfg with 1, 2, 4 and
+ * auto raster domains; every frame of every domain count must be
+ * bit-exact against the serial run.
+ */
+void
+domainCountInvariant(GpuConfig cfg, const std::string &alias)
+{
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+
+    const BenchmarkParams &p = benchmarkByAlias(alias);
+    const Scene f0 = generateScene(p, cfg, 0);
+    const Scene f1 = generateScene(p, cfg, 1);
+    const Scene *frames[] = {&f0, &f1};
+
+    GpuConfig serial_cfg = cfg;
+    serial_cfg.rasterThreads = 1;
+    GpuSimulator serial(serial_cfg, f0);
+    std::vector<FrameStats> want;
+    for (const Scene *s : frames) {
+        serial.setScene(*s);
+        want.push_back(serial.renderFrame());
+    }
+
+    // 0 = auto = one domain per pipeline bank.
+    for (std::uint32_t threads : {2u, 4u, 0u}) {
+        GpuConfig par_cfg = cfg;
+        par_cfg.rasterThreads = threads;
+        GpuSimulator par(par_cfg, f0);
+        for (std::size_t f = 0; f < 2; ++f) {
+            par.setScene(*frames[f]);
+            const FrameStats fs = par.renderFrame();
+            expectSameStats(want[f], fs,
+                            alias + " raster-threads=" +
+                                std::to_string(threads) + " frame " +
+                                std::to_string(f));
+        }
+    }
+}
+
+TEST(RasterDomains, BaselinePresetInvariant)
+{
+    domainCountInvariant(makeBaselineConfig(), "SWa");
+}
+
+TEST(RasterDomains, DTexLPresetInvariant)
+{
+    domainCountInvariant(makeDTexLConfig(), "GTr");
+}
+
+TEST(RasterDomains, UpperBoundPresetInvariant)
+{
+    // numPipelines = 1 here, so every domain count resolves to the
+    // serial loop; the knob must be a no-op, never a crash.
+    domainCountInvariant(makeUpperBoundConfig(), "SoD");
+}
+
+TEST(RasterDomains, ExtensionsInvariant)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.hierarchicalZ = true;
+    cfg.transactionElimination = true;
+    cfg.texturePrefetch = true;
+    domainCountInvariant(cfg, "CCS");
+}
+
+TEST(RasterDomains, ReferencePathInvariant)
+{
+    // The merge hook sits in both event-loop implementations; the
+    // reference (non-fast-path) loop must partition bit-exactly too.
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.simFastPath = false;
+    domainCountInvariant(cfg, "GTr");
+}
+
+TEST(RasterDomains, ComposesWithGeometryThreads)
+{
+    // All three levels of the thread hierarchy at once: the geometry
+    // fan-out and the raster domains share nothing but the WorkerPool
+    // pattern, but this is the configuration real perf runs use.
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    const Scene scene = generateScene(benchmarkByAlias("Mze"), cfg, 0);
+
+    GpuConfig serial_cfg = cfg;
+    serial_cfg.geomThreads = 1;
+    serial_cfg.rasterThreads = 1;
+    GpuConfig par_cfg = cfg;
+    par_cfg.geomThreads = 4;
+    par_cfg.rasterThreads = 4;
+
+    GpuSimulator serial(serial_cfg, scene);
+    GpuSimulator par(par_cfg, scene);
+    expectSameStats(serial.renderFrame(), par.renderFrame(),
+                    "Mze geom=4 raster=4");
+}
+
+/**
+ * The flat stats-JSON dump (what --stats-json writes) must match
+ * key-for-key across domain counts — same paths, same values — except
+ * the host wall-clock counters which are inherently non-deterministic.
+ * Identical paths also proves the domain machinery adds no registry
+ * nodes of its own (the per-domain wall breakdown travels through
+ * BatchResult::domainWallMs instead).
+ */
+TEST(RasterDomains, StatRegistryBitExact)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    const Scene scene = generateScene(benchmarkByAlias("GTr"), cfg, 0);
+
+    GpuConfig serial_cfg = cfg;
+    serial_cfg.rasterThreads = 1;
+    GpuConfig par_cfg = cfg;
+    par_cfg.rasterThreads = 4;
+
+    StatRegistry serial_reg("serial"), par_reg("par");
+    GpuSimulator serial(serial_cfg, scene);
+    GpuSimulator par(par_cfg, scene);
+    serial.setStatRegistry(&serial_reg, "engine");
+    par.setStatRegistry(&par_reg, "engine");
+    (void)serial.renderFrame();
+    (void)par.renderFrame();
+
+    ASSERT_EQ(serial_reg.paths(), par_reg.paths());
+    for (const std::string &path : serial_reg.paths()) {
+        const auto &a = serial_reg.node(path).counters();
+        const auto &b = par_reg.node(path).counters();
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (const auto &[key, value] : a) {
+            if (key == "wall_us")
+                continue;
+            EXPECT_EQ(value, b.at(key)) << path << "." << key;
+        }
+    }
+}
+
+/**
+ * The golden-result pins (tests/test_golden_results.cc, the values
+ * the figure CSVs are computed from) must hold verbatim under a
+ * partitioned loop — the strongest single-number witness that the
+ * merge reproduces the serial simulation.
+ */
+TEST(RasterDomains, GoldenPinsHoldAcrossDomains)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    cfg.rasterThreads = 4;
+    const Scene scene = generateScene(benchmarkByAlias("GTr"), cfg, 0);
+    GpuSimulator sim(cfg, scene);
+    const FrameStats fs = sim.renderFrame();
+    EXPECT_EQ(fs.totalCycles, 38907u);
+    EXPECT_EQ(fs.quadsShaded, 15662u);
+    EXPECT_EQ(fs.l2Accesses, 5038u);
+    EXPECT_EQ(fs.quadsPerSc,
+              (std::array<std::uint64_t, 4>{3721, 3941, 3856, 4144}));
+    EXPECT_EQ(fs.barrierIdleCycles,
+              (std::array<std::uint64_t, 4>{229, 231, 261, 263}));
+}
+
+/**
+ * Telemetry attribution (per-unit stall cycles, timeline samples) is
+ * partly recorded from inside the domain loops; it must still be
+ * deterministic across domain counts.
+ */
+TEST(RasterDomains, TelemetryInvariant)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.telemetryLevel = 2;
+    domainCountInvariant(cfg, "GTr");
+}
+
+/**
+ * A dropped memory completion parks one domain's cores forever; the
+ * watchdog must trip, surface as a structured Watchdog SimError
+ * through runBatch's fault isolation, and the sibling job — and any
+ * later simulation in the same process — must stay bit-exact.
+ */
+TEST(RasterDomains, WatchdogInOneDomainIsolatesSiblings)
+{
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    cfg.rasterThreads = 4;
+    const Scene scene = generateScene(benchmarkByAlias("GTr"), cfg, 0);
+
+    // Clean reference (serial, for independence from the machinery
+    // under test).
+    GpuConfig serial_cfg = cfg;
+    serial_cfg.rasterThreads = 1;
+    GpuSimulator ref(serial_cfg, scene);
+    const FrameStats clean = ref.renderFrame();
+
+    setCrashReportDir(::testing::TempDir());
+    {
+        ScopedFault f(FaultSite::DropMemCompletion);
+        BatchJob victim, sibling;
+        victim.label = "victim";
+        victim.cfg = cfg;
+        const Scene *sp = &scene;
+        victim.scene = [sp](std::uint32_t) -> const Scene & {
+            return *sp;
+        };
+        victim.frames = 1;
+        sibling = victim;
+        sibling.label = "sibling";
+        const std::vector<BatchResult> res =
+            runBatch({victim, sibling}, 1);
+
+        ASSERT_EQ(res.size(), 2u);
+        ASSERT_FALSE(res[0].ok);
+        EXPECT_EQ(res[0].errorKind, ErrorKind::Watchdog);
+        EXPECT_NE(res[0].error.find("no forward progress"),
+                  std::string::npos)
+            << res[0].error;
+        ASSERT_TRUE(res[1].ok) << res[1].error;
+        ASSERT_EQ(res[1].frames.size(), 1u);
+        expectSameStats(res[1].frames[0], clean,
+                        "sibling next to domain fault");
+        // Perf plumbing: the completing job reports one wall-time
+        // entry per domain (what sim_cli's "domains:" line prints).
+        EXPECT_EQ(res[1].domainWallMs.size(), 4u);
+        std::remove(res[0].crashReportPath.c_str());
+    }
+    setCrashReportDir(".");
+
+    // The process (gates, merge, pools) carries no residue: a fresh
+    // 4-domain simulation after the fault is still bit-exact.
+    GpuSimulator after(cfg, scene);
+    expectSameStats(after.renderFrame(), clean, "fresh run after fault");
+}
+
+TEST(Channel, FifoOrderAndCapacity)
+{
+    Channel<int> ch(2);
+    EXPECT_EQ(ch.capacity(), 2u);
+    EXPECT_TRUE(ch.tryPush(1));
+    EXPECT_TRUE(ch.tryPush(2));
+    EXPECT_FALSE(ch.tryPush(3)) << "full channel must reject";
+    EXPECT_EQ(ch.size(), 2u);
+
+    auto a = ch.tryPop();
+    auto b = ch.tryPop();
+    auto c = ch.tryPop();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, 1);
+    EXPECT_EQ(*b, 2);
+    EXPECT_FALSE(c.has_value()) << "empty channel must report empty";
+}
+
+TEST(Channel, CloseWakesAndDrains)
+{
+    Channel<int> ch(4);
+    EXPECT_TRUE(ch.push(7));
+    ch.close();
+    EXPECT_FALSE(ch.push(8)) << "push after close must fail";
+    auto a = ch.pop();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, 7);
+    EXPECT_FALSE(ch.pop().has_value())
+        << "closed and drained returns nullopt, not a block";
+}
+
+TEST(Channel, BlockingHandoffAcrossThreads)
+{
+    Channel<int> ch(1);
+    std::vector<int> got;
+    std::thread consumer([&] {
+        while (auto v = ch.pop())
+            got.push_back(*v);
+    });
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(ch.push(i));
+    ch.close();
+    consumer.join();
+    ASSERT_EQ(got.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(DomainMerge, KeysOrderByCycleThenCore)
+{
+    // Same cycle: the core index breaks the tie, so keys are unique.
+    EXPECT_LT(DomainMerge::packKey(5, 0), DomainMerge::packKey(5, 1));
+    EXPECT_LT(DomainMerge::packKey(5, 3), DomainMerge::packKey(6, 0));
+    // The fault-injection sentinel (2^62) saturates without wrapping:
+    // still larger than any real cycle, still unique per core.
+    const Cycle sentinel = Cycle{1} << 62;
+    EXPECT_LT(DomainMerge::packKey(1'000'000'000, 3),
+              DomainMerge::packKey(sentinel, 0));
+    EXPECT_LT(DomainMerge::packKey(sentinel, 0),
+              DomainMerge::packKey(sentinel, 1));
+    EXPECT_LT(DomainMerge::packKey(sentinel, 3), DomainMerge::kDoneKey);
+}
+
+TEST(DomainMerge, MinimalDomainNeverWaitsAndFinishUnblocks)
+{
+    DomainMerge merge;
+    merge.reset(2);
+    merge.publish(0, DomainMerge::packKey(10, 0));
+    merge.publish(1, DomainMerge::packKey(20, 1));
+    // Domain 0 holds the global minimum: returns immediately.
+    merge.awaitTurn(0);
+    // Domain 1 must wait for domain 0 — let a thread finish 0 while 1
+    // spins; awaitTurn(1) returning proves finish() unblocked it.
+    std::thread t([&] { merge.finish(0); });
+    merge.awaitTurn(1);
+    t.join();
+    merge.awaitTurn(1);  // finished sibling never blocks again
+}
+
+TEST(WorkerPool, GangRunsAllMembersConcurrently)
+{
+    // Every member spins until all arrived: completes only if runGang
+    // really gives each index its own concurrently scheduled thread
+    // (parallelFor's cursor could starve one and deadlock here).
+    WorkerPool pool(4);
+    std::atomic<int> arrived{0};
+    pool.runGang(4, [&](std::size_t) {
+        arrived.fetch_add(1, std::memory_order_relaxed);
+        while (arrived.load(std::memory_order_relaxed) < 4)
+            std::this_thread::yield();
+    });
+    EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(WorkerPool, GangRethrowsLowestIndexAfterAllReturn)
+{
+    WorkerPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.runGang(4, [&](std::size_t i) {
+            if (i == 2)
+                throw std::runtime_error("gang-2");
+            if (i == 1)
+                throw std::runtime_error("gang-1");
+            completed.fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "expected the gang to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "gang-1")
+            << "lowest-index exception wins deterministically";
+    }
+    EXPECT_EQ(completed.load(), 2)
+        << "non-throwing members must still have run";
+
+    // The pool survives a throwing gang.
+    std::atomic<int> again{0};
+    pool.runGang(3, [&](std::size_t) {
+        again.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(again.load(), 3);
+}
+
+} // namespace
+} // namespace dtexl
