@@ -12,7 +12,8 @@
  *           [--trace=trace.json] [--stats]
  *           [--stats-json=stats.json] [--timeline-csv=timeline.csv]
  *           [--save-scene=file.dscene] [--preset=baseline|dtexl]
- *           [--reference-path] [key=value ...]
+ *           [--reference-path] [--cache-dir=DIR] [--cache=MODE]
+ *           [--checkpoint-every=N] [--resume] [key=value ...]
  *
  * key=value options are applyConfigOption() keys, e.g.:
  *   sim_cli --bench=CCS grouping=CG-square order=Hilbert \
@@ -213,10 +214,11 @@ simCliMain(int argc, char **argv)
                                       (r.wallMs * 1e3)
                                 : 0.0;
         std::printf("%s summary: %zu frame(s), %llu sim cycles, "
-                    "%.3f ms wall, %.3f Mcycles/s\n",
+                    "%.3f ms wall, %.3f Mcycles/s%s\n",
                     r.label.c_str(), r.frames.size(),
                     static_cast<unsigned long long>(sim_cycles),
-                    r.wallMs, mcps);
+                    r.wallMs, mcps,
+                    r.cacheHit ? " (cached)" : "");
         // Per-domain wall breakdown of the partitioned raster loop
         // (raster-threads > 1 only); scripts/run_perf.py parses it.
         if (!r.domainWallMs.empty()) {

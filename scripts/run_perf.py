@@ -71,6 +71,10 @@ def run_sim(sim_cli, alias, frames, width, height, fastpath,
         f"height={height}",
         f"fastpath={fastpath}",
         f"telemetry={telemetry}",
+        # Perf numbers must measure the simulator, never the result
+        # cache: a warm cache would skip simulation entirely (see
+        # EXPERIMENTS.md "Result cache & perf methodology").
+        "--cache=off",
     ]
     if raster_threads is not None:
         cmd.append(f"--raster-threads={raster_threads}")

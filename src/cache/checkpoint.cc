@@ -1,0 +1,93 @@
+#include "cache/checkpoint.hh"
+
+#include "common/fault_inject.hh"
+#include "common/log.hh"
+#include "common/serial.hh"
+#include "common/sim_error.hh"
+
+namespace dtexl {
+
+namespace {
+
+/** "DTXLCKPT" as a little-endian u64. */
+constexpr std::uint64_t
+packMagic(const char (&s)[9])
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(s[i]))
+             << (8 * i);
+    return v;
+}
+
+constexpr std::uint64_t kCheckpointMagic = packMagic("DTXLCKPT");
+
+} // namespace
+
+void
+writeCheckpointFile(const std::string &path, const CheckpointBlob &blob)
+{
+    ByteWriter file;
+    file.u64(kCheckpointMagic);
+    file.u32(kResultFormatVersion);
+    file.u64(blob.key.scene);
+    file.u64(blob.key.config);
+    file.u64(blob.key.build);
+    file.u32(blob.framesDone);
+    file.u64(blob.payload.size());
+    for (std::uint8_t b : blob.payload)
+        file.u8(b);
+    file.u64(fnv1a64(blob.payload));
+
+    try {
+        atomicWriteFile(path, file.data());
+    } catch (const SimError &e) {
+        warn("checkpoint: cannot write '%s' (%s); continuing without",
+             path.c_str(), e.what());
+    }
+}
+
+std::optional<CheckpointBlob>
+readCheckpointFile(const std::string &path, const ResultKey &expectedKey)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readFileBytes(path, bytes))
+        return std::nullopt;  // nothing to resume from
+
+    // Fault harness: a bit flip in the middle of the on-disk image.
+    // The payload checksum (or a frame check) below must catch it.
+    if (!bytes.empty() &&
+        FaultInject::global().fire(FaultSite::CkptFlipByte))
+        bytes[bytes.size() / 2] ^= 0x40;
+
+    try {
+        ByteReader r(bytes);
+        if (r.u64() != kCheckpointMagic)
+            throwIoError("bad magic");
+        if (r.u32() != kResultFormatVersion)
+            throwIoError("format version mismatch");
+        CheckpointBlob blob;
+        blob.key.scene = r.u64();
+        blob.key.config = r.u64();
+        blob.key.build = r.u64();
+        if (!(blob.key == expectedKey))
+            throwIoError("checkpoint belongs to a different run");
+        blob.framesDone = r.u32();
+        const std::uint64_t payload_size = r.u64();
+        if (payload_size + 8 != r.remaining())
+            throwIoError("payload size disagrees with file size");
+        blob.payload.resize(static_cast<std::size_t>(payload_size));
+        for (std::uint8_t &b : blob.payload)
+            b = r.u8();
+        if (r.u64() != fnv1a64(blob.payload))
+            throwIoError("payload checksum mismatch");
+        return blob;
+    } catch (const SimError &e) {
+        warn("checkpoint: rejecting corrupt file '%s' (%s); restarting "
+             "from frame 0", path.c_str(), e.what());
+        return std::nullopt;
+    }
+}
+
+} // namespace dtexl

@@ -13,6 +13,8 @@ toString(FaultSite site)
       case FaultSite::ConfigMisSize: return "config-mis-size";
       case FaultSite::BarrierCreditLeak: return "barrier-credit-leak";
       case FaultSite::DropMemCompletion: return "drop-mem-completion";
+      case FaultSite::CacheTruncate: return "cache-truncate";
+      case FaultSite::CkptFlipByte: return "ckpt-flip-byte";
       case FaultSite::kNumSites: break;
     }
     return "unknown";
@@ -30,7 +32,7 @@ faultSiteFromString(const std::string &name)
     throwUserError(
         "unknown fault site '%s' (one of scene-truncate, "
         "scene-corrupt-token, config-mis-size, barrier-credit-leak, "
-        "drop-mem-completion)",
+        "drop-mem-completion, cache-truncate, ckpt-flip-byte)",
         name.c_str());
 }
 

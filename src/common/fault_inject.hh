@@ -2,9 +2,10 @@
  * @file
  * Fault-injection harness (tests and CI only; see DESIGN.md).
  *
- * Five injection sites cover the failure classes the hardened engine
+ * The injection sites cover the failure classes the hardened engine
  * must survive: corrupt/truncated scene input, a mis-sized config, a
- * leaked barrier credit, and a dropped memory completion. The harness
+ * leaked barrier credit, a dropped memory completion, and corrupted
+ * result-cache/checkpoint artifacts on disk. The harness
  * is always compiled in so the shipping binary is the tested binary,
  * but it is *disarmed* by default: every hook reduces to one relaxed
  * atomic load of a zero flag, so golden results are byte-identical
@@ -35,6 +36,8 @@ enum class FaultSite : std::uint32_t
     ConfigMisSize,      ///< GpuSimulator receives an invalid cache size
     BarrierCreditLeak,  ///< raster pipe loses a stage-FIFO credit
     DropMemCompletion,  ///< a texture read's fill never completes
+    CacheTruncate,      ///< result-cache entry truncated on disk
+    CkptFlipByte,       ///< checkpoint file suffers a bit flip
     kNumSites,
 };
 

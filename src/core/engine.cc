@@ -3,9 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <thread>
 
+#include "cache/checkpoint.hh"
+#include "cache/result_store.hh"
 #include "common/log.hh"
+#include "common/serial.hh"
 #include "common/sim_error.hh"
 #include "common/trace.hh"
 
@@ -34,10 +38,86 @@ SimulationSession::renderFrame(const Scene &next)
 void
 SimulationSession::setStatRegistry(StatRegistry *registry)
 {
+    registry_ = registry;
     sim.setStatRegistry(registry, label_);
 }
 
+void
+SimulationSession::saveCheckpoint(const std::string &path,
+                                  const ResultKey &key) const
+{
+    ByteWriter payload;
+    payload.u32(static_cast<std::uint32_t>(frames.size()));
+    for (const FrameStats &fs : frames)
+        writeFrameStats(payload, fs);
+    sim.saveWarmState(payload);
+    writeStatsFragment(payload, captureStatsFragment(registry_, label_));
+
+    CheckpointBlob blob;
+    blob.key = key;
+    blob.framesDone = static_cast<std::uint32_t>(frames.size());
+    blob.payload = payload.take();
+    writeCheckpointFile(path, blob);
+}
+
+std::uint32_t
+SimulationSession::tryResumeCheckpoint(const std::string &path,
+                                       const ResultKey &key)
+{
+    std::optional<CheckpointBlob> blob = readCheckpointFile(path, key);
+    if (!blob)
+        return 0;
+    try {
+        ByteReader r(blob->payload);
+        const std::uint32_t n = r.u32();
+        if (n != blob->framesDone)
+            throwIoError("frame count disagrees with header");
+        std::vector<FrameStats> restored;
+        restored.reserve(n);
+        for (std::uint32_t f = 0; f < n; ++f)
+            restored.push_back(readFrameStats(r));
+        sim.restoreWarmState(r);
+        const StatsFragment frag = readStatsFragment(r);
+        if (!r.done())
+            throwIoError("trailing bytes after payload");
+        // Telemetry counters are skipped: the restored cumulative
+        // tracks re-assign them on the next publish(); applying the
+        // fragment too would double them.
+        applyStatsFragment(registry_, label_, frag,
+                           /*skipTelemetry=*/true);
+        frames = std::move(restored);
+        return n;
+    } catch (const SimError &e) {
+        // A restore that failed mid-way may have left partial warm
+        // state behind; reset to cold so the from-scratch rerun is
+        // still bit-exact.
+        warn("checkpoint: cannot restore '%s' (%s); restarting from "
+             "frame 0", path.c_str(), e.what());
+        sim.resetWarmState();
+        frames.clear();
+        return 0;
+    }
+}
+
 namespace {
+
+/**
+ * Process-cumulative cache traffic line, printed after each batch when
+ * the cache is armed (also what CI's cache-smoke job greps for).
+ */
+void
+reportCacheTraffic()
+{
+    const ResultCache &rc = ResultCache::global();
+    if (!rc.enabled())
+        return;
+    inform("result cache: %llu hit(s), %llu miss(es), %llu store(s), "
+           "%llu resume(s)",
+           static_cast<unsigned long long>(rc.hits()),
+           static_cast<unsigned long long>(rc.misses()),
+           static_cast<unsigned long long>(rc.stores()),
+           static_cast<unsigned long long>(rc.resumes()));
+}
 
 /** Run one job start to finish on the calling thread. */
 BatchResult
@@ -60,17 +140,90 @@ runJob(const BatchJob &job, StatRegistry *registry,
     // failure are kept; sibling jobs never see the exception.
     try {
         const std::uint32_t n = job.frames == 0 ? 1 : job.frames;
-        const Scene &first = job.scene(0);
-        SimulationSession session(job.cfg, first, "job." + job.label);
-        if (registry)
-            session.setStatRegistry(registry);
-        session.renderFrame();
-        for (std::uint32_t f = 1; f < n; ++f)
-            session.renderFrame(job.scene(f));
-        res.frames = session.history();
-        if (const ExecDomainSet *doms =
-                session.gpu().rasterPipeline().execDomains())
-            res.domainWallMs = doms->domainWallMs();
+        ResultCache &rc = ResultCache::global();
+        const bool keyed = rc.enabled();
+        ResultKey key;
+        if (keyed) {
+            // Chain the per-frame scene digests (the provider is
+            // called again per rendered frame below; providers serve
+            // shared read-only scenes, so re-calling is free).
+            Fnv1a64 chain;
+            chain.u32(n);
+            for (std::uint32_t f = 0; f < n; ++f)
+                chain.u64(hashScene(job.scene(f)));
+            key.scene = chain.value();
+            key.config = hashConfig(job.cfg);
+            key.build = buildFingerprint();
+        }
+
+        bool served = false;
+        if (keyed && rc.readEnabled()) {
+            if (std::optional<CachedResult> hit =
+                    rc.store()->lookup(key)) {
+                res.frames = std::move(hit->frames);
+                applyStatsFragment(registry, "job." + job.label,
+                                   hit->stats);
+                res.cacheHit = true;
+                served = true;
+                rc.noteHit();
+                rc.store()->appendManifest(key, "hit", job.label);
+            } else {
+                rc.noteMiss();
+                rc.store()->appendManifest(key, "miss", job.label);
+            }
+        }
+
+        if (!served) {
+            const Scene &first = job.scene(0);
+            SimulationSession session(job.cfg, first,
+                                      "job." + job.label);
+            if (registry)
+                session.setStatRegistry(registry);
+
+            std::uint32_t start = 0;
+            const bool ckpt_armed =
+                keyed && (rc.checkpointEvery() > 0 ||
+                          rc.resumeEnabled());
+            const std::string ckpt_path =
+                ckpt_armed ? rc.store()->checkpointPath(key)
+                           : std::string();
+            if (keyed && rc.resumeEnabled()) {
+                start = session.tryResumeCheckpoint(ckpt_path, key);
+                if (start > n)
+                    start = n;  // stale over-long checkpoint
+                if (start > 0) {
+                    rc.noteResume();
+                    rc.store()->appendManifest(key, "resume",
+                                               job.label);
+                }
+            }
+            for (std::uint32_t f = start; f < n; ++f) {
+                if (f == 0)
+                    session.renderFrame();
+                else
+                    session.renderFrame(job.scene(f));
+                if (keyed && rc.checkpointEvery() > 0 &&
+                    (f + 1) % rc.checkpointEvery() == 0 && f + 1 < n)
+                    session.saveCheckpoint(ckpt_path, key);
+            }
+            res.frames = session.history();
+            if (const ExecDomainSet *doms =
+                    session.gpu().rasterPipeline().execDomains())
+                res.domainWallMs = doms->domainWallMs();
+
+            if (keyed && rc.writeEnabled()) {
+                CachedResult out;
+                out.frames = res.frames;
+                out.stats = captureStatsFragment(registry,
+                                                 "job." + job.label);
+                rc.store()->store(key, out);
+                rc.noteStore();
+                rc.store()->appendManifest(key, "store", job.label);
+            }
+            // The job completed; its checkpoint has served its purpose.
+            if (ckpt_armed)
+                std::remove(ckpt_path.c_str());
+        }
     } catch (const SimError &e) {
         res.ok = false;
         res.errorKind = e.kind();
@@ -115,6 +268,7 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned numWorkers,
     if (workers == 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i)
             results[i] = runJob(jobs[i], registry, 0);
+        reportCacheTraffic();
         return results;
     }
 
@@ -138,8 +292,10 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned numWorkers,
     }
     for (std::thread &t : pool)
         t.join();
+    reportCacheTraffic();
     return results;
 }
+
 
 int
 batchExitCode(const std::vector<BatchResult> &results)

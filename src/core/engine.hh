@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_key.hh"
 #include "common/config.hh"
 #include "common/sim_error.hh"
 #include "common/stat_registry.hh"
@@ -58,6 +59,26 @@ class SimulationSession
     /** Route per-phase counters to @p registry under "<label>.". */
     void setStatRegistry(StatRegistry *registry);
 
+    /**
+     * Write a frame-boundary checkpoint to @p path: the FrameStats
+     * history, the simulator's warm state, and this session's registry
+     * subtree. Best effort — I/O failures are logged, never thrown.
+     */
+    void saveCheckpoint(const std::string &path,
+                        const ResultKey &key) const;
+
+    /**
+     * Resume from the checkpoint at @p path, if one exists and
+     * validates against @p key. Returns the number of frames already
+     * rendered (0 = nothing to resume: absent, corrupt, or
+     * mid-restore failure — in the last case the simulator is reset to
+     * cold state, so the fresh run stays correct). On success the
+     * subsequent frames continue bit-identically to an uninterrupted
+     * run (tests/test_checkpoint.cc).
+     */
+    std::uint32_t tryResumeCheckpoint(const std::string &path,
+                                      const ResultKey &key);
+
     const std::string &label() const { return label_; }
     GpuSimulator &gpu() { return sim; }
 
@@ -65,6 +86,7 @@ class SimulationSession
     std::string label_;
     GpuSimulator sim;
     std::vector<FrameStats> frames;
+    StatRegistry *registry_ = nullptr;
 };
 
 /** One entry of a runBatch() request. */
@@ -101,6 +123,12 @@ struct BatchResult
     std::vector<double> domainWallMs;
     /** Worker that ran the job (0-based; determinism debugging). */
     std::uint32_t worker = 0;
+    /**
+     * True when the result was served from the content-addressed
+     * result cache without running the simulator (src/cache/). The
+     * frames and registry counters are byte-identical either way.
+     */
+    bool cacheHit = false;
 
     // --- Fault isolation (see DESIGN.md "Error handling & fault
     //     tolerance"): a job that throws fails alone. ---

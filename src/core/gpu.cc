@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
+#include <vector>
 
 #include "common/fault_inject.hh"
 #include "common/log.hh"
+#include "common/serial.hh"
+#include "common/sim_error.hh"
 #include "common/trace.hh"
 #include "telemetry/export.hh"
 
@@ -88,6 +92,48 @@ GpuSimulator::setStatRegistry(StatRegistry *reg, const std::string &prefix)
     statPrefix = prefix;
     geomStats = reg ? &reg->node(prefix + ".geometry") : nullptr;
     rasterStats = reg ? &reg->node(prefix + ".raster") : nullptr;
+}
+
+void
+GpuSimulator::saveWarmState(ByteWriter &w) const
+{
+    mem->saveWarmState(w);
+    // The flush-signature map is unordered; sort for a canonical
+    // stream (the checkpoint checksum must be deterministic).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sig(
+        flushSignatures.crc.begin(), flushSignatures.crc.end());
+    std::sort(sig.begin(), sig.end());
+    w.u64(sig.size());
+    for (const auto &[addr, crc] : sig) {
+        w.u64(addr);
+        w.u64(crc);
+    }
+    tel->saveState(w);
+}
+
+void
+GpuSimulator::restoreWarmState(ByteReader &r)
+{
+    mem->restoreWarmState(r);
+    flushSignatures.crc.clear();
+    const std::uint64_t n = r.u64();
+    if (n > r.remaining() / 16)
+        throwIoError("flush-signature count %llu exceeds payload",
+                     static_cast<unsigned long long>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t addr = r.u64();
+        const std::uint64_t crc = r.u64();
+        flushSignatures.crc.emplace(addr, crc);
+    }
+    tel->restoreState(r);
+}
+
+void
+GpuSimulator::resetWarmState()
+{
+    mem->flushAll();
+    flushSignatures.crc.clear();
+    tel->resetCumulative();
 }
 
 FrameStats

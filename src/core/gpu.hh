@@ -78,6 +78,27 @@ class GpuSimulator
         rebuildEachFrame = rebuild;
     }
 
+    /**
+     * Serialize all cross-frame warm state at a frame boundary: cache
+     * tag arrays, transaction-elimination flush signatures (sorted for
+     * a canonical byte stream), and cumulative telemetry. Everything
+     * else is rebuilt per frame (proven by the rebuild-each-frame
+     * equivalence path), so restoring exactly this state resumes a run
+     * bit-identically (tests/test_checkpoint.cc).
+     */
+    void saveWarmState(ByteWriter &w) const;
+
+    /**
+     * Inverse of saveWarmState(); throws SimError{Io} on a payload
+     * that disagrees with this simulator's configuration. On throw the
+     * simulator may hold partial state — call resetWarmState() before
+     * using it again.
+     */
+    void restoreWarmState(ByteReader &r);
+
+    /** Back to cold-start state (failed-restore recovery). */
+    void resetWarmState();
+
     const GpuConfig &config() const { return cfg; }
     MemHierarchy &memory() { return *mem; }
     const MemHierarchy &memory() const { return *mem; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/serial.hh"
+#include "common/sim_error.hh"
 
 namespace dtexl {
 
@@ -292,6 +294,41 @@ Cache::resetTiming()
     port.clear();
     // lastHit stays warm like the tags: it only short-circuits the
     // way loop, never changes its result.
+}
+
+void
+Cache::saveWarmState(ByteWriter &w) const
+{
+    w.u64(lines.size());
+    for (const Line &l : lines) {
+        w.u64(l.tag);
+        w.u8(static_cast<std::uint8_t>((l.valid ? 1 : 0) |
+                                       (l.dirty ? 2 : 0)));
+        w.u64(l.lruStamp);
+    }
+    w.u64(lruCounter);
+}
+
+void
+Cache::restoreWarmState(ByteReader &r)
+{
+    const std::uint64_t count = r.u64();
+    if (count != lines.size())
+        throwIoError("cache '%s': checkpoint has %llu line(s), "
+                     "geometry wants %zu",
+                     name.c_str(),
+                     static_cast<unsigned long long>(count),
+                     lines.size());
+    for (Line &l : lines) {
+        l.tag = r.u64();
+        const std::uint8_t flags = r.u8();
+        l.valid = (flags & 1) != 0;
+        l.dirty = (flags & 2) != 0;
+        l.lruStamp = r.u64();
+    }
+    lruCounter = r.u64();
+    lastHit = nullptr;
+    resetTiming();
 }
 
 void

@@ -21,6 +21,9 @@
 
 namespace dtexl {
 
+class ByteReader;
+class ByteWriter;
+
 /**
  * A timed cache level. Misses allocate an MSHR and fetch from the next
  * level; accesses to a line with a pending miss merge into its MSHR
@@ -77,6 +80,22 @@ class Cache : public MemLevel
      * cycle count at zero.
      */
     void resetTiming();
+
+    /**
+     * Serialize the frame-boundary warm state: tag array (tag, valid,
+     * dirty, lruStamp per line) and the LRU clock. Timing state is
+     * empty at a frame boundary (resetTiming()), so this is the whole
+     * result-affecting state. Stats are excluded — the checkpoint
+     * layer captures them registry-wide instead.
+     */
+    void saveWarmState(ByteWriter &w) const;
+
+    /**
+     * Inverse of saveWarmState(). Throws SimError{Io} when the payload
+     * disagrees with this cache's geometry; leaves timing state reset
+     * and the hit filter cold (both bit-exact no-ops).
+     */
+    void restoreWarmState(ByteReader &r);
 
     const StatSet &stats() const { return stats_; }
     StatSet &stats() { return stats_; }

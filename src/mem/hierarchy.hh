@@ -14,6 +14,8 @@
 #include "common/channel.hh"
 #include "common/config.hh"
 #include "common/fault_inject.hh"
+#include "common/serial.hh"
+#include "common/sim_error.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "telemetry/telemetry.hh"
@@ -134,6 +136,39 @@ class MemHierarchy
 
     /** Reset timing only, keeping contents warm (frame boundary). */
     void resetTiming();
+
+    /**
+     * Serialize every level's frame-boundary warm state in fixed order
+     * (texture L1s, vertex L1, tile L1, L2). DRAM is excluded: it is
+     * reset at every frame boundary and holds no warm state.
+     */
+    void
+    saveWarmState(ByteWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(texL1s.size()));
+        for (const auto &l1 : texL1s)
+            l1->saveWarmState(w);
+        vertexL1->saveWarmState(w);
+        tileL1->saveWarmState(w);
+        l2Cache->saveWarmState(w);
+    }
+
+    /** Inverse of saveWarmState(); throws SimError{Io} on mismatch. */
+    void
+    restoreWarmState(ByteReader &r)
+    {
+        const std::uint32_t count = r.u32();
+        if (count != texL1s.size())
+            throwIoError("checkpoint has %u texture L1(s), config "
+                         "wants %zu",
+                         count, texL1s.size());
+        for (auto &l1 : texL1s)
+            l1->restoreWarmState(r);
+        vertexL1->restoreWarmState(r);
+        tileL1->restoreWarmState(r);
+        l2Cache->restoreWarmState(r);
+        dramModel->reset();
+    }
 
     /**
      * Wire every level's stall-attribution track (nullptr detaches).

@@ -82,6 +82,30 @@ CommonCliOptions::tryParse(const std::string &arg)
         setCrashReportDir(crashDir);
         return true;
     }
+    if (arg.rfind("--cache-dir=", 0) == 0) {
+        cacheDir = arg.substr(12);
+        if (cacheDir.empty())
+            fatal("--cache-dir needs a directory path");
+        return true;
+    }
+    if (arg.rfind("--cache=", 0) == 0) {
+        cacheMode = cacheModeFromString(arg.substr(8));
+        return true;
+    }
+    if (arg.rfind("--checkpoint-every=", 0) == 0) {
+        const char *value = arg.c_str() + 19;
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(value, &end, 10);
+        if (end == value || *end != '\0' || n < 1 || n > 100'000)
+            throwUserError("--checkpoint-every must be a number in "
+                           "[1, 100000], got '%s'", value);
+        checkpointEvery = static_cast<std::uint32_t>(n);
+        return true;
+    }
+    if (arg == "--resume") {
+        resumeFlag = true;
+        return true;
+    }
     if (arg.rfind("--inject-fault=", 0) == 0) {
         // SITE or SITE:COUNT. faultSiteFromString() throws a user
         // error listing the legal site names on junk.
@@ -119,6 +143,13 @@ CommonCliOptions::rejectUnknown(const std::string &arg,
 void
 CommonCliOptions::applyThreadKnobs(GpuConfig &cfg) const
 {
+    // Arm the result cache here, not at parse time: --cache may appear
+    // before --cache-dir on the command line. configure() validates
+    // the combination and is idempotent (the bench harness applies the
+    // knobs once per variant).
+    ResultCache::global().configure(cacheDir, cacheMode,
+                                    checkpointEvery, resumeFlag);
+
     if (geomThreads != kGeomThreadsUnset)
         cfg.geomThreads = geomThreads;
     if (rasterThreads != kRasterThreadsUnset)
@@ -181,6 +212,21 @@ CommonCliOptions::helpText()
         "bit-identical)\n"
         "  --crash-dir=DIR     directory for watchdog crash reports "
         "(default .)\n"
+        "  --cache-dir=DIR     root of the content-addressed result "
+        "store\n"
+        "  --cache=MODE        off (default), read, or readwrite: "
+        "serve repeated\n"
+        "                      (scene, config) jobs from --cache-dir "
+        "with\n"
+        "                      byte-identical results\n"
+        "  --checkpoint-every=N\n"
+        "                      checkpoint each job's warm state to "
+        "--cache-dir\n"
+        "                      every N frames\n"
+        "  --resume            resume interrupted jobs from their "
+        "checkpoints\n"
+        "                      (bit-identical to an uninterrupted "
+        "run)\n"
         "  --inject-fault=SITE[:N]\n"
         "                      arm a fault-injection site for its next "
         "N hook\n"
@@ -188,7 +234,8 @@ CommonCliOptions::helpText()
         "scene-truncate,\n"
         "                      scene-corrupt-token, config-mis-size,\n"
         "                      barrier-credit-leak, "
-        "drop-mem-completion)\n";
+        "drop-mem-completion,\n"
+        "                      cache-truncate, ckpt-flip-byte)\n";
 }
 
 } // namespace dtexl

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/result_store.hh"
+
 namespace dtexl {
 
 struct GpuConfig;
@@ -50,6 +52,14 @@ struct CommonCliOptions
     std::string timelineCsvPath;
     /** --crash-dir=DIR: where watchdog crash reports land. */
     std::string crashDir;
+    /** --cache-dir=DIR: root of the content-addressed result store. */
+    std::string cacheDir;
+    /** --cache=off|read|readwrite: per-job result-cache mode. */
+    CacheMode cacheMode = CacheMode::Off;
+    /** --checkpoint-every=N: checkpoint every N frames (0 = off). */
+    std::uint32_t checkpointEvery = 0;
+    /** --resume: resume interrupted jobs from their checkpoints. */
+    bool resumeFlag = false;
 
     /**
      * Consume @p arg if it is one of the shared flags (returns true);
@@ -57,7 +67,9 @@ struct CommonCliOptions
      * --trace enables the global TraceWriter, --stats-json /
      * --timeline-csv arm the global TelemetryExport, --crash-dir sets
      * the crash-report directory, --inject-fault=SITE[:N] arms a
-     * fault-injection site.
+     * fault-injection site. The cache flags (--cache-dir, --cache,
+     * --checkpoint-every, --resume) only record values here; they are
+     * applied by applyThreadKnobs() so flag order never matters.
      */
     bool tryParse(const std::string &arg);
 
@@ -80,6 +92,11 @@ struct CommonCliOptions
      * option is applied, before cfg.validate(). Results are
      * bit-identical for any thread count, so the clamp only affects
      * host throughput, never simulation output.
+     *
+     * Also arms the global ResultCache from the recorded cache flags
+     * (idempotent — the bench harness calls this once per variant),
+     * since by this point every flag has been parsed regardless of
+     * order on the command line.
      */
     void applyThreadKnobs(GpuConfig &cfg) const;
 

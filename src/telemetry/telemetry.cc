@@ -1,5 +1,8 @@
 #include "telemetry/telemetry.hh"
 
+#include "common/serial.hh"
+#include "common/sim_error.hh"
+
 namespace dtexl {
 
 const char *
@@ -65,6 +68,48 @@ Telemetry::publish(StatRegistry &reg, const std::string &prefix)
         *nodes_[u].idle = t.idleCycles();
         *nodes_[u].total = t.totalCycles();
     }
+}
+
+void
+Telemetry::saveState(ByteWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(kNumTelemetryUnits));
+    w.u32(static_cast<std::uint32_t>(kNumStallReasons));
+    for (const UnitTrack &t : tracks_) {
+        const EpochTotals &c = t.cumulative();
+        w.u64(c.busy);
+        for (std::uint64_t s : c.stall)
+            w.u64(s);
+        w.u64(c.idle);
+        w.u64(c.total);
+    }
+    w.u32(frames_);
+}
+
+void
+Telemetry::restoreState(ByteReader &r)
+{
+    if (r.u32() != kNumTelemetryUnits ||
+        r.u32() != kNumStallReasons)
+        throwIoError("telemetry checkpoint shape mismatch");
+    for (UnitTrack &t : tracks_) {
+        EpochTotals c;
+        c.busy = r.u64();
+        for (std::uint64_t &s : c.stall)
+            s = r.u64();
+        c.idle = r.u64();
+        c.total = r.u64();
+        t.restoreCumulative(c);
+    }
+    frames_ = r.u32();
+}
+
+void
+Telemetry::resetCumulative()
+{
+    for (UnitTrack &t : tracks_)
+        t.restoreCumulative(EpochTotals{});
+    frames_ = 0;
 }
 
 } // namespace dtexl

@@ -35,6 +35,9 @@
 
 namespace dtexl {
 
+class ByteReader;
+class ByteWriter;
+
 /** Every per-cycle unit the telemetry layer attributes cycles for. */
 enum class TelemetryUnit : std::uint8_t {
     Raster,
@@ -142,6 +145,17 @@ class Telemetry
 
     /** Frames finalized so far (the timeline's frame column). */
     std::uint32_t frames() const { return frames_; }
+
+    // ---- Checkpoint support (frame-boundary warm state) ----
+
+    /** Serialize cumulative per-unit totals + the frame count. */
+    void saveState(ByteWriter &w) const;
+
+    /** Inverse of saveState(); throws SimError{Io} on a bad payload. */
+    void restoreState(ByteReader &r);
+
+    /** Zero all cumulative state (failed-restore recovery). */
+    void resetCumulative();
 
     // ---- Time-series sampling (level 2) ----
 

@@ -148,6 +148,20 @@ class UnitTrack
     }
     const EpochTotals &cumulative() const { return cum; }
 
+    /**
+     * Overwrite the cumulative totals (checkpoint restore, at an epoch
+     * boundary: the open epoch and watermark are reset too). The next
+     * publish() then re-assigns registry counters exactly as an
+     * uninterrupted run would have.
+     */
+    void
+    restoreCumulative(const EpochTotals &t)
+    {
+        wm = 0;
+        cur = EpochTotals{};
+        cum = t;
+    }
+
     /** Cumulative + current-epoch busy (live value for samplers). */
     std::uint64_t liveBusyCycles() const { return cum.busy + cur.busy; }
     /** Cumulative + current-epoch attributed stalls (live). */

@@ -161,6 +161,44 @@ TEST(GoldenResults, SpeedupHeadline)
     EXPECT_EQ(base_swa.imageHash, dtexl_swa.imageHash);
 }
 
+TEST(GoldenResults, ReferencePathMatchesEveryPin)
+{
+    // The same headline pins with the simulator hot paths disabled
+    // (simFastPath=false propagates into every cache/DRAM fastPath at
+    // construction). This freezes the REFERENCE implementations
+    // directly: the fast-path equivalence suite proves fast==reference,
+    // and this proves reference==golden, so neither side can drift and
+    // drag the other along — exactly the contract the result cache's
+    // build fingerprint relies on.
+    GpuConfig base = small(makeBaselineConfig());
+    base.simFastPath = false;
+    GpuConfig dtexl = small(makeDTexLConfig());
+    dtexl.simFastPath = false;
+
+    const FrameStats base_gtr = render(base, "GTr");
+    const FrameStats dtexl_gtr = render(dtexl, "GTr");
+    const FrameStats base_swa = render(base, "SWa");
+    const FrameStats dtexl_swa = render(dtexl, "SWa");
+
+    EXPECT_EQ(base_gtr.totalCycles, 50086u);
+    EXPECT_EQ(dtexl_gtr.totalCycles, 38907u);
+    EXPECT_EQ(base_swa.totalCycles, 54710u);
+    EXPECT_EQ(dtexl_swa.totalCycles, 48876u);
+
+    EXPECT_EQ(base_gtr.l1TexAccesses, 174560u);
+    EXPECT_EQ(base_gtr.l1TexMisses, 10420u);
+    EXPECT_EQ(base_gtr.l2Accesses, 11949u);
+    EXPECT_EQ(base_gtr.dramAccesses, 3706u);
+    EXPECT_DOUBLE_EQ(base_gtr.textureReplication, 3.8208955223880596);
+    EXPECT_EQ(dtexl_gtr.l2Accesses, 5038u);
+    EXPECT_EQ(dtexl_gtr.quadsShaded, 15662u);
+
+    // The image is independent of both the scheduling policy and the
+    // simulator implementation path.
+    EXPECT_EQ(base_gtr.imageHash, dtexl_gtr.imageHash);
+    EXPECT_EQ(base_swa.imageHash, dtexl_swa.imageHash);
+}
+
 TEST(GoldenResults, EnergySplit)
 {
     // Figure 18: the frame-energy breakdown of the DTexL machine,
