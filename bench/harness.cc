@@ -45,6 +45,7 @@ BenchOptions::parse(int argc, char **argv)
 {
     BenchOptions opt;
     CommonCliOptions common;
+    CommonCliOptions::noteInvocation(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (common.tryParse(arg)) {

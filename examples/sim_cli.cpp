@@ -13,7 +13,9 @@
  *           [--stats-json=stats.json] [--timeline-csv=timeline.csv]
  *           [--save-scene=file.dscene] [--preset=baseline|dtexl]
  *           [--reference-path] [--cache-dir=DIR] [--cache=MODE]
- *           [--checkpoint-every=N] [--resume] [key=value ...]
+ *           [--checkpoint-every=N] [--resume]
+ *           [--events=events.jsonl] [--progress] [--version]
+ *           [key=value ...]
  *
  * key=value options are applyConfigOption() keys, e.g.:
  *   sim_cli --bench=CCS grouping=CG-square order=Hilbert \
@@ -71,6 +73,7 @@ simCliMain(int argc, char **argv)
     int frames = 1;
     bool dump_stats = false;
     CommonCliOptions common;
+    CommonCliOptions::noteInvocation(argc, argv);
     GpuConfig cfg = makeBaselineConfig();
     cfg.screenWidth = 640;
     cfg.screenHeight = 288;
@@ -227,6 +230,22 @@ simCliMain(int argc, char **argv)
                 std::printf(" d%zu=%.3fms", d, r.domainWallMs[d]);
             std::printf("\n");
         }
+    }
+    // Batch-level cache summary: hit rate over this batch's jobs, and
+    // the process-cumulative counters published into the registry so
+    // --stats-json carries them too.
+    if (ResultCache::global().enabled()) {
+        ResultCache::global().publishStats(&registry);
+        std::size_t cached = 0;
+        for (const BatchResult &r : results)
+            cached += r.cacheHit ? 1 : 0;
+        std::printf("cache summary: %zu of %zu job(s) served from "
+                    "cache (%.0f%% hit rate)\n",
+                    cached, results.size(),
+                    results.empty()
+                        ? 0.0
+                        : 100.0 * static_cast<double>(cached) /
+                              static_cast<double>(results.size()));
     }
     if (dump_stats)
         std::printf("\n%s", registry.dump().c_str());

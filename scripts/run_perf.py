@@ -13,6 +13,10 @@ reference implementations (fastpath=0) — and records, per benchmark:
   * the wall-time speedup of the fast path,
   * the wall-time overhead of telemetry=1 (stall attribution) relative
     to the plain fast path, gated at --max-telemetry-overhead (1.05x),
+  * the wall-time overhead of the run-event ledger (--events
+    --progress) relative to the plain fast path, gated at the same
+    budget; the ledger must terminate in run_end and must not change
+    any simulated statistic,
   * an informational --raster-threads=auto run (per-domain wall
     breakdown and speedup vs the serial raster loop); the regression
     gate stays pinned to the serial (raster-threads=1) numbers.
@@ -61,7 +65,8 @@ DOMAIN_RE = re.compile(r"d\d+=(?P<ms>[0-9.]+)ms")
 
 
 def run_sim(sim_cli, alias, frames, width, height, fastpath,
-            telemetry=0, phases=False, raster_threads=None):
+            telemetry=0, phases=False, raster_threads=None,
+            events=False):
     cmd = [
         str(sim_cli),
         f"--bench={alias}",
@@ -78,6 +83,12 @@ def run_sim(sim_cli, alias, frames, width, height, fastpath,
     ]
     if raster_threads is not None:
         cmd.append(f"--raster-threads={raster_threads}")
+    events_path = None
+    if events:
+        fd, events_path = tempfile.mkstemp(suffix=".jsonl",
+                                           prefix="run_perf_events_")
+        os.close(fd)
+        cmd += [f"--events={events_path}", "--progress"]
     stats_path = None
     if phases:
         fd, stats_path = tempfile.mkstemp(suffix=".json",
@@ -111,13 +122,24 @@ def run_sim(sim_cli, alias, frames, width, height, fastpath,
         }
         if phases:
             result["phase_wall_ms"] = phase_breakdown(stats_path)
+        if events:
+            # The ledger must have terminated cleanly (run_end on the
+            # last line) even under the perf harness.
+            last = ""
+            for line in Path(events_path).read_text().splitlines():
+                if line.strip():
+                    last = line
+            if '"event":"run_end"' not in last:
+                sys.exit(f"{alias}: events ledger did not end in "
+                         f"run_end:\n{last}")
         return result
     finally:
-        if stats_path is not None:
-            try:
-                os.unlink(stats_path)
-            except OSError:
-                pass
+        for path in (stats_path, events_path):
+            if path is not None:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
 
 
 def phase_breakdown(stats_path):
@@ -233,6 +255,28 @@ def telemetry_overhead(sim_cli, alias, frames, width, height, repeat,
     return best
 
 
+def events_overhead(sim_cli, alias, frames, width, height, repeat,
+                    fast_lines):
+    """Wall-time ratio of --events --progress over a plain run.
+
+    Same paired-ratio methodology as telemetry_overhead(); also
+    asserts the run-event ledger never changes a simulated statistic.
+    """
+    best = None
+    for _ in range(max(repeat, 2)):
+        off = run_sim(sim_cli, alias, frames, width, height, 1)
+        on = run_sim(sim_cli, alias, frames, width, height, 1,
+                     events=True)
+        if on["frame_lines"] != fast_lines:
+            print("FAST:\n" + "\n".join(fast_lines))
+            print("EVENTS:\n" + "\n".join(on["frame_lines"]))
+            sys.exit(f"{alias}: --events changed simulated stats")
+        ratio = on["wall_ms"] / off["wall_ms"]
+        if best is None or ratio < best:
+            best = ratio
+    return best
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
@@ -290,6 +334,9 @@ def main():
         overhead = telemetry_overhead(sim_cli, alias, args.frames,
                                       args.width, args.height,
                                       args.repeat, fast["frame_lines"])
+        ev_overhead = events_overhead(sim_cli, alias, args.frames,
+                                      args.width, args.height,
+                                      args.repeat, fast["frame_lines"])
 
         # Informational multi-threaded run (--raster-threads=auto):
         # never part of the regression gate, which stays pinned to the
@@ -317,6 +364,7 @@ def main():
             "mcycles_per_s_ref": ref["cycles"] / ref["wall_ms"] / 1e3,
             "speedup": speedup,
             "telemetry_overhead": overhead,
+            "events_overhead": ev_overhead,
             "stats_bit_identical": True,
             "phase_wall_ms": fast["phase_wall_ms"],
             "mt": {
@@ -336,6 +384,7 @@ def main():
               f"ref {ref['wall_ms']:9.1f} ms | "
               f"speedup {speedup:.2f}x | "
               f"telemetry {overhead:.3f}x | "
+              f"events {ev_overhead:.3f}x | "
               f"mt {entry['mt']['speedup_vs_serial']:.2f}x "
               f"({len(mt['domain_wall_ms'])} domains)", flush=True)
 
@@ -363,6 +412,9 @@ def main():
             [b["mcycles_per_s_fast"] for b in benches]
         ),
         "geomean_telemetry_overhead": geomean(overheads),
+        "geomean_events_overhead": geomean(
+            [b["events_overhead"] for b in benches]
+        ),
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}: max speedup {report['max_speedup']:.2f}x, "
@@ -399,6 +451,12 @@ def main():
     if report["geomean_telemetry_overhead"] > args.max_telemetry_overhead:
         print(f"ERROR: telemetry=1 geomean overhead "
               f"{report['geomean_telemetry_overhead']:.3f}x exceeds the "
+              f"{args.max_telemetry_overhead:.2f}x budget",
+              file=sys.stderr)
+        return 1
+    if report["geomean_events_overhead"] > args.max_telemetry_overhead:
+        print(f"ERROR: --events geomean overhead "
+              f"{report['geomean_events_overhead']:.3f}x exceeds the "
               f"{args.max_telemetry_overhead:.2f}x budget",
               file=sys.stderr)
         return 1

@@ -136,4 +136,22 @@ buildFingerprint()
     return h.value();
 }
 
+std::string
+buildVersionString()
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "dtexl result-format v%u, compiler %s, built %s, "
+                  "fingerprint %016llx",
+                  kResultFormatVersion,
+#ifdef __VERSION__
+                  __VERSION__,
+#else
+                  "unknown",
+#endif
+                  __DATE__ " " __TIME__,
+                  static_cast<unsigned long long>(buildFingerprint()));
+    return line;
+}
+
 } // namespace dtexl

@@ -76,6 +76,14 @@ std::uint64_t buildFingerprint();
  */
 inline constexpr std::uint32_t kResultFormatVersion = 1;
 
+/**
+ * Human-readable build identity for --version and bug reports: the
+ * result-format version, compiler, build stamp and the resulting
+ * buildFingerprint() digest — everything needed to match a ledger or
+ * cache entry back to the binary that produced it.
+ */
+std::string buildVersionString();
+
 } // namespace dtexl
 
 #endif // DTEXL_CACHE_RESULT_KEY_HH

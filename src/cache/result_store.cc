@@ -7,6 +7,7 @@
 #include "common/log.hh"
 #include "common/sim_error.hh"
 #include "common/stat_registry.hh"
+#include "obs/event_bus.hh"
 
 namespace dtexl {
 
@@ -333,6 +334,22 @@ void
 ResultStore::appendManifest(const ResultKey &key, const char *status,
                             const std::string &label) const
 {
+    // Mirror the manifest line into the run-event ledger: the four
+    // manifest statuses map 1:1 onto the cache event kinds.
+    if (EventBus::armed()) {
+        const std::string st = status;
+        EventKind kind = EventKind::JobCacheMiss;
+        if (st == "hit")
+            kind = EventKind::JobCacheHit;
+        else if (st == "store")
+            kind = EventKind::JobCacheStore;
+        else if (st == "resume")
+            kind = EventKind::JobResume;
+        RunEvent ev(kind, label);
+        ev.str("key", key.hex());
+        EventBus::global().emit(std::move(ev));
+    }
+
     std::lock_guard<std::mutex> lock(manifestMu);
     std::FILE *f = std::fopen(manifestPath().c_str(), "a");
     if (!f)
@@ -378,6 +395,18 @@ ResultCache::configure(const std::string &dir, CacheMode mode,
     resume_ = resume;
     hasDir_ = !dir.empty();
     store_.setDir(dir);
+}
+
+void
+ResultCache::publishStats(StatRegistry *registry) const
+{
+    if (!registry || !enabled())
+        return;
+    StatSet &node = registry->node("cache");
+    node.handle("hits") = hits();
+    node.handle("misses") = misses();
+    node.handle("stores") = stores();
+    node.handle("resumes") = resumes();
 }
 
 void

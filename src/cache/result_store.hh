@@ -187,6 +187,17 @@ class ResultCache
         return hasDir_ ? &store_ : nullptr;
     }
 
+    /**
+     * Publish the traffic counters into @p registry under a top-level
+     * "cache" node (hits/misses/stores/resumes), so they reach
+     * --stats-json. Counters are process-cumulative, so the CLI layer
+     * calls this once per process right before the registry is dumped
+     * — NOT runBatch(), whose per-batch registries must stay
+     * byte-identical between cold and warm sweeps
+     * (tests/test_result_cache.cc). No-op when null or disarmed.
+     */
+    void publishStats(StatRegistry *registry) const;
+
     void noteHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
     void noteMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
     void noteStore() { stores_.fetch_add(1, std::memory_order_relaxed); }

@@ -1,7 +1,9 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 #include "common/sim_error.hh"
@@ -9,13 +11,51 @@
 namespace dtexl {
 
 namespace {
-bool log_quiet = false;
+
+std::atomic<bool> log_quiet{false};
+
+/** Active job tag for this thread's log lines (ScopedLogJobLabel). */
+thread_local std::string t_jobLabel;
+
+/**
+ * Emit one whole "<tag>: [label] message" line under the stream lock.
+ * The message was formatted before the lock; only the write serializes.
+ */
+void
+emitLine(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lk(logStreamMutex());
+    if (t_jobLabel.empty())
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    else
+        std::fprintf(stderr, "%s: [%s] %s\n", tag, t_jobLabel.c_str(),
+                     msg.c_str());
+}
+
 } // namespace
+
+std::mutex &
+logStreamMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+ScopedLogJobLabel::ScopedLogJobLabel(const std::string &label)
+    : saved(std::move(t_jobLabel))
+{
+    t_jobLabel = label;
+}
+
+ScopedLogJobLabel::~ScopedLogJobLabel()
+{
+    t_jobLabel = std::move(saved);
+}
 
 void
 setLogQuiet(bool quiet)
 {
-    log_quiet = quiet;
+    log_quiet.store(quiet, std::memory_order_relaxed);
 }
 
 std::string
@@ -57,25 +97,25 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (log_quiet)
+    if (log_quiet.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (log_quiet)
+    if (log_quiet.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info", msg);
 }
 
 void

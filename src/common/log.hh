@@ -13,6 +13,7 @@
 #define DTEXL_COMMON_LOG_HH
 
 #include <cstdarg>
+#include <mutex>
 #include <string>
 
 namespace dtexl {
@@ -45,6 +46,33 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  * logs quiet). Fatal/panic are never suppressed.
  */
 void setLogQuiet(bool quiet);
+
+/**
+ * The process-wide stderr line lock. warn()/inform() format their
+ * message first and take this only around the final fprintf, so
+ * concurrent batch workers emit whole lines, never interleaved
+ * characters. Shared with the EventBus progress printer (obs/) so
+ * progress lines and log lines serialize against each other too.
+ */
+std::mutex &logStreamMutex();
+
+/**
+ * RAII job tag for log lines: while alive, warn()/inform() on THIS
+ * thread prefix their message with "[label] ", so interleaved
+ * per-worker output in a --jobs=N batch stays attributable. Nests by
+ * saving/restoring the previous label.
+ */
+class ScopedLogJobLabel
+{
+  public:
+    explicit ScopedLogJobLabel(const std::string &label);
+    ~ScopedLogJobLabel();
+    ScopedLogJobLabel(const ScopedLogJobLabel &) = delete;
+    ScopedLogJobLabel &operator=(const ScopedLogJobLabel &) = delete;
+
+  private:
+    std::string saved;
+};
 
 /** printf-style formatting into a std::string. */
 std::string vformat(const char *fmt, std::va_list ap);

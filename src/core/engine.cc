@@ -12,6 +12,7 @@
 #include "common/serial.hh"
 #include "common/sim_error.hh"
 #include "common/trace.hh"
+#include "obs/event_bus.hh"
 
 namespace dtexl {
 
@@ -24,7 +25,25 @@ SimulationSession::SimulationSession(const GpuConfig &cfg,
 FrameStats
 SimulationSession::renderFrame()
 {
+    const auto t0 = std::chrono::steady_clock::now();
     frames.push_back(sim.renderFrame());
+    if (EventBus::armed()) {
+        // Frame-boundary event; the "job." stats prefix is an
+        // engine-internal spelling, so ledger lines carry the bare
+        // job label.
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::string job = label_;
+        if (job.rfind("job.", 0) == 0)
+            job = job.substr(4);
+        RunEvent ev(EventKind::JobFrame, std::move(job));
+        ev.u64("frame", frames.size() - 1)
+            .u64("cycles", frames.back().totalCycles)
+            .f64("wall_ms", wall_ms);
+        EventBus::global().emit(std::move(ev));
+    }
     return frames.back();
 }
 
@@ -133,6 +152,14 @@ runJob(const BatchJob &job, StatRegistry *registry,
     res.label = job.label;
     res.worker = worker;
 
+    // Tag this worker's log lines and announce the pickup.
+    ScopedLogJobLabel log_scope(job.label);
+    if (EventBus::armed()) {
+        RunEvent ev(EventKind::JobStart, job.label);
+        ev.u64("worker", worker);
+        EventBus::global().emit(std::move(ev));
+    }
+
     // Fault isolation: a throw anywhere in this job — constructing
     // the simulator (bad config), providing a scene (parse error), or
     // rendering (watchdog, internal panic) — is converted into error
@@ -203,8 +230,15 @@ runJob(const BatchJob &job, StatRegistry *registry,
                 else
                     session.renderFrame(job.scene(f));
                 if (keyed && rc.checkpointEvery() > 0 &&
-                    (f + 1) % rc.checkpointEvery() == 0 && f + 1 < n)
+                    (f + 1) % rc.checkpointEvery() == 0 && f + 1 < n) {
                     session.saveCheckpoint(ckpt_path, key);
+                    if (EventBus::armed()) {
+                        RunEvent ev(EventKind::JobCheckpoint,
+                                    job.label);
+                        ev.u64("frames_done", f + 1);
+                        EventBus::global().emit(std::move(ev));
+                    }
+                }
             }
             res.frames = session.history();
             if (const ExecDomainSet *doms =
@@ -228,14 +262,33 @@ runJob(const BatchJob &job, StatRegistry *registry,
         res.ok = false;
         res.errorKind = e.kind();
         res.error = e.describe();
-        // Failure artifacts must not wait for a clean process exit.
-        flushFailureArtifacts();
         if (!e.dump().empty())
             res.crashReportPath = writeCrashReport(job.label, e);
+        if (EventBus::armed()) {
+            if (e.kind() == ErrorKind::Watchdog) {
+                RunEvent wd(EventKind::Watchdog, job.label);
+                wd.str("error", e.what());
+                EventBus::global().emit(std::move(wd));
+            }
+            RunEvent ev(EventKind::JobError, job.label);
+            ev.str("kind", toString(e.kind())).str("error", res.error);
+            if (!res.crashReportPath.empty())
+                ev.str("crash_report", res.crashReportPath);
+            EventBus::global().emit(std::move(ev));
+        }
+        // Failure artifacts must not wait for a clean process exit;
+        // the events flush hook drains job_error onto disk here.
+        flushFailureArtifacts();
     } catch (const std::exception &e) {
         res.ok = false;
         res.errorKind = ErrorKind::Internal;
         res.error = std::string("internal: ") + e.what();
+        if (EventBus::armed()) {
+            RunEvent ev(EventKind::JobError, job.label);
+            ev.str("kind", toString(ErrorKind::Internal))
+                .str("error", res.error);
+            EventBus::global().emit(std::move(ev));
+        }
         flushFailureArtifacts();
     }
 
@@ -244,6 +297,17 @@ runJob(const BatchJob &job, StatRegistry *registry,
                                                          std::milli>>(
             std::chrono::steady_clock::now() - t0)
             .count();
+    if (res.ok && EventBus::armed()) {
+        std::uint64_t cycles = 0;
+        for (const FrameStats &fs : res.frames)
+            cycles += fs.totalCycles;
+        RunEvent ev(EventKind::JobComplete, job.label);
+        ev.u64("frames", res.frames.size())
+            .u64("cycles", cycles)
+            .f64("wall_ms", res.wallMs)
+            .u64("cached", res.cacheHit ? 1 : 0);
+        EventBus::global().emit(std::move(ev));
+    }
     if (TraceWriter::global().enabled()) {
         TraceWriter::global().complete(job.label, "job", trace0,
                                        TraceWriter::nowMicros() - trace0);
@@ -260,6 +324,17 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned numWorkers,
     std::vector<BatchResult> results(jobs.size());
     if (jobs.empty())
         return results;
+
+    // Announce the whole batch up front, in submission order, so the
+    // progress meter knows its denominators before any job starts.
+    if (EventBus::armed()) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            RunEvent ev(EventKind::JobSubmit, jobs[i].label);
+            ev.u64("index", i)
+                .u64("frames", jobs[i].frames == 0 ? 1 : jobs[i].frames);
+            EventBus::global().emit(std::move(ev));
+        }
+    }
 
     unsigned workers = numWorkers == 0 ? 1 : numWorkers;
     if (workers > jobs.size())

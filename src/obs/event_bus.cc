@@ -1,0 +1,401 @@
+#include "obs/event_bus.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unistd.h>
+
+#include "common/channel.hh"
+#include "common/log.hh"
+#include "common/sim_error.hh"
+#include "common/trace.hh"
+
+namespace dtexl {
+
+namespace {
+
+/** Bounded queue depth; producers block (briefly) when 4k events lag. */
+constexpr std::size_t kBusCapacity = 4096;
+
+/** Minimum interval between live progress prints. */
+constexpr std::chrono::milliseconds kProgressInterval{200};
+
+std::uint64_t
+wallMillisNow()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Live progress state, owned by the writer thread (single writer, no
+ * locking) and fed from the event stream itself: job_submit announces
+ * totals, job_frame drives the rate/ETA, job_complete/job_error close
+ * jobs out.
+ */
+struct ProgressMeter
+{
+    std::uint64_t jobsTotal = 0;
+    std::uint64_t jobsDone = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t framesTotal = 0;
+    std::uint64_t framesDone = 0;
+    std::uint64_t cacheHits = 0;
+    std::chrono::steady_clock::time_point lastPrint{};
+    bool printed = false;
+
+    void
+    observe(const RunEvent &ev)
+    {
+        switch (ev.kind) {
+        case EventKind::JobSubmit:
+            ++jobsTotal;
+            framesTotal += ev.uval("frames");
+            break;
+        case EventKind::JobFrame:
+            ++framesDone;
+            break;
+        case EventKind::JobCacheHit:
+            ++cacheHits;
+            break;
+        case EventKind::JobComplete:
+            ++jobsDone;
+            // Cache-served jobs render no frames, so their frame
+            // count arrives in one step here.
+            if (ev.uval("cached"))
+                framesDone += ev.uval("frames");
+            break;
+        case EventKind::JobError:
+            ++jobsDone;
+            ++jobsFailed;
+            break;
+        default:
+            break;
+        }
+    }
+
+    void
+    maybePrint(std::chrono::steady_clock::time_point t0, bool force)
+    {
+        const auto now = std::chrono::steady_clock::now();
+        if (!force && now - lastPrint < kProgressInterval)
+            return;
+        if (jobsTotal == 0 && framesDone == 0)
+            return;
+        lastPrint = now;
+        printed = true;
+
+        const double elapsed =
+            std::chrono::duration<double>(now - t0).count();
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(framesDone) / elapsed
+                          : 0.0;
+        char eta[32];
+        if (rate > 0.0 && framesTotal > framesDone) {
+            std::snprintf(eta, sizeof(eta), "ETA %.1fs",
+                          static_cast<double>(framesTotal - framesDone) /
+                              rate);
+        } else {
+            std::snprintf(eta, sizeof(eta), "ETA --");
+        }
+
+        std::string extras;
+        if (cacheHits > 0)
+            extras += ", " + std::to_string(cacheHits) +
+                      " cache hit(s)";
+        if (jobsFailed > 0)
+            extras += ", " + std::to_string(jobsFailed) + " failed";
+
+        // Share the log stream lock so a progress line never
+        // interleaves with a concurrent warn()/inform().
+        std::lock_guard<std::mutex> lk(logStreamMutex());
+        std::fprintf(stderr,
+                     "progress: %llu/%llu job(s), %llu/%llu frame(s), "
+                     "%.1f frames/s, %s%s\n",
+                     static_cast<unsigned long long>(jobsDone),
+                     static_cast<unsigned long long>(jobsTotal),
+                     static_cast<unsigned long long>(framesDone),
+                     static_cast<unsigned long long>(framesTotal),
+                     rate, eta, extras.c_str());
+        std::fflush(stderr);
+    }
+};
+
+} // namespace
+
+struct EventBus::Impl
+{
+    std::mutex mu;
+    std::condition_variable drainedCv;
+    std::unique_ptr<Channel<RunEvent>> chan;
+    std::thread writer;
+    FILE *out = nullptr;
+    std::string ledgerPath;
+    bool progress = false;
+    bool running = false;
+    bool hooked = false;
+    bool runStartDone = false;
+    bool runEndQueued = false;
+    std::string invocation;
+    std::uint64_t emitted = 0;
+    std::uint64_t written = 0;
+    std::chrono::steady_clock::time_point t0{};
+
+    // Writer-thread state: the single writer assigns seq and owns the
+    // meter, so neither needs synchronization.
+    std::uint64_t seq = 0;
+    ProgressMeter meter;
+
+    /** Start the writer thread; caller holds mu. */
+    void
+    startLocked()
+    {
+        if (running)
+            return;
+        chan = std::make_unique<Channel<RunEvent>>(kBusCapacity);
+        t0 = std::chrono::steady_clock::now();
+        seq = 0;
+        written = 0;
+        emitted = 0;
+        meter = ProgressMeter{};
+        running = true;
+        armedFlag.store(true, std::memory_order_relaxed);
+        writer = std::thread([this] { writerLoop(); });
+        if (!hooked) {
+            hooked = true;
+            std::atexit([] { EventBus::global().finish(); });
+            // A failing job's catch block emits job_error and then
+            // flushes: the drain barrier guarantees the ledger holds
+            // the error before the crash report is read.
+            registerFailureFlush([] { EventBus::global().flush(); });
+        }
+    }
+
+    void
+    writerLoop()
+    {
+        while (std::optional<RunEvent> ev = chan->pop()) {
+            writeEvent(*ev);
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                ++written;
+            }
+            drainedCv.notify_all();
+        }
+    }
+
+    /** Render + append one line; writer thread only. */
+    void
+    writeEvent(const RunEvent &ev)
+    {
+        RunEvent line = ev;
+        if (line.kind == EventKind::RunEnd) {
+            line.u64("jobs", meter.jobsTotal)
+                .u64("ok", meter.jobsDone - meter.jobsFailed)
+                .u64("failed", meter.jobsFailed)
+                .u64("frames", meter.framesDone)
+                .u64("cache_hits", meter.cacheHits);
+        }
+
+        if (out) {
+            std::string text = "{";
+            if (line.kind == EventKind::RunStart)
+                text += "\"schema\":\"dtexl-events-v1\",";
+            text += "\"seq\":" + std::to_string(seq);
+            text += ",\"ts_ms\":" + std::to_string(line.tsMs);
+            char tbuf[48];
+            std::snprintf(tbuf, sizeof(tbuf), ",\"t_ms\":%.3f",
+                          line.tMs);
+            text += tbuf;
+            text += ",\"event\":\"";
+            text += toString(line.kind);
+            text += "\"";
+            if (!line.job.empty())
+                text += ",\"job\":\"" + jsonEscape(line.job) + "\"";
+            for (const RunEvent::Field &f : line.fields)
+                text += ",\"" + jsonEscape(f.key) + "\":" + f.json;
+            text += "}\n";
+            std::fwrite(text.data(), 1, text.size(), out);
+            // Per-line flush: the ledger stays valid JSONL up to the
+            // last event even when the process dies hard.
+            std::fflush(out);
+        }
+        ++seq;
+
+        meter.observe(line);
+        if (progress)
+            meter.maybePrint(t0, line.kind == EventKind::RunEnd);
+    }
+};
+
+EventBus::Impl &
+EventBus::impl()
+{
+    static Impl instance;
+    return instance;
+}
+
+EventBus &
+EventBus::global()
+{
+    static EventBus bus;
+    return bus;
+}
+
+void
+EventBus::enable(const std::string &path)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    if (!im.out) {
+        FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            throwIoError("cannot open events ledger '%s'",
+                         path.c_str());
+        im.out = f;
+        im.ledgerPath = path;
+    }
+    im.startLocked();
+}
+
+void
+EventBus::enableProgress()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.progress = true;
+    im.startLocked();
+}
+
+void
+EventBus::setInvocation(std::string args)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.invocation = std::move(args);
+}
+
+void
+EventBus::emitRunStart(std::uint64_t configDigest,
+                       std::uint64_t buildFingerprint)
+{
+    Impl &im = impl();
+    std::string args;
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        if (!im.running || im.runStartDone)
+            return;
+        im.runStartDone = true;
+        args = im.invocation;
+    }
+    char hex[2][17];
+    std::snprintf(hex[0], sizeof(hex[0]), "%016llx",
+                  static_cast<unsigned long long>(configDigest));
+    std::snprintf(hex[1], sizeof(hex[1]), "%016llx",
+                  static_cast<unsigned long long>(buildFingerprint));
+    RunEvent ev(EventKind::RunStart);
+    ev.str("args", args)
+        .str("config", hex[0])
+        .str("build", hex[1])
+        .u64("pid", static_cast<std::uint64_t>(::getpid()))
+        .u64("nproc", std::thread::hardware_concurrency());
+    const char *host = std::getenv("HOSTNAME");
+    ev.str("host", host ? host : "");
+    emit(std::move(ev));
+}
+
+void
+EventBus::emit(RunEvent ev)
+{
+    Impl &im = impl();
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        if (!im.running)
+            return;
+        ++im.emitted;
+        ev.tsMs = wallMillisNow();
+        ev.tMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - im.t0)
+                     .count();
+    }
+    if (!im.chan->push(std::move(ev))) {
+        // Channel closed mid-emit (finish() raced us): the event is
+        // dropped, so it must not count against the drain barrier.
+        std::lock_guard<std::mutex> lk(im.mu);
+        --im.emitted;
+        im.drainedCv.notify_all();
+    }
+}
+
+void
+EventBus::flush()
+{
+    Impl &im = impl();
+    std::unique_lock<std::mutex> lk(im.mu);
+    if (!im.running)
+        return;
+    const std::uint64_t target = im.emitted;
+    im.drainedCv.wait(lk, [&] { return im.written >= target; });
+    if (im.out)
+        std::fflush(im.out);
+}
+
+void
+EventBus::finish()
+{
+    Impl &im = impl();
+    bool emitEnd = false;
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        if (!im.running)
+            return;
+        if (!im.runEndQueued) {
+            im.runEndQueued = true;
+            emitEnd = true;
+        }
+    }
+    if (emitEnd)
+        emit(RunEvent(EventKind::RunEnd));
+    armedFlag.store(false, std::memory_order_relaxed);
+    im.chan->close();
+    if (im.writer.joinable())
+        im.writer.join();
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.running = false;
+    if (im.out) {
+        std::fflush(im.out);
+        std::fclose(im.out);
+        im.out = nullptr;
+    }
+    im.drainedCv.notify_all();
+}
+
+void
+EventBus::resetForTests()
+{
+    finish();
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.ledgerPath.clear();
+    im.progress = false;
+    im.runStartDone = false;
+    im.runEndQueued = false;
+    im.invocation.clear();
+}
+
+std::string
+EventBus::path() const
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    return im.ledgerPath;
+}
+
+} // namespace dtexl

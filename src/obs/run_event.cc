@@ -1,0 +1,64 @@
+#include "obs/run_event.hh"
+
+#include <cstdio>
+
+#include "common/trace.hh"
+
+namespace dtexl {
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+    case EventKind::RunStart:      return "run_start";
+    case EventKind::JobSubmit:     return "job_submit";
+    case EventKind::JobStart:      return "job_start";
+    case EventKind::JobFrame:      return "job_frame";
+    case EventKind::JobCheckpoint: return "job_checkpoint";
+    case EventKind::JobCacheHit:   return "job_cache_hit";
+    case EventKind::JobCacheMiss:  return "job_cache_miss";
+    case EventKind::JobCacheStore: return "job_cache_store";
+    case EventKind::JobResume:     return "job_resume";
+    case EventKind::JobComplete:   return "job_complete";
+    case EventKind::JobError:      return "job_error";
+    case EventKind::Watchdog:      return "watchdog";
+    case EventKind::RunEnd:        return "run_end";
+    }
+    return "unknown";
+}
+
+RunEvent &
+RunEvent::u64(const char *key, std::uint64_t value)
+{
+    fields.push_back(
+        {key, std::to_string(static_cast<unsigned long long>(value)),
+         value});
+    return *this;
+}
+
+RunEvent &
+RunEvent::f64(const char *key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    fields.push_back({key, buf, 0});
+    return *this;
+}
+
+RunEvent &
+RunEvent::str(const char *key, const std::string &value)
+{
+    fields.push_back({key, "\"" + jsonEscape(value) + "\"", 0});
+    return *this;
+}
+
+std::uint64_t
+RunEvent::uval(const char *key) const
+{
+    for (const Field &f : fields)
+        if (f.key == key)
+            return f.uval;
+    return 0;
+}
+
+} // namespace dtexl

@@ -1,14 +1,17 @@
 #include "telemetry/cli_options.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
+#include "cache/result_key.hh"
 #include "common/config.hh"
 #include "common/fault_inject.hh"
 #include "common/log.hh"
 #include "common/sim_error.hh"
 #include "common/trace.hh"
+#include "obs/event_bus.hh"
 #include "telemetry/export.hh"
 
 namespace dtexl {
@@ -106,6 +109,22 @@ CommonCliOptions::tryParse(const std::string &arg)
         resumeFlag = true;
         return true;
     }
+    if (arg.rfind("--events=", 0) == 0) {
+        eventsPath = arg.substr(9);
+        if (eventsPath.empty())
+            fatal("--events needs a file path");
+        EventBus::global().enable(eventsPath);
+        return true;
+    }
+    if (arg == "--progress") {
+        progressFlag = true;
+        EventBus::global().enableProgress();
+        return true;
+    }
+    if (arg == "--version") {
+        std::printf("%s\n", buildVersionString().c_str());
+        std::exit(kExitSuccess);
+    }
     if (arg.rfind("--inject-fault=", 0) == 0) {
         // SITE or SITE:COUNT. faultSiteFromString() throws a user
         // error listing the legal site names on junk.
@@ -141,6 +160,18 @@ CommonCliOptions::rejectUnknown(const std::string &arg,
 }
 
 void
+CommonCliOptions::noteInvocation(int argc, char *const *argv)
+{
+    std::string joined;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0)
+            joined += ' ';
+        joined += argv[i];
+    }
+    EventBus::global().setInvocation(std::move(joined));
+}
+
+void
 CommonCliOptions::applyThreadKnobs(GpuConfig &cfg) const
 {
     // Arm the result cache here, not at parse time: --cache may appear
@@ -149,6 +180,15 @@ CommonCliOptions::applyThreadKnobs(GpuConfig &cfg) const
     // knobs once per variant).
     ResultCache::global().configure(cacheDir, cacheMode,
                                     checkpointEvery, resumeFlag);
+
+    // Open the ledger: run_start carries the config digest, which
+    // deliberately excludes the host-execution knobs below, so the
+    // same sweep hashes identically for any --jobs/--geom-threads/
+    // --raster-threads. First call wins (the bench harness applies
+    // the knobs once per config variant).
+    if (EventBus::armed())
+        EventBus::global().emitRunStart(hashConfig(cfg),
+                                        buildFingerprint());
 
     if (geomThreads != kGeomThreadsUnset)
         cfg.geomThreads = geomThreads;
@@ -227,6 +267,15 @@ CommonCliOptions::helpText()
         "checkpoints\n"
         "                      (bit-identical to an uninterrupted "
         "run)\n"
+        "  --events=FILE       append-only JSONL run-event ledger "
+        "(schema\n"
+        "                      dtexl-events-v1; validate/summarize "
+        "with\n"
+        "                      scripts/run_report.py)\n"
+        "  --progress          live progress line on stderr (jobs, "
+        "frames,\n"
+        "                      frames/s, ETA, cache hits)\n"
+        "  --version           print the build fingerprint and exit\n"
         "  --inject-fault=SITE[:N]\n"
         "                      arm a fault-injection site for its next "
         "N hook\n"

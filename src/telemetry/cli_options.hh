@@ -60,6 +60,10 @@ struct CommonCliOptions
     std::uint32_t checkpointEvery = 0;
     /** --resume: resume interrupted jobs from their checkpoints. */
     bool resumeFlag = false;
+    /** --events=FILE: JSONL run-event ledger (dtexl-events-v1). */
+    std::string eventsPath;
+    /** --progress: live jobs/frames/ETA line on stderr. */
+    bool progressFlag = false;
 
     /**
      * Consume @p arg if it is one of the shared flags (returns true);
@@ -72,6 +76,14 @@ struct CommonCliOptions
      * applied by applyThreadKnobs() so flag order never matters.
      */
     bool tryParse(const std::string &arg);
+
+    /**
+     * Record the process invocation (joined argv) for the ledger's
+     * run_start event. Every driver calls this before its arg loop;
+     * free-standing (no EventBus arming) so it is safe whether or not
+     * --events ends up on the command line.
+     */
+    static void noteInvocation(int argc, char *const *argv);
 
     /**
      * Throw the canonical unknown-argument SimError{UserInput} for

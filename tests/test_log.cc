@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for common/log.hh: vformat edge cases, quiet-mode suppression
+ * of warn()/inform() (fatal/panic are NEVER suppressed — they throw),
+ * the ScopedLogJobLabel prefix with nesting, and the no-interleave
+ * guarantee for concurrent emitters sharing logStreamMutex().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/sim_error.hh"
+
+namespace dtexl {
+namespace {
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        setLogQuiet(false);
+    }
+};
+
+TEST_F(LogTest, VformatBasics)
+{
+    EXPECT_EQ(format(""), "");
+    EXPECT_EQ(format("plain"), "plain");
+    EXPECT_EQ(format("%d + %d = %d", 2, 2, 4), "2 + 2 = 4");
+    EXPECT_EQ(format("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(format("100%%"), "100%");
+    EXPECT_EQ(format("%5.2f", 3.14159), " 3.14");
+}
+
+TEST_F(LogTest, VformatLongStringsDoNotTruncate)
+{
+    // Way past any plausible stack buffer: the two-pass vsnprintf
+    // sizing must return the full string.
+    const std::string big(64 * 1024, 'x');
+    const std::string out = format("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+    EXPECT_EQ(out.substr(1, big.size()), big);
+}
+
+TEST_F(LogTest, VformatEmbeddedResultCharacters)
+{
+    EXPECT_EQ(format("a%cb", '\n'), "a\nb");
+    EXPECT_EQ(format("tab\tend"), "tab\tend");
+}
+
+TEST_F(LogTest, QuietSuppressesWarnAndInform)
+{
+    setLogQuiet(true);
+    ::testing::internal::CaptureStderr();
+    warn("you should not see this");
+    inform("nor this");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+
+    setLogQuiet(false);
+    ::testing::internal::CaptureStderr();
+    warn("now visible %d", 1);
+    inform("also visible");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: now visible 1\n"), std::string::npos);
+    EXPECT_NE(err.find("info: also visible\n"), std::string::npos);
+}
+
+TEST_F(LogTest, FatalAndPanicThrowEvenWhenQuiet)
+{
+    setLogQuiet(true);
+    try {
+        fatal("bad flag %s", "--x");
+        FAIL() << "fatal returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::UserInput);
+        EXPECT_STREQ(e.what(), "bad flag --x");
+    }
+    try {
+        panic("impossible state %d", 7);
+        FAIL() << "panic returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Internal);
+        EXPECT_STREQ(e.what(), "impossible state 7");
+    }
+}
+
+TEST_F(LogTest, AssertCarriesConditionAndLocation)
+{
+    try {
+        dtexl_assert(1 == 2, "count was %d", 5);
+        FAIL() << "assert passed";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Internal);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("count was 5"), std::string::npos);
+        EXPECT_NE(e.context().find("test_log.cc"), std::string::npos);
+    }
+}
+
+TEST_F(LogTest, JobLabelPrefixesAndNests)
+{
+    ::testing::internal::CaptureStderr();
+    warn("before");
+    {
+        ScopedLogJobLabel outer("GTr");
+        warn("outer");
+        {
+            ScopedLogJobLabel inner("GTr/frame2");
+            inform("inner");
+        }
+        warn("outer again");
+    }
+    warn("after");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: before\n"), std::string::npos);
+    EXPECT_NE(err.find("warn: [GTr] outer\n"), std::string::npos);
+    EXPECT_NE(err.find("info: [GTr/frame2] inner\n"),
+              std::string::npos);
+    EXPECT_NE(err.find("warn: [GTr] outer again\n"), std::string::npos);
+    EXPECT_NE(err.find("warn: after\n"), std::string::npos);
+}
+
+TEST_F(LogTest, LabelIsPerThread)
+{
+    ScopedLogJobLabel label("main-thread");
+    std::string other;
+    std::thread t([&] {
+        ::testing::internal::CaptureStderr();
+        warn("from worker");
+        other = ::testing::internal::GetCapturedStderr();
+    });
+    t.join();
+    // The worker thread never installed a label; main's must not leak.
+    EXPECT_EQ(other, "warn: from worker\n");
+}
+
+TEST_F(LogTest, ConcurrentWarnsNeverInterleave)
+{
+    constexpr int kThreads = 8;
+    constexpr int kLines = 50;
+    ::testing::internal::CaptureStderr();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            ScopedLogJobLabel label("job" + std::to_string(t));
+            for (int i = 0; i < kLines; ++i)
+                warn("thread %d line %d payload "
+                     "----------------------------------------", t, i);
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    const std::string err = ::testing::internal::GetCapturedStderr();
+
+    // Every captured line must be one complete, well-formed message:
+    // any mid-line interleaving would break the prefix or the payload.
+    std::istringstream in(err);
+    std::string line;
+    int count = 0;
+    while (std::getline(in, line)) {
+        ++count;
+        EXPECT_EQ(line.rfind("warn: [job", 0), 0u) << line;
+        EXPECT_NE(line.find("] thread "), std::string::npos) << line;
+        EXPECT_NE(line.find("payload "
+                            "----------------------------------------"),
+                  std::string::npos)
+            << line;
+    }
+    EXPECT_EQ(count, kThreads * kLines);
+}
+
+} // namespace
+} // namespace dtexl
