@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the SIMD lane kernels: each
+ * vectorized hot path runs against its scalar twin so the speedup the
+ * lane layer buys is measured directly (scripts/run_perf.py gates on
+ * the geometric mean of the lanes/scalar pairs). The pairs compute
+ * bit-identical results — tests/test_simd.cc enforces that; this file
+ * only times them.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serial.hh"
+#include "raster/quad_stream.hh"
+#include "raster/rasterizer.hh"
+#include "sfc/tile_order.hh"
+#include "texture/sampler.hh"
+#include "texture/texture.hh"
+
+namespace {
+
+using namespace dtexl;
+
+// ---------------------------------------------------------------------
+// Rasterizer: edge coverage + attribute interpolation
+// ---------------------------------------------------------------------
+
+Primitive
+tileTriangle()
+{
+    Primitive p;
+    p.v[0].screen = {1.0f, 1.0f};
+    p.v[1].screen = {31.0f, 2.0f};
+    p.v[2].screen = {4.0f, 30.0f};
+    p.v[0].uv = {0.0f, 0.0f};
+    p.v[1].uv = {0.1f, 0.0f};
+    p.v[2].uv = {0.0f, 0.1f};
+    p.v[0].depth = 0.2f;
+    p.v[1].depth = 0.4f;
+    p.v[2].depth = 0.9f;
+    return p;
+}
+
+void
+BM_Rasterize(benchmark::State &state, SimdMode mode)
+{
+    GpuConfig cfg;
+    cfg.simdMode = mode;
+    Rasterizer rast(cfg);
+    const Primitive prim = tileTriangle();
+    std::vector<Quad> quads;
+    for (auto _ : state) {
+        quads.clear();
+        benchmark::DoNotOptimize(rast.rasterize(prim, {0, 0}, quads));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * quads.size()));
+}
+BENCHMARK_CAPTURE(BM_Rasterize, scalar, SimdMode::Scalar);
+BENCHMARK_CAPTURE(BM_Rasterize, lanes, SimdMode::Auto);
+
+// ---------------------------------------------------------------------
+// Batched LOD (QuadStream::lod4 vs lod)
+// ---------------------------------------------------------------------
+
+QuadStream
+lodStream(const Primitive *prim)
+{
+    QuadStream qs;
+    std::uint64_t rng = 0x243f6a8885a308d3ull;
+    auto uniform = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return static_cast<float>(rng >> 40) /
+               static_cast<float>(1u << 24);
+    };
+    // 128 primitives x 32 quads. Affine texture mapping makes uv
+    // derivatives constant across a primitive, so a real batch is runs
+    // of quads with identical rho; sizing d so rho lands in [0.5, 2.0]
+    // at side 256 mixes magnified runs (lod == 0) and minified runs
+    // (scalar log2 tail) like mipmapped content does. Uniform-random
+    // per-quad derivatives would instead take the log2 tail almost
+    // every group, which is scalar in both implementations.
+    for (int p = 0; p < 128; ++p) {
+        const float d = (0.5f + 1.5f * uniform()) / 256.0f;
+        for (int i = 0; i < 32; ++i) {
+            const Vec2f base{uniform(), uniform()};
+            std::array<Fragment, 4> frags;
+            for (int k = 0; k < 4; ++k)
+                frags[k].uv =
+                    Vec2f{base.x + d * static_cast<float>(k % 2),
+                          base.y + d * static_cast<float>(k / 2)};
+            qs.push(prim, Coord2{0, 0}, 0xF, frags);
+        }
+    }
+    return qs;
+}
+
+void
+BM_LodBatch(benchmark::State &state, SimdMode mode)
+{
+    const Primitive prim = tileTriangle();
+    const QuadStream qs = lodStream(&prim);
+    const auto n = static_cast<std::uint32_t>(qs.size());
+    for (auto _ : state) {
+        float acc = 0.0f;
+        if (mode == SimdMode::Auto) {
+            std::uint32_t idx[4];
+            const std::uint32_t side[4] = {256, 256, 256, 256};
+            float out[4];
+            for (std::uint32_t i = 0; i + 4 <= n; i += 4) {
+                for (int j = 0; j < 4; ++j)
+                    idx[j] = i + static_cast<std::uint32_t>(j);
+                qs.lod4(idx, side, out);
+                acc += out[0] + out[1] + out[2] + out[3];
+            }
+        } else {
+            for (std::uint32_t i = 0; i < n; ++i)
+                acc += qs.lod(i, 256);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK_CAPTURE(BM_LodBatch, scalar, SimdMode::Scalar);
+BENCHMARK_CAPTURE(BM_LodBatch, lanes, SimdMode::Auto);
+
+// ---------------------------------------------------------------------
+// Texel footprints (quadSampleFootprints vs 4x sampleFootprint)
+// ---------------------------------------------------------------------
+
+void
+BM_Footprints(benchmark::State &state, SimdMode mode, FilterMode filter)
+{
+    const TextureDesc tex(0, 0, 256);
+    std::vector<Vec2f> uv(4 * 1024);
+    std::uint64_t rng = 0x13198a2e03707344ull;
+    for (auto &p : uv) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        p = Vec2f{static_cast<float>(rng >> 40) /
+                      static_cast<float>(1u << 24),
+                  static_cast<float>((rng << 8) >> 40) /
+                      static_cast<float>(1u << 24)};
+    }
+    SampleFootprint fp[4];
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        for (std::size_t q = 0; q < uv.size(); q += 4) {
+            if (mode == SimdMode::Auto) {
+                quadSampleFootprints(tex, filter, &uv[q], 0.4f, fp);
+                for (int k = 0; k < 4; ++k)
+                    acc += fp[k].texels[0];
+            } else {
+                for (int k = 0; k < 4; ++k) {
+                    fp[k] = sampleFootprint(tex, filter, uv[q + k].x,
+                                            uv[q + k].y, 0.4f);
+                    acc += fp[k].texels[0];
+                }
+            }
+            for (auto &f : fp)
+                f.count = 0;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * uv.size()));
+}
+BENCHMARK_CAPTURE(BM_Footprints, bilinear_scalar, SimdMode::Scalar,
+                  FilterMode::Bilinear);
+BENCHMARK_CAPTURE(BM_Footprints, bilinear_lanes, SimdMode::Auto,
+                  FilterMode::Bilinear);
+BENCHMARK_CAPTURE(BM_Footprints, trilinear_scalar, SimdMode::Scalar,
+                  FilterMode::Trilinear);
+BENCHMARK_CAPTURE(BM_Footprints, trilinear_lanes, SimdMode::Auto,
+                  FilterMode::Trilinear);
+
+// ---------------------------------------------------------------------
+// Tile traversals (Morton decode / Hilbert table, 4 cells per lane op)
+// ---------------------------------------------------------------------
+
+void
+BM_TileOrder(benchmark::State &state, TileOrder order, SimdMode mode)
+{
+    // The full-screen grid of the paper's Table II machine (62x24).
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(makeTileOrder(order, 62, 24, mode));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 62 * 24));
+}
+BENCHMARK_CAPTURE(BM_TileOrder, zorder_scalar, TileOrder::ZOrder,
+                  SimdMode::Scalar);
+BENCHMARK_CAPTURE(BM_TileOrder, zorder_lanes, TileOrder::ZOrder,
+                  SimdMode::Auto);
+BENCHMARK_CAPTURE(BM_TileOrder, hilbert_scalar, TileOrder::RectHilbert,
+                  SimdMode::Scalar);
+BENCHMARK_CAPTURE(BM_TileOrder, hilbert_lanes, TileOrder::RectHilbert,
+                  SimdMode::Auto);
+
+// ---------------------------------------------------------------------
+// Artifact checksum: striped FNV (parallel chains) vs the serial digest
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+checksumBuffer()
+{
+    std::vector<std::uint8_t> buf(1 << 20);
+    std::uint64_t rng = 0xa4093822299f31d0ull;
+    for (auto &b : buf) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        b = static_cast<std::uint8_t>(rng);
+    }
+    return buf;
+}
+
+/** The old serial checksum the striped digest replaced (baseline). */
+void
+BM_ChecksumSerial(benchmark::State &state)
+{
+    const std::vector<std::uint8_t> buf = checksumBuffer();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fnv1a64(buf));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * buf.size()));
+}
+BENCHMARK(BM_ChecksumSerial);
+
+/**
+ * The striped 4-chain digest that replaced it. The chains break the
+ * serial digest's multiply-latency dependency; they run as unrolled
+ * scalar code on purpose — a U64x4 lane loop measured slower on every
+ * backend, AVX2 included (the FNV recurrence is latency-bound and the
+ * emulated 64-bit lane multiply has ~3x the chain latency of four
+ * pipelined imuls).
+ */
+void
+BM_ChecksumStriped(benchmark::State &state)
+{
+    const std::vector<std::uint8_t> buf = checksumBuffer();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fnv1a64Striped(buf));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * buf.size()));
+}
+BENCHMARK(BM_ChecksumStriped);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -79,9 +79,12 @@ REQUIRED = {
 JOB_SCOPED = EVENTS - {"run_start", "run_end"}
 
 # Stripped by --canon: host-execution artifacts that legitimately vary
-# between runs of the same sweep.
+# between runs of the same sweep. "simd" is stripped for the same
+# reason it is excluded from the result-cache config digest: the lane
+# kernels are bit-exact, so --simd=auto and --simd=scalar ledgers of
+# one sweep must canon-compare equal.
 VOLATILE = {"seq", "ts_ms", "t_ms", "wall_ms", "worker"}
-VOLATILE_RUN_START = {"args", "pid", "host", "nproc"}
+VOLATILE_RUN_START = {"args", "pid", "host", "nproc", "simd"}
 
 errors = []
 
@@ -186,6 +189,7 @@ def summarize(path, events, top):
     if run_start:
         print(f"  build  {run_start.get('build')}   "
               f"config {run_start.get('config')}")
+        print(f"  simd   {run_start.get('simd', '?')}")
         print(f"  args   {run_start.get('args')}")
 
     jobs = {}  # label -> dict

@@ -38,7 +38,7 @@ writeCheckpointFile(const std::string &path, const CheckpointBlob &blob)
     file.u64(blob.payload.size());
     for (std::uint8_t b : blob.payload)
         file.u8(b);
-    file.u64(fnv1a64(blob.payload));
+    file.u64(fnv1a64Striped(blob.payload));
 
     try {
         atomicWriteFile(path, file.data());
@@ -80,7 +80,7 @@ readCheckpointFile(const std::string &path, const ResultKey &expectedKey)
         blob.payload.resize(static_cast<std::size_t>(payload_size));
         for (std::uint8_t &b : blob.payload)
             b = r.u8();
-        if (r.u64() != fnv1a64(blob.payload))
+        if (r.u64() != fnv1a64Striped(blob.payload))
             throwIoError("payload checksum mismatch");
         return blob;
     } catch (const SimError &e) {

@@ -4,6 +4,7 @@
 
 #include "common/config.hh"
 #include "common/serial.hh"
+#include "common/simd.hh"
 #include "geom/scene.hh"
 
 namespace dtexl {
@@ -78,7 +79,7 @@ hashConfig(const GpuConfig &cfg)
     h.u32(143); h.u32(cfg.dram.rowMissLatency);
     h.u32(144); h.u32(cfg.dram.bytesPerCycle);
     // Excluded host-execution knobs (see result_key.hh): simFastPath,
-    // geomThreads, rasterThreads, watchdogCycles, *.fastPath.
+    // geomThreads, rasterThreads, simdMode, watchdogCycles, *.fastPath.
     return h.value();
 }
 
@@ -142,14 +143,14 @@ buildVersionString()
     char line[256];
     std::snprintf(line, sizeof(line),
                   "dtexl result-format v%u, compiler %s, built %s, "
-                  "fingerprint %016llx",
+                  "simd %s, fingerprint %016llx",
                   kResultFormatVersion,
 #ifdef __VERSION__
                   __VERSION__,
 #else
                   "unknown",
 #endif
-                  __DATE__ " " __TIME__,
+                  __DATE__ " " __TIME__, simdBackendName(),
                   static_cast<unsigned long long>(buildFingerprint()));
     return line;
 }

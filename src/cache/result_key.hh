@@ -50,6 +50,7 @@ struct ResultKey
  *       (tests/test_fastpath_equiv.cc),
  *   geomThreads (tests/test_parallel_geom.cc),
  *   rasterThreads (tests/test_raster_domains.cc),
+ *   simdMode (tests/test_simd.cc),
  *   watchdogCycles (a hang guard; never changes a completed result).
  *
  * Adding a field to GpuConfig must update this function;
@@ -73,8 +74,10 @@ std::uint64_t buildFingerprint();
 /**
  * On-disk serialization format version; part of buildFingerprint().
  * Bump when the entry/checkpoint payload layout changes.
+ * v2: artifact payload checksums switched from serial FNV-1a to the
+ * 4-stream striped digest (common/serial.hh fnv1a64Striped).
  */
-inline constexpr std::uint32_t kResultFormatVersion = 1;
+inline constexpr std::uint32_t kResultFormatVersion = 2;
 
 /**
  * Human-readable build identity for --version and bug reports: the

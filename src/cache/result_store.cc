@@ -273,8 +273,8 @@ ResultStore::lookup(const ResultKey &key) const
             throwIoError("payload size disagrees with file size");
         const std::size_t payload_at = bytes.size() - r.remaining();
         const std::uint64_t want_sum =
-            fnv1a64(bytes.data() + payload_at,
-                    static_cast<std::size_t>(payload_size));
+            fnv1a64Striped(bytes.data() + payload_at,
+                           static_cast<std::size_t>(payload_size));
         ByteReader payload(bytes.data() + payload_at,
                            static_cast<std::size_t>(payload_size));
         ByteReader tail(bytes.data() + payload_at +
@@ -315,7 +315,7 @@ ResultStore::store(const ResultKey &key,
     file.u64(key.config);
     file.u64(key.build);
     file.u64(payload.size());
-    const std::uint64_t sum = fnv1a64(payload.data());
+    const std::uint64_t sum = fnv1a64Striped(payload.data());
     for (std::uint8_t b : payload.data())
         file.u8(b);
     file.u64(sum);

@@ -247,6 +247,38 @@ subtileAssignmentFromString(const std::string &name)
 }
 
 std::string
+toString(SimdMode m)
+{
+    switch (m) {
+      case SimdMode::Auto:   return "auto";
+      case SimdMode::Scalar: return "scalar";
+    }
+    panic("unknown SimdMode %d", static_cast<int>(m));
+}
+
+SimdMode
+simdModeFromString(const std::string &name)
+{
+    if (name == "auto")
+        return SimdMode::Auto;
+    if (name == "scalar")
+        return SimdMode::Scalar;
+    fatal("unknown simd mode '%s' (auto|scalar)", name.c_str());
+}
+
+SimdMode
+defaultSimdMode()
+{
+    static const SimdMode mode = [] {
+        const char *env = std::getenv("DTEXL_SIMD");
+        if (!env || !*env)
+            return SimdMode::Auto;
+        return simdModeFromString(env);
+    }();
+    return mode;
+}
+
+std::string
 toString(WarpSched w)
 {
     switch (w) {
@@ -335,6 +367,8 @@ applyConfigOption(GpuConfig &cfg, const std::string &key,
         cfg.geomThreads = parseUint(key, value);
     } else if (key == "raster_threads") {
         cfg.rasterThreads = parseUint(key, value);
+    } else if (key == "simd") {
+        cfg.simdMode = simdModeFromString(value);
     } else if (key == "watchdog_cycles") {
         char *end = nullptr;
         const unsigned long long v =

@@ -174,6 +174,20 @@ struct GpuConfig
     std::uint32_t resolvedRasterThreads() const;
 
     /**
+     * Host SIMD dispatch for the vectorized raster/texture kernels
+     * (simulator infrastructure, not modelled hardware; see
+     * common/simd.hh and the SimdMode enum). Auto — the default, or
+     * whatever the DTEXL_SIMD environment variable selects — runs the
+     * lane implementations; Scalar runs the original serial code.
+     * FrameStats, image hashes and every registry counter are
+     * bit-identical either way (tests/test_simd.cc), so like the
+     * thread knobs above this is excluded from the result-cache config
+     * digest. Set with the `simd` key or `--simd=auto|scalar` on the
+     * CLIs.
+     */
+    SimdMode simdMode = defaultSimdMode();
+
+    /**
      * Forward-progress watchdog budget in simulated cycles (simulator
      * infrastructure, not modelled hardware): if the event-driven
      * engine advances its clock by more than this many cycles without
@@ -232,8 +246,8 @@ GpuConfig makeUpperBoundConfig();
  * driver's interface). Supported keys: grouping, order, assignment,
  * decoupled, hiz, warps, fifo, width, height, tile, l1tex_kib,
  * l2_kib, fastpath, telemetry, sample_cycles, geom_threads,
- * raster_threads, watchdog_cycles. Throws SimError{UserInput} on
- * unknown keys or bad values.
+ * raster_threads, watchdog_cycles, simd. Throws SimError{UserInput}
+ * on unknown keys or bad values.
  */
 void applyConfigOption(GpuConfig &cfg, const std::string &key,
                        const std::string &value);

@@ -9,6 +9,7 @@
 #ifndef DTEXL_COMMON_POLICIES_HH
 #define DTEXL_COMMON_POLICIES_HH
 
+#include <cstdint>
 #include <string>
 
 namespace dtexl {
@@ -101,6 +102,33 @@ enum class WarpSched
 };
 
 std::string toString(WarpSched w);
+
+/**
+ * Host SIMD dispatch for the vectorized raster/texture kernels
+ * (simulator infrastructure, not modelled hardware): Auto runs the
+ * lane implementations (common/simd.hh) on the backend compiled into
+ * the build, Scalar runs the original serial code. Results are
+ * bit-identical either way (tests/test_simd.cc); the knob exists for
+ * A/B validation and for measuring the kernel speedups.
+ */
+enum class SimdMode : std::uint8_t
+{
+    Auto,    ///< lane kernels on the compiled backend (default)
+    Scalar,  ///< original serial kernels
+};
+
+std::string toString(SimdMode m);
+
+/** Inverse of toString; fatal() on an unknown name. */
+SimdMode simdModeFromString(const std::string &name);
+
+/**
+ * Process-wide default for GpuConfig::simdMode: SimdMode::Auto unless
+ * the DTEXL_SIMD environment variable says "scalar" (the CI scalar leg
+ * runs the whole test suite that way without touching each test).
+ * Read once; fatal() on an unrecognized value.
+ */
+SimdMode defaultSimdMode();
 
 /** Inverse of toString; fatal() on an unknown name. */
 SubtileAssignment subtileAssignmentFromString(const std::string &name);

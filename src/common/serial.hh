@@ -10,8 +10,14 @@
  *    SimError{Io}, so a truncated artifact can never be silently
  *    misparsed (it is detected, logged and recomputed).
  *  - Fnv1a64: streaming 64-bit FNV-1a over the same little-endian
- *    byte encoding; the digest behind ResultKey and every artifact
- *    checksum.
+ *    byte encoding; the digest behind ResultKey and the scene/config
+ *    hashes.
+ *  - fnv1a64Striped(): 4-stream FNV-1a for whole-buffer artifact
+ *    checksums (result entries, checkpoints). The serial xor-multiply
+ *    chain of plain FNV-1a cannot be lane-parallelized; four
+ *    independent byte-interleaved streams can, and also break the
+ *    chain's data dependency for scalar hosts. Changing the artifact
+ *    checksum is a format change: kResultFormatVersion v2.
  *  - atomicWriteFile(): single-writer commit — write a temp file in
  *    the destination directory, then rename() into place (atomic on
  *    POSIX), mirroring the DroidNet single-writer-commit pattern.
@@ -165,12 +171,31 @@ class Fnv1a64
     std::uint64_t h = kOffsetBasis;
 };
 
-/** FNV-1a of a whole buffer (artifact checksums). */
+/** FNV-1a of a whole buffer. */
 std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t size);
 inline std::uint64_t
 fnv1a64(const std::vector<std::uint8_t> &v)
 {
     return fnv1a64(v.data(), v.size());
+}
+
+/**
+ * Striped 4-stream FNV-1a of a whole buffer (artifact checksums).
+ * Byte i feeds stream (i mod 4); each stream is an independent FNV-1a
+ * chain, and the four stream digests plus the length are folded into
+ * one value with plain FNV-1a. Striping exists to break the serial
+ * digest's one multiply-latency-bound dependency chain into four that
+ * the host pipelines in parallel (~3.7x on the SSE2 reference host,
+ * bench/micro_simd.cc BM_ChecksumSerial vs BM_ChecksumStriped); the
+ * digest itself is a frozen pure function of the bytes. NOT
+ * interchangeable with fnv1a64(): switching a format's checksum
+ * requires a kResultFormatVersion bump.
+ */
+std::uint64_t fnv1a64Striped(const std::uint8_t *data, std::size_t size);
+inline std::uint64_t
+fnv1a64Striped(const std::vector<std::uint8_t> &v)
+{
+    return fnv1a64Striped(v.data(), v.size());
 }
 
 /**

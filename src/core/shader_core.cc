@@ -59,21 +59,41 @@ ShaderCore::sampleQuad(Warp &warp, Cycle cycle)
     const std::uint8_t cov = qs.coverage(qi);
 
     if (!warp.fpValid) {
-        // Per-quad level of detail from the fragment uv derivatives.
         // Footprints depend only on (uv, lod, filter), which are fixed
         // for the warp's lifetime, so resolve them once and replay the
-        // cached line lists on subsequent tex instructions.
-        const float lod = qs.lod(qi, tex.side());
-        for (unsigned k = 0; k < 4; ++k) {
-            warp.fpCount[k] = 0;
-            if (!(cov & (1u << k)))
-                continue;
-            const Vec2f uv = qs.uv(qi, k);
-            const SampleFootprint fp =
-                sampleFootprint(tex, shader.filter, uv.x, uv.y, lod);
-            warp.fpCount[k] = static_cast<std::uint8_t>(
-                footprintLines(fp, cfg.textureCache.lineBytes,
-                               warp.fpLines[k]));
+        // cached line lists on subsequent tex instructions. The level
+        // of detail was already resolved batch-wide (resolveLods).
+        const float lod = warp.lod;
+        if (cfg.simdMode == SimdMode::Auto) {
+            // One fragment per lane; uncovered lanes compute too (their
+            // interpolated uv is as finite as their neighbours') but
+            // only covered results are kept, exactly as the scalar
+            // loop's skip.
+            Vec2f uv4[4];
+            for (unsigned k = 0; k < 4; ++k)
+                uv4[k] = qs.uv(qi, k);
+            SampleFootprint fps[4];
+            quadSampleFootprints(tex, shader.filter, uv4, lod, fps);
+            for (unsigned k = 0; k < 4; ++k) {
+                warp.fpCount[k] = 0;
+                if (!(cov & (1u << k)))
+                    continue;
+                warp.fpCount[k] = static_cast<std::uint8_t>(
+                    footprintLines(fps[k], cfg.textureCache.lineBytes,
+                                   warp.fpLines[k]));
+            }
+        } else {
+            for (unsigned k = 0; k < 4; ++k) {
+                warp.fpCount[k] = 0;
+                if (!(cov & (1u << k)))
+                    continue;
+                const Vec2f uv = qs.uv(qi, k);
+                const SampleFootprint fp = sampleFootprint(
+                    tex, shader.filter, uv.x, uv.y, lod);
+                warp.fpCount[k] = static_cast<std::uint8_t>(
+                    footprintLines(fp, cfg.textureCache.lineBytes,
+                                   warp.fpLines[k]));
+            }
         }
         warp.fpValid = true;
     }
@@ -129,7 +149,55 @@ struct ShaderCore::CoreRun
     Cycle nextIssueAt = 0;
     /** Warp issued last cycle (for the Greedy policy). */
     Warp *lastIssued = nullptr;
+    /** Sampling LOD per batch position; see resolveLods(). */
+    std::vector<float> lods;
     BatchResult res;
+
+    /**
+     * Resolve every quad's sampling level of detail up front, one
+     * value per batch position. Texture-less quads keep 0.0f —
+     * sampleQuad never reads them — so this never touches their
+     * texture binding. Under --simd=auto four textured quads resolve
+     * per lane op (QuadStream::lod4); the scalar path is the original
+     * per-warp expression. Both produce bit-identical levels
+     * (tests/test_simd.cc), so admission, issue and memory traffic
+     * are unchanged by the batching.
+     */
+    void
+    resolveLods()
+    {
+        const std::size_t n = quads->size();
+        lods.assign(n, 0.0f);
+        const Scene &sc = *core->scene;
+        std::vector<std::uint32_t> pos;  // textured batch positions
+        pos.reserve(n);
+        for (std::size_t b = 0; b < n; ++b) {
+            const std::uint32_t qi = (*quads)[b];
+            if (stream->prim(qi)->shader.texSamples > 0)
+                pos.push_back(static_cast<std::uint32_t>(b));
+        }
+        std::size_t b = 0;
+        if (core->cfg.simdMode == SimdMode::Auto) {
+            for (; b + 4 <= pos.size(); b += 4) {
+                std::uint32_t idx[4], side[4];
+                for (int j = 0; j < 4; ++j) {
+                    const std::uint32_t qi = (*quads)[pos[b + j]];
+                    idx[j] = qi;
+                    side[j] =
+                        sc.texture(stream->prim(qi)->texture).side();
+                }
+                float out[4];
+                stream->lod4(idx, side, out);
+                for (int j = 0; j < 4; ++j)
+                    lods[pos[b + j]] = out[j];
+            }
+        }
+        for (; b < pos.size(); ++b) {
+            const std::uint32_t qi = (*quads)[pos[b]];
+            lods[pos[b]] = stream->lod(
+                qi, sc.texture(stream->prim(qi)->texture).side());
+        }
+    }
 
     /**
      * Select the next warp under the core's scheduling policy.
@@ -223,6 +291,7 @@ ShaderCore::admitWarps(CoreRun &run)
                 : sh.aluOps);
         slot->aluLeft =
             sh.texSamples > 0 ? slot->aluPerSegment : slot->aluTail;
+        slot->lod = run.lods[run.nextPending];
         slot->fpValid = false;  // slot reuse: footprint is per-quad
         slot->active = true;
         ++run.activeCount;
@@ -311,6 +380,7 @@ ShaderCore::runBatches(const std::vector<ShaderCore *> &cores,
             run.res.start = std::max(run.gate, run.arrivals->front());
         run.warps.resize(run.core->cfg.maxWarpsPerCore);
         run.nextIssueAt = run.gate;
+        run.resolveLods();
         run.core->admitWarps(run);
     }
 

@@ -131,6 +131,14 @@ class ShaderCore
         bool active = false;
 
         /**
+         * Sampling level of detail, resolved for the whole batch up
+         * front (CoreRun::resolveLods — 4 quads per lane op under
+         * --simd=auto) instead of per warp on its first texture
+         * instruction. 0.0f for texture-less quads (never read).
+         */
+        float lod = 0.0f;
+
+        /**
          * Per-fragment deduplicated texture-line footprint, computed
          * on the warp's first texture instruction and reused by the
          * rest: a warp's uv, lod and filter never change between its

@@ -284,7 +284,8 @@ EventBus::setInvocation(std::string args)
 
 void
 EventBus::emitRunStart(std::uint64_t configDigest,
-                       std::uint64_t buildFingerprint)
+                       std::uint64_t buildFingerprint,
+                       const std::string &simd)
 {
     Impl &im = impl();
     std::string args;
@@ -304,6 +305,7 @@ EventBus::emitRunStart(std::uint64_t configDigest,
     ev.str("args", args)
         .str("config", hex[0])
         .str("build", hex[1])
+        .str("simd", simd)
         .u64("pid", static_cast<std::uint64_t>(::getpid()))
         .u64("nproc", std::thread::hardware_concurrency());
     const char *host = std::getenv("HOSTNAME");

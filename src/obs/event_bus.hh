@@ -80,10 +80,14 @@ class EventBus
      * Emit run_start exactly once per process (first call wins; the
      * bench harness applies CLI knobs once per config variant). The
      * digests come from the caller so obs never depends on the cache
-     * layer that computes them.
+     * layer that computes them. @p simd is the resolved host SIMD
+     * dispatch mode ("auto"/"scalar") — recorded explicitly because
+     * the config digest excludes host-execution knobs, so it cannot
+     * be recovered from the digest (run_report.py prints it).
      */
     void emitRunStart(std::uint64_t configDigest,
-                      std::uint64_t buildFingerprint);
+                      std::uint64_t buildFingerprint,
+                      const std::string &simd);
 
     /** Enqueue one event; no-op when the bus is not armed. */
     void emit(RunEvent ev);

@@ -9,6 +9,7 @@
 #define DTEXL_RASTER_QUAD_HH
 
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
@@ -43,10 +44,8 @@ struct Quad
     std::uint32_t
     coveredCount() const
     {
-        std::uint32_t n = 0;
-        for (unsigned k = 0; k < 4; ++k)
-            n += covered(k) ? 1 : 0;
-        return n;
+        return static_cast<std::uint32_t>(
+            std::popcount(std::uint32_t{coverage}));
     }
 
     /**

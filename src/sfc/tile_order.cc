@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/simd.hh"
 #include "sfc/hilbert.hh"
 #include "sfc/morton.hh"
+#include "sfc/morton_lanes.hh"
 
 namespace dtexl {
 
@@ -44,15 +46,31 @@ sOrder(std::uint32_t tx, std::uint32_t ty)
  * conventional way GPUs walk non-square grids in Morton order.
  */
 std::vector<TileId>
-zOrder(std::uint32_t tx, std::uint32_t ty)
+zOrder(std::uint32_t tx, std::uint32_t ty, SimdMode simd)
 {
     std::uint32_t side = 1;
     while (side < tx || side < ty)
         side *= 2;
     std::vector<TileId> out;
     out.reserve(std::size_t{tx} * ty);
-    for (std::uint64_t code = 0; code < std::uint64_t{side} * side;
-         ++code) {
+    const std::uint64_t total = std::uint64_t{side} * side;
+    std::uint64_t code = 0;
+    if (simd == SimdMode::Auto) {
+        // Decode four consecutive codes per lane op; the in-grid
+        // filter and push stay scalar so the emission order is
+        // untouched.
+        for (; code + 4 <= total; code += 4) {
+            const U64x4 c =
+                makeU64x4(code, code + 1, code + 2, code + 3);
+            std::uint32_t xs[4], ys[4];
+            storeU4(xs, mortonDecodeX4(c));
+            storeU4(ys, mortonDecodeY4(c));
+            for (int j = 0; j < 4; ++j)
+                if (xs[j] < tx && ys[j] < ty)
+                    out.push_back(ys[j] * tx + xs[j]);
+        }
+    }
+    for (; code < total; ++code) {
         std::uint32_t x = mortonDecodeX(code);
         std::uint32_t y = mortonDecodeY(code);
         if (x < tx && y < ty)
@@ -69,21 +87,39 @@ zOrder(std::uint32_t tx, std::uint32_t ty)
  * horizontally so the traversal stays near the sub-frame seam.
  */
 std::vector<TileId>
-rectHilbertOrder(std::uint32_t tx, std::uint32_t ty)
+rectHilbertOrder(std::uint32_t tx, std::uint32_t ty, SimdMode simd)
 {
     const std::uint32_t side = kHilbertSubframeSide;
     const std::uint32_t sfx = divCeil(tx, side);
     const std::uint32_t sfy = divCeil(ty, side);
+    const std::uint32_t total = side * side;
+    // Under --simd=auto, resolve the intra-sub-frame curve once, four
+    // distances per lane op; every sub-frame replays the same local
+    // (lx, ly) sequence, so the per-sub-frame work reduces to the
+    // offset/mirror/filter scalar tail and emission order is
+    // untouched.
+    std::vector<std::uint32_t> lxs(total), lys(total);
+    if (simd == SimdMode::Auto) {
+        std::uint32_t d = 0;
+        for (; d + 4 <= total; d += 4) {
+            const std::uint32_t ds[4] = {d, d + 1, d + 2, d + 3};
+            hilbertD2XY4(side, ds, &lxs[d], &lys[d]);
+        }
+        for (; d < total; ++d)
+            hilbertD2XY(side, d, lxs[d], lys[d]);
+    } else {
+        for (std::uint32_t d = 0; d < total; ++d)
+            hilbertD2XY(side, d, lxs[d], lys[d]);
+    }
     std::vector<TileId> out;
     out.reserve(std::size_t{tx} * ty);
     for (std::uint32_t sy = 0; sy < sfy; ++sy) {
         bool reverse_row = (sy % 2 == 1);
         for (std::uint32_t i = 0; i < sfx; ++i) {
             std::uint32_t sx = reverse_row ? sfx - 1 - i : i;
-            for (std::uint64_t d = 0; d < std::uint64_t{side} * side;
-                 ++d) {
-                std::uint32_t lx, ly;
-                hilbertD2XY(side, d, lx, ly);
+            for (std::uint32_t d = 0; d < total; ++d) {
+                std::uint32_t lx = lxs[d];
+                std::uint32_t ly = lys[d];
                 if (reverse_row)
                     lx = side - 1 - lx;
                 std::uint32_t x = sx * side + lx;
@@ -99,7 +135,8 @@ rectHilbertOrder(std::uint32_t tx, std::uint32_t ty)
 } // namespace
 
 std::vector<TileId>
-makeTileOrder(TileOrder order, std::uint32_t tiles_x, std::uint32_t tiles_y)
+makeTileOrder(TileOrder order, std::uint32_t tiles_x, std::uint32_t tiles_y,
+              SimdMode simd)
 {
     dtexl_assert(tiles_x > 0 && tiles_y > 0);
     switch (order) {
@@ -108,9 +145,9 @@ makeTileOrder(TileOrder order, std::uint32_t tiles_x, std::uint32_t tiles_y)
       case TileOrder::SOrder:
         return sOrder(tiles_x, tiles_y);
       case TileOrder::ZOrder:
-        return zOrder(tiles_x, tiles_y);
+        return zOrder(tiles_x, tiles_y, simd);
       case TileOrder::RectHilbert:
-        return rectHilbertOrder(tiles_x, tiles_y);
+        return rectHilbertOrder(tiles_x, tiles_y, simd);
     }
     panic("unknown TileOrder %d", static_cast<int>(order));
 }

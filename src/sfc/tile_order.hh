@@ -21,11 +21,16 @@ namespace dtexl {
 /**
  * Build the traversal for the given order over a tilesX x tilesY grid.
  *
+ * @param simd Auto decodes the Z-order and RectHilbert curves four
+ *             cells per lane op (common/simd.hh); Scalar keeps the
+ *             original per-cell loops. The traversal is bit-identical
+ *             either way (tests/test_simd.cc).
  * @return Tile IDs (id = y * tilesX + x) in processing order; every tile
  *         appears exactly once.
  */
 std::vector<TileId> makeTileOrder(TileOrder order, std::uint32_t tiles_x,
-                                  std::uint32_t tiles_y);
+                                  std::uint32_t tiles_y,
+                                  SimdMode simd = SimdMode::Auto);
 
 /** Grid coordinates of a tile ID. */
 inline Coord2

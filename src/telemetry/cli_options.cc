@@ -57,6 +57,12 @@ CommonCliOptions::tryParse(const std::string &arg)
         fastPath = false;
         return true;
     }
+    if (arg.rfind("--simd=", 0) == 0) {
+        // simdModeFromString() rejects junk with the legal values.
+        simdMode = static_cast<std::uint32_t>(
+            simdModeFromString(arg.substr(7)));
+        return true;
+    }
     if (arg.rfind("--trace=", 0) == 0) {
         tracePath = arg.substr(8);
         if (tracePath.empty())
@@ -181,14 +187,21 @@ CommonCliOptions::applyThreadKnobs(GpuConfig &cfg) const
     ResultCache::global().configure(cacheDir, cacheMode,
                                     checkpointEvery, resumeFlag);
 
+    // Resolve --simd before the ledger opens so run_start records the
+    // dispatch mode the run actually uses (the config digest excludes
+    // it, like every host-execution knob).
+    if (simdMode != kSimdUnset)
+        cfg.simdMode = static_cast<SimdMode>(simdMode);
+
     // Open the ledger: run_start carries the config digest, which
     // deliberately excludes the host-execution knobs below, so the
     // same sweep hashes identically for any --jobs/--geom-threads/
-    // --raster-threads. First call wins (the bench harness applies
-    // the knobs once per config variant).
+    // --raster-threads/--simd. First call wins (the bench harness
+    // applies the knobs once per config variant).
     if (EventBus::armed())
         EventBus::global().emitRunStart(hashConfig(cfg),
-                                        buildFingerprint());
+                                        buildFingerprint(),
+                                        toString(cfg.simdMode));
 
     if (geomThreads != kGeomThreadsUnset)
         cfg.geomThreads = geomThreads;
@@ -250,6 +263,11 @@ CommonCliOptions::helpText()
         "optimizations (A/B\n"
         "                      equivalence check; results are "
         "bit-identical)\n"
+        "  --simd=MODE         auto (default: vectorized kernels on "
+        "the compiled\n"
+        "                      lane backend) or scalar (original "
+        "serial kernels);\n"
+        "                      results are bit-identical\n"
         "  --crash-dir=DIR     directory for watchdog crash reports "
         "(default .)\n"
         "  --cache-dir=DIR     root of the content-addressed result "

@@ -26,6 +26,8 @@ struct CommonCliOptions
     /** --geom-threads/--raster-threads value meaning "not given". */
     static constexpr std::uint32_t kGeomThreadsUnset = ~0u;
     static constexpr std::uint32_t kRasterThreadsUnset = ~0u;
+    /** --simd value meaning "not given" (keep the config default). */
+    static constexpr std::uint32_t kSimdUnset = ~0u;
 
     /** Worker threads for the batch driver (--jobs=N, [1, 256]). */
     unsigned jobs = 1;
@@ -44,6 +46,14 @@ struct CommonCliOptions
     std::uint32_t rasterThreads = kRasterThreadsUnset;
     /** --reference-path clears GpuConfig::simFastPath (A/B checks). */
     bool fastPath = true;
+    /**
+     * --simd=auto|scalar: host SIMD dispatch for the vectorized
+     * kernels (stored as a SimdMode value; kSimdUnset leaves
+     * GpuConfig::simdMode — the DTEXL_SIMD default or a simd
+     * key=value option — alone). Results are bit-identical either
+     * way; see GpuConfig::simdMode.
+     */
+    std::uint32_t simdMode = kSimdUnset;
     /** --trace=FILE: Chrome-trace JSON; enables TraceWriter. */
     std::string tracePath;
     /** --stats-json=FILE: flat StatRegistry dump (dtexl-stats-v1). */

@@ -1,9 +1,12 @@
 #include "texture/sampler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/simd.hh"
+#include "sfc/morton_lanes.hh"
 
 namespace dtexl {
 
@@ -36,6 +39,75 @@ addBilinearTap(const TextureDesc &tex, std::uint32_t level, float u,
         for (int dx = 0; dx < 2; ++dx) {
             fp.add(tex.texelAddr(level, wrap(x0 + dx, side),
                                  wrap(y0 + dy, side)));
+        }
+    }
+}
+
+/**
+ * Lane twin of TextureDesc::texelAddr: four texel addresses per call,
+ * one fragment per lane. Same arithmetic — Morton code times the
+ * format's bytes-per-unit plus the level base — as lane integer ops,
+ * so each lane equals the scalar call exactly.
+ */
+U64x4
+texelAddr4(const TextureDesc &tex, std::uint32_t level, U32x4 x, U32x4 y)
+{
+    const std::uint32_t bs = blockSide(tex.format());
+    const U64x4 base = splatU64x4(tex.mipBase(level));
+    if (bs > 1) {
+        // Compressed: address the block (x/bs, y/bs); each ETC2 block
+        // is 8 bytes. bs is a power of two, so the divides are shifts.
+        const int sh = std::countr_zero(bs);
+        const U64x4 code = mortonEncode4(shrU4(x, sh), shrU4(y, sh));
+        return base + shlU64x4(code, 3);
+    }
+    // Uncompressed bytes/texel (4 for RGBA8, 2 for RGB565) is a power
+    // of two, so the multiply is a lane shift — mulU64x4 is slow on
+    // backends without a native 64-bit lane multiply.
+    const TexelRate r = texelRate(tex.format());
+    return base +
+           shlU64x4(mortonEncode4(x, y), std::countr_zero(r.bytesNum));
+}
+
+/**
+ * Lane twin of addBilinearTap for four fragments sharing a level: the
+ * texel-centre offset runs 4-wide; floor and the float->int conversion
+ * stay scalar per lane (no bit-exact vector floor on the SSE2
+ * baseline). Truncating the int64 texel coordinate to u32 up front is
+ * exact because wrap() keeps only the low bits and u32 lane adds agree
+ * with int64 adds mod 2^32. Taps append to each fragment's footprint
+ * in the same (dy, dx) order as the scalar loop.
+ */
+void
+addBilinearTap4(const TextureDesc &tex, std::uint32_t level, F32x4 u,
+                F32x4 v, SampleFootprint fp[4])
+{
+    const std::uint32_t side = tex.levelSide(level);
+    const F32x4 sv = splatF4(static_cast<float>(side));
+    const F32x4 half = splatF4(0.5f);
+    float xs[4], ys[4];
+    storeF4(xs, u * sv - half);
+    storeF4(ys, v * sv - half);
+    std::uint32_t xi[4], yi[4];
+    for (int k = 0; k < 4; ++k) {
+        xi[k] = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(std::floor(xs[k])));
+        yi[k] = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(std::floor(ys[k])));
+    }
+    const U32x4 mask = splatU4(side - 1);
+    const U32x4 x0 = makeU4(xi[0], xi[1], xi[2], xi[3]);
+    const U32x4 y0 = makeU4(yi[0], yi[1], yi[2], yi[3]);
+    for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+            const U32x4 wx =
+                (x0 + splatU4(static_cast<std::uint32_t>(dx))) & mask;
+            const U32x4 wy =
+                (y0 + splatU4(static_cast<std::uint32_t>(dy))) & mask;
+            Addr a[4];
+            storeU64x4(a, texelAddr4(tex, level, wx, wy));
+            for (int k = 0; k < 4; ++k)
+                fp[k].add(a[k]);
         }
     }
 }
@@ -95,6 +167,67 @@ sampleFootprint(const TextureDesc &tex, FilterMode mode, float u, float v,
       }
     }
     return fp;
+}
+
+void
+quadSampleFootprints(const TextureDesc &tex, FilterMode mode,
+                     const Vec2f uv[4], float lod, SampleFootprint fp[4])
+{
+    float us[4], vs[4];
+    for (int k = 0; k < 4; ++k) {
+        us[k] = uv[k].x;
+        vs[k] = uv[k].y;
+    }
+    const F32x4 u = loadF4(us);
+    const F32x4 v = loadF4(vs);
+    // The level selection is shared by the whole quad (one lod), so it
+    // stays scalar — identical to sampleFootprint.
+    const auto max_level = static_cast<float>(tex.numMipLevels() - 1);
+    const float clamped = std::clamp(lod, 0.0f, max_level);
+    const auto l0 = static_cast<std::uint32_t>(clamped);
+
+    switch (mode) {
+      case FilterMode::Nearest: {
+        const std::uint32_t side = tex.levelSide(l0);
+        float xs[4], ys[4];
+        const F32x4 sv = splatF4(static_cast<float>(side));
+        storeF4(xs, u * sv);
+        storeF4(ys, v * sv);
+        std::uint32_t xi[4], yi[4];
+        for (int k = 0; k < 4; ++k) {
+            xi[k] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(std::floor(xs[k])));
+            yi[k] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(std::floor(ys[k])));
+        }
+        const U32x4 mask = splatU4(side - 1);
+        const U32x4 wx = makeU4(xi[0], xi[1], xi[2], xi[3]) & mask;
+        const U32x4 wy = makeU4(yi[0], yi[1], yi[2], yi[3]) & mask;
+        Addr a[4];
+        storeU64x4(a, texelAddr4(tex, l0, wx, wy));
+        for (int k = 0; k < 4; ++k)
+            fp[k].add(a[k]);
+        break;
+      }
+      case FilterMode::Bilinear:
+        addBilinearTap4(tex, l0, u, v, fp);
+        break;
+      case FilterMode::Trilinear: {
+        addBilinearTap4(tex, l0, u, v, fp);
+        const std::uint32_t l1 =
+            std::min(l0 + 1, tex.numMipLevels() - 1);
+        addBilinearTap4(tex, l1, u, v, fp);
+        break;
+      }
+      case FilterMode::Aniso2x: {
+        const float du =
+            0.5f / static_cast<float>(tex.levelSide(l0));
+        const F32x4 duv = splatF4(du);
+        addBilinearTap4(tex, l0, u - duv, v, fp);
+        addBilinearTap4(tex, l0, u + duv, v, fp);
+        break;
+      }
+    }
 }
 
 std::uint32_t

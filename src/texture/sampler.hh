@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 
+#include "geom/vec.hh"
 #include "texture/texture.hh"
 
 namespace dtexl {
@@ -56,6 +57,20 @@ std::uint32_t texelsPerSample(FilterMode mode);
  */
 SampleFootprint sampleFootprint(const TextureDesc &tex, FilterMode mode,
                                 float u, float v, float lod);
+
+/**
+ * Lane twin of sampleFootprint for the four fragments of one quad,
+ * which share texture, filter and lod: the uv-to-texel arithmetic and
+ * the Morton texel addressing run one fragment per lane
+ * (common/simd.hh), with the float->int conversion scalar per lane.
+ * fp[k] is bit-identical to sampleFootprint(tex, mode, uv[k].x,
+ * uv[k].y, lod) — texels in the same order — for every fragment,
+ * covered or not (tests/test_simd.cc); the caller applies its
+ * coverage mask to the results.
+ */
+void quadSampleFootprints(const TextureDesc &tex, FilterMode mode,
+                          const Vec2f uv[4], float lod,
+                          SampleFootprint fp[4]);
 
 /**
  * Deduplicate a footprint to cache-line granularity.

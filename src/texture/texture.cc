@@ -1,6 +1,7 @@
 #include "texture/texture.hh"
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace dtexl {
 
@@ -19,8 +20,17 @@ TextureDesc::TextureDesc(TextureId id, Addr base_addr, std::uint32_t side,
                          TexFormat fmt)
     : id_(id), base(base_addr), side_(side), fmt(fmt)
 {
-    dtexl_assert(side > 0 && (side & (side - 1)) == 0,
-                 "texture side must be a power of two");
+    // Structured error, not an assert: the sampler's repeat addressing
+    // wraps coordinates with a pow2 mask (texture/sampler.cc wrap(), and
+    // its lane twin), so a non-pow2 side would silently alias texels.
+    // Sides come from scene files, making this user input, not an
+    // internal invariant.
+    if (side == 0 || (side & (side - 1)) != 0)
+        throwUserError("texture %u: side %u is not a power of two "
+                       "(repeat addressing wraps texel coordinates "
+                       "with a pow2 mask, so texture sides must be "
+                       "powers of two)",
+                       id, side);
     Addr a = base_addr;
     for (std::uint32_t s = side; ; s /= 2) {
         mipBases.push_back(a);

@@ -82,6 +82,18 @@ class TextureDesc
         return mipBases[level] + mortonEncode(x, y) * r.bytesNum;
     }
 
+    /**
+     * Byte address of mip level @p level; the batched address
+     * generator (texture/sampler.cc) adds lane-computed Morton offsets
+     * to this base.
+     */
+    Addr
+    mipBase(std::uint32_t level) const
+    {
+        dtexl_assert(level < mipBases.size(), "mip level out of range");
+        return mipBases[level];
+    }
+
     /** Total bytes of the whole mip chain. */
     std::uint64_t totalBytes() const { return total; }
 

@@ -9,7 +9,8 @@ namespace dtexl {
 TileFetcher::TileFetcher(const GpuConfig &cfg, MemHierarchy &mem,
                          const ParamBuffer &pb)
     : cfg(cfg), mem(mem), pb(pb),
-      traversal(makeTileOrder(cfg.tileOrder, cfg.tilesX(), cfg.tilesY()))
+      traversal(makeTileOrder(cfg.tileOrder, cfg.tilesX(), cfg.tilesY(),
+                              cfg.simdMode))
 {}
 
 FetchedTile

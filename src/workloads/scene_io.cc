@@ -290,6 +290,13 @@ loadScene(std::istream &is, const std::string &source)
                 p.parseU32(toks[2], "texture side");
             if (id != i)
                 p.failAt(toks[0], "texture ids must be dense");
+            // Reject at the parse boundary so the error carries the
+            // line number; TextureDesc re-checks for non-scene callers.
+            if (side == 0 || (side & (side - 1)) != 0)
+                p.failAt(toks[2],
+                         "texture side must be a power of two (repeat "
+                         "addressing wraps texel coordinates with a "
+                         "pow2 mask)");
             scene.textures.emplace_back(id, base, side,
                                         formatFromToken(p, toks[3]));
         }

@@ -141,7 +141,7 @@ TEST_F(EventBusTest, LedgerIsWellFormedAndComplete)
 {
     const std::string path = tempPath("complete");
     EventBus::global().enable(path);
-    EventBus::global().emitRunStart(0x1111, 0x2222);
+    EventBus::global().emitRunStart(0x1111, 0x2222, "auto");
 
     const auto scenes = makeScenes();
     const std::vector<BatchResult> results = runSmallBatch(scenes, 2);

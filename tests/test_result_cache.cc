@@ -318,6 +318,11 @@ TEST(ResultKeyTest, HostExecutionKnobsAreExcluded)
     EXPECT_EQ(hashConfig(c), h0) << "rasterThreads";
 
     c = base;
+    c.simdMode = c.simdMode == SimdMode::Auto ? SimdMode::Scalar
+                                              : SimdMode::Auto;
+    EXPECT_EQ(hashConfig(c), h0) << "simdMode";
+
+    c = base;
     c.watchdogCycles = 123;
     EXPECT_EQ(hashConfig(c), h0) << "watchdogCycles";
 }

@@ -106,9 +106,10 @@ expectSceneError(const std::string &text, const std::string &needle,
         EXPECT_EQ(e.kind(), ErrorKind::UserInput) << e.describe();
         EXPECT_NE(e.describe().find(needle), std::string::npos)
             << e.describe();
-        if (!ctx_prefix.empty())
+        if (!ctx_prefix.empty()) {
             EXPECT_EQ(e.context().rfind(ctx_prefix, 0), 0u)
                 << e.context();
+        }
     }
 }
 

@@ -1,0 +1,803 @@
+/**
+ * @file
+ * Scalar-vs-SIMD bit-exactness battery for the portable lane layer
+ * (common/simd.hh) and every kernel built on it: the lane primitives'
+ * scalar semantics (std::max/std::min and ordered-compare behaviour on
+ * NaN and signed zeros), the Morton and Hilbert codecs, the striped
+ * FNV checksum, batched LOD (QuadStream::lod4), batched texel
+ * footprints (quadSampleFootprints), the vectorized rasterizer, and
+ * finally whole-frame equivalence: FrameStats, registry counters and
+ * the image hash must be byte-identical under --simd=auto and
+ * --simd=scalar for every preset, both simulator paths and threaded
+ * shapes. Also holds the pow2-texture-side regression tests (the
+ * repeat-addressing wrap mask assumes it) and the --simd plumbing
+ * tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/serial.hh"
+#include "common/sim_error.hh"
+#include "common/simd.hh"
+#include "core/dtexl.hh"
+#include "raster/rasterizer.hh"
+#include "raster/quad_stream.hh"
+#include "sfc/hilbert.hh"
+#include "sfc/morton.hh"
+#include "sfc/morton_lanes.hh"
+#include "sfc/tile_order.hh"
+#include "telemetry/cli_options.hh"
+#include "texture/sampler.hh"
+#include "texture/texture.hh"
+#include "workloads/scene_io.hh"
+#include "workloads/scenegen.hh"
+
+namespace dtexl {
+namespace {
+
+/** Deterministic xorshift64 for the randomized sweeps. */
+struct Rng
+{
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    std::uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(next()); }
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        const float t = static_cast<float>(next() >> 40) /
+                        static_cast<float>(1u << 24);
+        return lo + (hi - lo) * t;
+    }
+};
+
+/** Bit-pattern float equality: distinguishes -0.0, keeps NaN == NaN. */
+::testing::AssertionResult
+bitEqF(float a, float b)
+{
+    if (std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " (0x" << std::hex << std::bit_cast<std::uint32_t>(a)
+           << ") vs " << b << " (0x" << std::bit_cast<std::uint32_t>(b)
+           << ")";
+}
+
+// ---------------------------------------------------------------------
+// Lane-primitive semantics
+// ---------------------------------------------------------------------
+
+/**
+ * The layer's contract is scalar semantics per lane, which hardware
+ * min/max and unordered compares would silently violate: std::max(a, b)
+ * is (a < b) ? b : a, so max(NaN, x) == NaN but max(x, NaN) == x, and
+ * max(+0, -0) keeps the first operand. Sweep the cases where maxps
+ * differs from std::max.
+ */
+TEST(SimdLanes, MaxMinMatchStdSemantics)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    const float cases[][2] = {
+        {nan, 1.0f},  {1.0f, nan},   {nan, nan},  {+0.0f, -0.0f},
+        {-0.0f, +0.0f}, {1.0f, 2.0f}, {2.0f, 1.0f}, {-inf, inf},
+        {inf, -inf},  {1e-41f, 0.0f}, {-1.0f, -1.0f},
+    };
+    for (const auto &c : cases) {
+        const F32x4 a = splatF4(c[0]);
+        const F32x4 b = splatF4(c[1]);
+        float mx[4], mn[4];
+        storeF4(mx, maxStdF4(a, b));
+        storeF4(mn, minStdF4(a, b));
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_TRUE(bitEqF(mx[i], std::max(c[0], c[1])))
+                << "max(" << c[0] << ", " << c[1] << ")";
+            EXPECT_TRUE(bitEqF(mn[i], std::min(c[0], c[1])))
+                << "min(" << c[0] << ", " << c[1] << ")";
+        }
+    }
+}
+
+TEST(SimdLanes, ComparesAreOrdered)
+{
+    // NaN lanes must produce a false mask from every compare, matching
+    // scalar <, > and == (all false on unordered operands).
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float av[4] = {nan, 1.0f, nan, 0.0f};
+    const float bv[4] = {1.0f, nan, nan, 0.0f};
+    const F32x4 a = loadF4(av);
+    const F32x4 b = loadF4(bv);
+    EXPECT_EQ(moveMask4(cmpLtF4(a, b)), 0);
+    EXPECT_EQ(moveMask4(cmpGtF4(a, b)), 0);
+    EXPECT_EQ(moveMask4(cmpEqF4(a, b)), 0x8);  // only lane 3 (0 == 0)
+}
+
+TEST(SimdLanes, IntToFloatMatchesStaticCast)
+{
+    // Values above 2^24 round; the hardware cvt must round exactly
+    // like static_cast<float> (to nearest even).
+    const std::int32_t cases[] = {0,          1,          -1,
+                                  (1 << 24),  (1 << 24) + 1,
+                                  0x7fffffbf, 0x7fffffc0, -0x7fffffff,
+                                  123456789,  -987654321};
+    for (std::int32_t v : cases) {
+        float out[4];
+        storeF4(out, toF4(splatI4(v)));
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(bitEqF(out[i], static_cast<float>(v))) << v;
+    }
+}
+
+TEST(SimdLanes, SqrtMatchesScalar)
+{
+    Rng rng;
+    for (int iter = 0; iter < 1000; ++iter) {
+        float in[4], out[4];
+        for (int i = 0; i < 4; ++i)
+            in[i] = rng.uniform(0.0f, 1e6f);
+        in[0] = iter == 0 ? 1e-41f : in[0];  // subnormal operand
+        storeF4(out, sqrtF4(loadF4(in)));
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(bitEqF(out[i], std::sqrt(in[i]))) << in[i];
+    }
+}
+
+// ---------------------------------------------------------------------
+// Morton / Hilbert lanes
+// ---------------------------------------------------------------------
+
+TEST(SimdSfc, MortonEncode4MatchesScalar)
+{
+    Rng rng;
+    const std::uint32_t edge[] = {0u, 1u, 0xFFFFu, 0x10000u, 0x55555555u,
+                                  0xAAAAAAAAu, 0xFFFFFFFFu};
+    std::vector<std::uint32_t> xs(edge, edge + 7), ys(edge, edge + 7);
+    for (int i = 0; i < 997; ++i) {
+        xs.push_back(rng.u32());
+        ys.push_back(rng.u32());
+    }
+    for (std::size_t i = 0; i + 4 <= xs.size(); i += 4) {
+        const U32x4 x = makeU4(xs[i], xs[i + 1], xs[i + 2], xs[i + 3]);
+        const U32x4 y = makeU4(ys[i], ys[i + 1], ys[i + 2], ys[i + 3]);
+        std::uint64_t code[4];
+        storeU64x4(code, mortonEncode4(x, y));
+        for (int j = 0; j < 4; ++j)
+            EXPECT_EQ(code[j], mortonEncode(xs[i + j], ys[i + j]))
+                << "x=" << xs[i + j] << " y=" << ys[i + j];
+    }
+}
+
+TEST(SimdSfc, MortonDecode4MatchesScalar)
+{
+    Rng rng;
+    for (int i = 0; i < 256; ++i) {
+        std::uint64_t codes[4];
+        for (int j = 0; j < 4; ++j)
+            codes[j] = rng.next();
+        codes[0] = i == 0 ? 0 : codes[0];
+        codes[1] = i == 0 ? ~0ull : codes[1];
+        const U64x4 c = loadU64x4(codes);
+        std::uint32_t x[4], y[4];
+        storeU4(x, mortonDecodeX4(c));
+        storeU4(y, mortonDecodeY4(c));
+        for (int j = 0; j < 4; ++j) {
+            EXPECT_EQ(x[j], mortonDecodeX(codes[j]));
+            EXPECT_EQ(y[j], mortonDecodeY(codes[j]));
+        }
+    }
+}
+
+TEST(SimdSfc, HilbertD2XY4MatchesScalar)
+{
+    // Full sweep of the traversal's actual grid (8x8 sub-frames), then
+    // a larger grid for depth coverage.
+    for (std::uint32_t side : {2u, 8u, 64u, 256u}) {
+        const std::uint32_t n = side * side;
+        for (std::uint32_t d = 0; d + 4 <= n; d += 4) {
+            const std::uint32_t ds[4] = {d, d + 1, d + 2, d + 3};
+            std::uint32_t x4[4], y4[4];
+            hilbertD2XY4(side, ds, x4, y4);
+            for (int j = 0; j < 4; ++j) {
+                std::uint32_t x, y;
+                hilbertD2XY(side, ds[j], x, y);
+                EXPECT_EQ(x4[j], x) << "side=" << side << " d=" << ds[j];
+                EXPECT_EQ(y4[j], y) << "side=" << side << " d=" << ds[j];
+            }
+            if (side > 8 && d > 64)
+                d += (side * side) / 64 & ~3u;  // sample large grids
+        }
+    }
+}
+
+TEST(SimdSfc, TileOrderIdenticalUnderBothModes)
+{
+    const struct
+    {
+        std::uint32_t x, y;
+    } grids[] = {{1, 1}, {2, 3}, {8, 8}, {13, 7}, {61, 24}, {5, 1},
+                 {1, 9}, {62, 24}};
+    for (TileOrder o : kAllTileOrders) {
+        for (const auto &g : grids) {
+            const std::vector<TileId> lanes =
+                makeTileOrder(o, g.x, g.y, SimdMode::Auto);
+            const std::vector<TileId> scalar =
+                makeTileOrder(o, g.x, g.y, SimdMode::Scalar);
+            EXPECT_EQ(lanes, scalar)
+                << toString(o) << " " << g.x << "x" << g.y;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Striped FNV checksum
+// ---------------------------------------------------------------------
+
+/**
+ * Every tail length 0..3 and the chain crossover points against a
+ * byte-at-a-time reference (h[i % 4] chains, folded with length):
+ * the production unrolled loop must agree at every size.
+ */
+TEST(SimdHash, StripedFnvMatchesReferenceAtEverySize)
+{
+    Rng rng;
+    std::vector<std::uint8_t> buf;
+    auto reference = [](const std::vector<std::uint8_t> &b) {
+        std::uint64_t h[4] = {
+            Fnv1a64::kOffsetBasis, Fnv1a64::kOffsetBasis,
+            Fnv1a64::kOffsetBasis, Fnv1a64::kOffsetBasis};
+        for (std::size_t i = 0; i < b.size(); ++i)
+            h[i % 4] = (h[i % 4] ^ b[i]) * Fnv1a64::kPrime;
+        Fnv1a64 fold;
+        for (std::uint64_t d : h)
+            fold.u64(d);
+        fold.u64(b.size());
+        return fold.value();
+    };
+    for (std::size_t size = 0; size <= 130; ++size) {
+        buf.resize(size);
+        for (auto &b : buf)
+            b = static_cast<std::uint8_t>(rng.next());
+        EXPECT_EQ(fnv1a64Striped(buf), reference(buf))
+            << "size=" << size;
+    }
+    buf.resize(65536);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(fnv1a64Striped(buf), reference(buf));
+}
+
+/**
+ * The layer's 64-bit lane multiply must be exact mod 2^64 on every
+ * backend — the AVX2 backend assembles it from 32x32->64 partial
+ * products, which this cross-checks against scalar multiplication on
+ * carry-heavy operands (FNV constants, all-ones, high bits set).
+ */
+TEST(SimdHash, MulU64x4MatchesScalar)
+{
+    Rng rng;
+    const std::uint64_t specials[] = {
+        0,
+        1,
+        Fnv1a64::kPrime,
+        Fnv1a64::kOffsetBasis,
+        0xFFFFFFFFull,
+        0x100000000ull,
+        ~0ull,
+        0x8000000000000000ull,
+    };
+    std::vector<std::uint64_t> vals(specials, std::end(specials));
+    for (int i = 0; i < 64; ++i)
+        vals.push_back(rng.next());
+    for (std::size_t i = 0; i + 4 <= vals.size(); ++i) {
+        for (std::size_t j = 0; j + 4 <= vals.size(); j += 4) {
+            const U64x4 a = makeU64x4(vals[i], vals[i + 1], vals[i + 2],
+                                      vals[i + 3]);
+            const U64x4 b = makeU64x4(vals[j], vals[j + 1], vals[j + 2],
+                                      vals[j + 3]);
+            std::uint64_t got[4];
+            storeU64x4(got, mulU64x4(a, b));
+            for (int k = 0; k < 4; ++k) {
+                EXPECT_EQ(got[k], vals[i + k] * vals[j + k])
+                    << "i=" << i << " j=" << j << " lane " << k;
+            }
+        }
+    }
+}
+
+/**
+ * Freeze the v2 artifact-checksum format with an implementation the
+ * production code never touches: four byte-interleaved FNV-1a chains,
+ * folded with plain FNV-1a over the four digests and the length. A
+ * change to either side is a silent format break result_store and
+ * checkpoint files would trip over.
+ */
+TEST(SimdHash, StripedFnvFormatIsFrozen)
+{
+    Rng rng;
+    std::vector<std::uint8_t> buf(1037);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    std::uint64_t h[4] = {Fnv1a64::kOffsetBasis, Fnv1a64::kOffsetBasis,
+                          Fnv1a64::kOffsetBasis, Fnv1a64::kOffsetBasis};
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        h[i % 4] = (h[i % 4] ^ buf[i]) * Fnv1a64::kPrime;
+    Fnv1a64 fold;
+    fold.u64(h[0]);
+    fold.u64(h[1]);
+    fold.u64(h[2]);
+    fold.u64(h[3]);
+    fold.u64(buf.size());
+
+    EXPECT_EQ(fnv1a64Striped(buf), fold.value());
+    // Not interchangeable with the serial digest (a mixed-up call site
+    // must fail checksum verification, not silently pass).
+    EXPECT_NE(fnv1a64Striped(buf), fnv1a64(buf));
+}
+
+// ---------------------------------------------------------------------
+// Batched LOD (QuadStream::lod4)
+// ---------------------------------------------------------------------
+
+TEST(SimdLod, LodBatchMatchesScalar)
+{
+    static const Primitive prim;  // lod() never dereferences it
+    QuadStream qs;
+    Rng rng;
+
+    auto pushQuad = [&](Vec2f f0, Vec2f f1, Vec2f f2, Vec2f f3) {
+        std::array<Fragment, 4> frags;
+        frags[0].uv = f0;
+        frags[1].uv = f1;
+        frags[2].uv = f2;
+        frags[3].uv = f3;
+        qs.push(&prim, Coord2{0, 0}, 0xF, frags);
+    };
+
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float sub = 1e-41f;  // subnormal uv derivative
+    // Edge cases first: rho exactly 1.0 (side 64, dudx exactly 1/64 —
+    // sqrt of an exact square — must take the lod == 0 branch in both
+    // implementations), a degenerate zero-derivative quad, subnormal
+    // derivatives, a NaN quad, huge derivatives.
+    pushQuad({0, 0}, {1.0f / 64.0f, 0}, {0, 1.0f / 64.0f},
+             {1.0f / 64.0f, 1.0f / 64.0f});
+    pushQuad({0.25f, 0.5f}, {0.25f, 0.5f}, {0.25f, 0.5f},
+             {0.25f, 0.5f});
+    pushQuad({0, 0}, {sub, 0}, {0, sub}, {sub, sub});
+    pushQuad({nan, 0}, {0, nan}, {1, 1}, {0, 0});
+    pushQuad({0, 0}, {500.0f, 0}, {0, 500.0f}, {500.0f, 500.0f});
+    // Just above/below the rho == 1 threshold.
+    pushQuad({0, 0}, {std::nextafter(1.0f / 64.0f, 1.0f), 0}, {0, 0},
+             {0, 0});
+    pushQuad({0, 0}, {std::nextafter(1.0f / 64.0f, 0.0f), 0}, {0, 0},
+             {0, 0});
+    while (qs.size() < 64) {
+        Vec2f f[4];
+        for (auto &v : f)
+            v = Vec2f{rng.uniform(-4.0f, 4.0f), rng.uniform(-4.0f, 4.0f)};
+        pushQuad(f[0], f[1], f[2], f[3]);
+    }
+
+    const std::uint32_t sides[] = {64, 128, 256, 1024};
+    for (std::uint32_t i = 0; i + 4 <= qs.size(); i += 4) {
+        std::uint32_t idx[4], side[4];
+        for (int j = 0; j < 4; ++j) {
+            idx[j] = i + static_cast<std::uint32_t>(j);
+            side[j] = sides[(i + j) % 4];
+        }
+        float out[4];
+        qs.lod4(idx, side, out);
+        for (int j = 0; j < 4; ++j)
+            EXPECT_TRUE(bitEqF(out[j], qs.lod(idx[j], side[j])))
+                << "quad " << idx[j] << " side " << side[j];
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched texel footprints (quadSampleFootprints)
+// ---------------------------------------------------------------------
+
+void
+expectSameFootprints(const TextureDesc &tex, FilterMode mode,
+                     const Vec2f uv[4], float lod)
+{
+    SampleFootprint fp[4];
+    quadSampleFootprints(tex, mode, uv, lod, fp);
+    for (int k = 0; k < 4; ++k) {
+        const SampleFootprint ref =
+            sampleFootprint(tex, mode, uv[k].x, uv[k].y, lod);
+        ASSERT_EQ(fp[k].count, ref.count)
+            << "fmt=" << toString(tex.format())
+            << " mode=" << static_cast<int>(mode) << " frag=" << k
+            << " uv=(" << uv[k].x << "," << uv[k].y << ") lod=" << lod;
+        for (std::uint32_t t = 0; t < ref.count; ++t)
+            EXPECT_EQ(fp[k].texels[t], ref.texels[t])
+                << "fmt=" << toString(tex.format()) << " frag=" << k
+                << " tap=" << t;
+    }
+}
+
+TEST(SimdFootprint, QuadFootprintsMatchScalar)
+{
+    const TextureDesc textures[] = {
+        TextureDesc(0, 0, 64, TexFormat::RGBA8),
+        TextureDesc(1, 1 << 20, 32, TexFormat::RGB565),
+        TextureDesc(2, 1 << 21, 64, TexFormat::ETC2),
+        TextureDesc(3, 1 << 22, 1, TexFormat::RGBA8),  // 1x1 edge case
+    };
+    const FilterMode modes[] = {FilterMode::Nearest, FilterMode::Bilinear,
+                                FilterMode::Trilinear,
+                                FilterMode::Aniso2x};
+    // LODs: base level, fractional, exact level boundary, beyond the
+    // chain (clamped), and the last level.
+    const float lods[] = {0.0f, 0.37f, 1.0f, 2.6f, 100.0f};
+
+    // Wrap-boundary straddling quads: taps around u=0 and u=1 must
+    // wrap to the far column identically in both implementations, as
+    // must coordinates far outside [0, 1).
+    const Vec2f straddles[][4] = {
+        {{-0.001f, 0.5f}, {0.001f, 0.5f}, {-0.001f, 0.52f},
+         {0.001f, 0.52f}},
+        {{0.999f, 0.0f}, {1.001f, 0.0f}, {0.999f, -0.01f},
+         {1.001f, 0.996f}},
+        {{0.0f, 0.0f}, {1.0f, 1.0f}, {-1.0f, 2.0f}, {0.5f, -2.5f}},
+        // Exactly on texel centres and corners (side 64: centres at
+        // k/64 + 1/128) — the floor(x - 0.5) boundary.
+        {{0.5f, 0.5f}, {0.5f + 1.0f / 128.0f, 0.5f},
+         {0.25f, 0.5f + 1.0f / 128.0f}, {31.0f / 64.0f, 33.0f / 64.0f}},
+    };
+
+    Rng rng;
+    for (const TextureDesc &tex : textures) {
+        for (FilterMode mode : modes) {
+            for (float lod : lods) {
+                for (const auto &uv : straddles)
+                    expectSameFootprints(tex, mode, uv, lod);
+                for (int iter = 0; iter < 25; ++iter) {
+                    Vec2f uv[4];
+                    for (auto &p : uv)
+                        p = Vec2f{rng.uniform(-2.0f, 3.0f),
+                                  rng.uniform(-2.0f, 3.0f)};
+                    expectSameFootprints(tex, mode, uv, lod);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vectorized rasterizer
+// ---------------------------------------------------------------------
+
+Primitive
+makeTri(Rng &rng, float lo, float hi)
+{
+    Primitive p;
+    for (int i = 0; i < 3; ++i) {
+        p.v[i].screen =
+            Vec2f{rng.uniform(lo, hi), rng.uniform(lo, hi)};
+        p.v[i].depth = rng.uniform(0.0f, 1.0f);
+        p.v[i].uv = Vec2f{rng.uniform(-1.0f, 2.0f),
+                          rng.uniform(-1.0f, 2.0f)};
+    }
+    return p;
+}
+
+void
+expectSameQuads(const std::vector<Quad> &a, const std::vector<Quad> &b,
+                int iter)
+{
+    ASSERT_EQ(a.size(), b.size()) << "iter " << iter;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("iter " + std::to_string(iter) + " quad " +
+                     std::to_string(i));
+        EXPECT_EQ(a[i].prim, b[i].prim);
+        EXPECT_EQ(a[i].quadInTile.x, b[i].quadInTile.x);
+        EXPECT_EQ(a[i].quadInTile.y, b[i].quadInTile.y);
+        EXPECT_EQ(a[i].coverage, b[i].coverage);
+        for (int k = 0; k < 4; ++k) {
+            EXPECT_TRUE(
+                bitEqF(a[i].frags[k].depth, b[i].frags[k].depth));
+            EXPECT_TRUE(bitEqF(a[i].frags[k].uv.x, b[i].frags[k].uv.x));
+            EXPECT_TRUE(bitEqF(a[i].frags[k].uv.y, b[i].frags[k].uv.y));
+        }
+    }
+}
+
+TEST(SimdRaster, RasterizerMatchesScalar)
+{
+    GpuConfig lanes_cfg;
+    lanes_cfg.screenWidth = 64;
+    lanes_cfg.screenHeight = 48;
+    lanes_cfg.simdMode = SimdMode::Auto;
+    GpuConfig scalar_cfg = lanes_cfg;
+    scalar_cfg.simdMode = SimdMode::Scalar;
+    const Rasterizer lanes(lanes_cfg);
+    const Rasterizer scalar(scalar_cfg);
+
+    Rng rng;
+    const Coord2 tiles[] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+    for (int iter = 0; iter < 400; ++iter) {
+        // Mix of big overlapping triangles, slivers that barely touch
+        // pixel centres, and off-screen spans (the on_screen clamp).
+        Primitive p = iter % 3 == 0 ? makeTri(rng, -16.0f, 80.0f)
+                                    : makeTri(rng, 0.0f, 64.0f);
+        if (iter % 5 == 0) {
+            // Sliver: collapse towards an edge.
+            p.v[2].screen = Vec2f{
+                p.v[0].screen.x +
+                    0.9f * (p.v[1].screen.x - p.v[0].screen.x) + 0.01f,
+                p.v[0].screen.y +
+                    0.9f * (p.v[1].screen.y - p.v[0].screen.y)};
+        }
+        if (iter % 7 == 0) {
+            // Vertices on pixel centres: edge functions hit exactly
+            // zero and the top-left rule decides coverage.
+            for (int i = 0; i < 3; ++i)
+                p.v[i].screen = Vec2f{
+                    std::floor(p.v[i].screen.x) + 0.5f,
+                    std::floor(p.v[i].screen.y) + 0.5f};
+        }
+        for (const Coord2 &tc : tiles) {
+            std::vector<Quad> qa, qb;
+            const std::size_t na = lanes.rasterize(p, tc, qa);
+            const std::size_t nb = scalar.rasterize(p, tc, qb);
+            EXPECT_EQ(na, nb);
+            expectSameQuads(qa, qb, iter);
+        }
+    }
+
+    // Degenerate triangles: zero area (repeated vertex, collinear).
+    Primitive degen = makeTri(rng, 0.0f, 64.0f);
+    degen.v[1] = degen.v[0];
+    std::vector<Quad> qa, qb;
+    EXPECT_EQ(lanes.rasterize(degen, {0, 0}, qa), 0u);
+    EXPECT_EQ(scalar.rasterize(degen, {0, 0}, qb), 0u);
+    Primitive collinear = makeTri(rng, 0.0f, 64.0f);
+    collinear.v[1].screen = Vec2f{collinear.v[0].screen.x + 8.0f,
+                                  collinear.v[0].screen.y + 4.0f};
+    collinear.v[2].screen = Vec2f{collinear.v[0].screen.x + 16.0f,
+                                  collinear.v[0].screen.y + 8.0f};
+    EXPECT_EQ(lanes.rasterize(collinear, {0, 0}, qa), 0u);
+    EXPECT_EQ(scalar.rasterize(collinear, {0, 0}, qb), 0u);
+}
+
+// ---------------------------------------------------------------------
+// pow2 texture-side guard (the wrap mask's precondition)
+// ---------------------------------------------------------------------
+
+TEST(SimdGuards, TextureRejectsNonPow2Side)
+{
+    for (std::uint32_t side : {0u, 3u, 48u, 100u, 65u}) {
+        try {
+            TextureDesc t(7, 0, side);
+            FAIL() << "side " << side << " accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::UserInput) << e.describe();
+            EXPECT_NE(e.describe().find("power of two"),
+                      std::string::npos)
+                << e.describe();
+        }
+    }
+    // Powers of two stay accepted, including the trivial 1x1.
+    EXPECT_NO_THROW(TextureDesc(8, 0, 1));
+    EXPECT_NO_THROW(TextureDesc(9, 0, 1024));
+}
+
+TEST(SimdGuards, SceneLoaderRejectsNonPow2Side)
+{
+    std::stringstream ss("DTEXL_SCENE v1\n"
+                         "textures 1\n"
+                         "  0 4096 48 RGBA8\n"
+                         "draws 0\n");
+    try {
+        loadScene(ss, "test.dscene");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::UserInput) << e.describe();
+        EXPECT_NE(e.describe().find("power of two"), std::string::npos)
+            << e.describe();
+        EXPECT_EQ(e.context().rfind("test.dscene:3", 0), 0u)
+            << e.context();
+    }
+}
+
+// ---------------------------------------------------------------------
+// --simd plumbing
+// ---------------------------------------------------------------------
+
+TEST(SimdPlumbing, CliAndConfigKeys)
+{
+    CommonCliOptions opts;
+    EXPECT_EQ(opts.simdMode, CommonCliOptions::kSimdUnset);
+    EXPECT_TRUE(opts.tryParse("--simd=scalar"));
+    EXPECT_EQ(opts.simdMode,
+              static_cast<std::uint32_t>(SimdMode::Scalar));
+    EXPECT_TRUE(opts.tryParse("--simd=auto"));
+    EXPECT_EQ(opts.simdMode, static_cast<std::uint32_t>(SimdMode::Auto));
+    EXPECT_FALSE(opts.tryParse("--not-a-flag"));
+
+    GpuConfig cfg;
+    applyConfigOption(cfg, "simd", "scalar");
+    EXPECT_EQ(cfg.simdMode, SimdMode::Scalar);
+    applyConfigOption(cfg, "simd", "auto");
+    EXPECT_EQ(cfg.simdMode, SimdMode::Auto);
+
+    EXPECT_EQ(toString(SimdMode::Auto), "auto");
+    EXPECT_EQ(toString(SimdMode::Scalar), "scalar");
+    EXPECT_EQ(simdModeFromString("auto"), SimdMode::Auto);
+    EXPECT_EQ(simdModeFromString("scalar"), SimdMode::Scalar);
+}
+
+// ---------------------------------------------------------------------
+// Whole-frame equivalence
+// ---------------------------------------------------------------------
+
+GpuConfig
+smallCfg()
+{
+    GpuConfig cfg;
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    return cfg;
+}
+
+/** Every FrameStats field, including the image hash. */
+void
+expectSameStats(const FrameStats &a, const FrameStats &b,
+                const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.geometryCycles, b.geometryCycles);
+    EXPECT_EQ(a.rasterCycles, b.rasterCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_DOUBLE_EQ(a.fps, b.fps);
+    EXPECT_EQ(a.verticesProcessed, b.verticesProcessed);
+    EXPECT_EQ(a.primitivesBinned, b.primitivesBinned);
+    EXPECT_EQ(a.quadsRasterized, b.quadsRasterized);
+    EXPECT_EQ(a.quadsCulledEarlyZ, b.quadsCulledEarlyZ);
+    EXPECT_EQ(a.quadsCulledHiZ, b.quadsCulledHiZ);
+    EXPECT_EQ(a.quadsShaded, b.quadsShaded);
+    EXPECT_EQ(a.fragmentsShaded, b.fragmentsShaded);
+    EXPECT_EQ(a.shaderInstructions, b.shaderInstructions);
+    EXPECT_EQ(a.textureSamples, b.textureSamples);
+    EXPECT_EQ(a.earlyZTests, b.earlyZTests);
+    EXPECT_EQ(a.blendOps, b.blendOps);
+    EXPECT_EQ(a.flushLineWrites, b.flushLineWrites);
+    EXPECT_EQ(a.flushesEliminated, b.flushesEliminated);
+    EXPECT_EQ(a.l1TexAccesses, b.l1TexAccesses);
+    EXPECT_EQ(a.l1TexMisses, b.l1TexMisses);
+    EXPECT_EQ(a.l1VertexAccesses, b.l1VertexAccesses);
+    EXPECT_EQ(a.l1TileAccesses, b.l1TileAccesses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+    EXPECT_EQ(a.quadsPerSc, b.quadsPerSc);
+    EXPECT_EQ(a.barrierIdleCycles, b.barrierIdleCycles);
+    EXPECT_EQ(a.tileTimeDeviation.samples(),
+              b.tileTimeDeviation.samples());
+    EXPECT_EQ(a.tileQuadDeviation.samples(),
+              b.tileQuadDeviation.samples());
+    EXPECT_DOUBLE_EQ(a.textureReplication, b.textureReplication);
+    EXPECT_EQ(a.imageHash, b.imageHash);
+}
+
+/**
+ * Render 3 animated frames of @p alias with --simd=auto and
+ * --simd=scalar; every frame must be bit-exact (same contract as
+ * tests/test_fastpath_equiv.cc, over the SIMD knob instead).
+ */
+void
+autoMatchesScalar(GpuConfig cfg, const std::string &alias)
+{
+    cfg.simdMode = SimdMode::Auto;
+    GpuConfig scalar_cfg = cfg;
+    scalar_cfg.simdMode = SimdMode::Scalar;
+
+    const BenchmarkParams &p = benchmarkByAlias(alias);
+    const Scene f0 = generateScene(p, cfg, 0);
+    const Scene f1 = generateScene(p, cfg, 1);
+    const Scene f2 = generateScene(p, cfg, 2);
+
+    GpuSimulator lanes(cfg, f0);
+    GpuSimulator scalar(scalar_cfg, f0);
+
+    const Scene *frames[] = {&f0, &f1, &f2};
+    for (int f = 0; f < 3; ++f) {
+        lanes.setScene(*frames[f]);
+        scalar.setScene(*frames[f]);
+        const FrameStats a = lanes.renderFrame();
+        const FrameStats b = scalar.renderFrame();
+        expectSameStats(a, b, alias + " frame " + std::to_string(f));
+    }
+}
+
+TEST(SimdEquiv, Baseline)
+{
+    autoMatchesScalar(smallCfg(), "SWa");
+}
+
+TEST(SimdEquiv, DTexLPreset)
+{
+    // RectHilbert tile order, CG grouping, decoupled barriers: covers
+    // the lane Hilbert traversal in a full frame.
+    GpuConfig cfg = makeDTexLConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    autoMatchesScalar(cfg, "GTr");
+}
+
+TEST(SimdEquiv, UpperBoundPreset)
+{
+    GpuConfig cfg = makeUpperBoundConfig();
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    autoMatchesScalar(cfg, "SoD");
+}
+
+TEST(SimdEquiv, ReferenceSimulatorPath)
+{
+    // The SIMD knob must be independent of the simFastPath knob: the
+    // reference simulator path runs the same lane kernels.
+    GpuConfig cfg = smallCfg();
+    cfg.simFastPath = false;
+    autoMatchesScalar(cfg, "CCS");
+}
+
+TEST(SimdEquiv, ThreadedFrontAndBackEnd)
+{
+    // Lane kernels run inside geometry workers and raster domains; the
+    // equivalence must survive both thread shapes at once.
+    GpuConfig cfg = smallCfg();
+    cfg.geomThreads = 2;
+    cfg.rasterThreads = 2;
+    autoMatchesScalar(cfg, "Mze");
+}
+
+TEST(SimdEquiv, StatRegistryBitExact)
+{
+    GpuConfig cfg = smallCfg();
+    cfg.simdMode = SimdMode::Auto;
+    GpuConfig scalar_cfg = cfg;
+    scalar_cfg.simdMode = SimdMode::Scalar;
+    const Scene scene = generateScene(benchmarkByAlias("SoD"), cfg, 0);
+
+    StatRegistry lanes_reg("lanes"), scalar_reg("scalar");
+    GpuSimulator lanes(cfg, scene);
+    GpuSimulator scalar(scalar_cfg, scene);
+    lanes.setStatRegistry(&lanes_reg, "engine");
+    scalar.setStatRegistry(&scalar_reg, "engine");
+    (void)lanes.renderFrame();
+    (void)scalar.renderFrame();
+
+    ASSERT_EQ(lanes_reg.paths(), scalar_reg.paths());
+    for (const std::string &path : lanes_reg.paths()) {
+        const auto &a = lanes_reg.node(path).counters();
+        const auto &b = scalar_reg.node(path).counters();
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (const auto &[key, value] : a) {
+            if (key == "wall_us")
+                continue;
+            EXPECT_EQ(value, b.at(key)) << path << "." << key;
+        }
+    }
+}
+
+} // namespace
+} // namespace dtexl
