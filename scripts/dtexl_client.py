@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Reference client for the dtexld simulation-service daemon.
+
+Speaks the line-framed JSON protocol over the daemon's Unix-domain
+socket (see DESIGN.md "Service daemon (dtexld)"). One subcommand per
+daemon command, plus conveniences for scripting sweeps:
+
+  ping                      liveness + queue/worker counts
+  submit [--wait]           admit a job; --wait polls until terminal
+  status [--job LABEL]      one job or the whole table
+  cancel --job LABEL        cooperative cancel
+  gc [--age S]              prune stale checkpoint files
+  drain                     graceful drain (in-flight jobs finish)
+  shutdown                  checkpoint-and-stop drain (fast, resumable)
+  subscribe                 stream the event ledger (replay + live)
+  wait-for-ready            poll until the socket answers ping
+
+Sweep usage (EXPERIMENTS.md "Service-mode sweeps"): a shell loop of
+`submit` calls against a long-lived daemon gets admission control for
+free — a full queue answers {"ok":false,"retry_after_ms":N} and this
+client sleeps and retries (bounded), so the sweep self-paces instead
+of overcommitting the host.
+
+Exit codes: 0 ok; 1 daemon reported an error; 2 cannot connect;
+3 --wait saw the job end in a non-done state.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+DEFAULT_SOCKET = "dtexld-state/dtexld.sock"
+
+
+def connect(path):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        s.connect(path)
+    except OSError as e:
+        print(f"dtexl_client: cannot connect to {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    return s
+
+
+def rpc(sock_path, request):
+    """One request/response round trip on a fresh connection."""
+    s = connect(sock_path)
+    try:
+        f = s.makefile("rw", encoding="utf-8", newline="\n")
+        f.write(json.dumps(request) + "\n")
+        f.flush()
+        line = f.readline()
+        if not line:
+            print("dtexl_client: daemon closed the connection",
+                  file=sys.stderr)
+            sys.exit(2)
+        return json.loads(line)
+    finally:
+        s.close()
+
+
+def emit(resp):
+    print(json.dumps(resp, sort_keys=True))
+    return 0 if resp.get("ok") else 1
+
+
+def cmd_submit(args):
+    req = {"cmd": "submit", "frames": args.frames}
+    if args.job:
+        req["job"] = args.job
+    if args.bench:
+        req["bench"] = args.bench
+    if args.scene:
+        req["scene"] = args.scene
+    if args.preset:
+        req["preset"] = args.preset
+    if args.deadline_ms:
+        req["deadline_ms"] = args.deadline_ms
+    if args.retry_max is not None:
+        req["retry_max"] = args.retry_max
+    if args.option:
+        req["options"] = [{"k": k, "v": v} for k, v in
+                          (o.split("=", 1) for o in args.option)]
+
+    # Backpressure-aware admission: honour retry_after_ms a bounded
+    # number of times before giving up.
+    for _ in range(args.admit_retries + 1):
+        resp = rpc(args.socket, req)
+        if resp.get("ok") or "retry_after_ms" not in resp:
+            break
+        time.sleep(resp["retry_after_ms"] / 1000.0)
+    if not resp.get("ok"):
+        return emit(resp)
+    label = resp["job"]
+    if not args.wait:
+        return emit(resp)
+
+    # Poll until the job reaches a terminal state (or stays pending
+    # across a daemon drain, which status reports as queued/running).
+    while True:
+        st = rpc(args.socket, {"cmd": "status", "job": label})
+        if not st.get("ok"):
+            return emit(st)
+        state = st["status"]["state"]
+        if state in ("done", "failed", "cancelled", "expired",
+                     "interrupted"):
+            emit(st)
+            return 0 if state == "done" else 3
+        time.sleep(args.poll_s)
+
+
+def cmd_simple(args):
+    req = {"cmd": args.command}
+    if getattr(args, "job", None):
+        req["job"] = args.job
+    if args.command == "gc":
+        req["age_s"] = args.age
+    return emit(rpc(args.socket, req))
+
+
+def cmd_subscribe(args):
+    s = connect(args.socket)
+    f = s.makefile("rw", encoding="utf-8", newline="\n")
+    f.write(json.dumps({"cmd": "subscribe"}) + "\n")
+    f.flush()
+    seen_end = False
+    try:
+        for line in f:
+            sys.stdout.write(line)
+            sys.stdout.flush()
+            try:
+                if json.loads(line).get("event") == "run_end":
+                    seen_end = True
+                    if args.until_end:
+                        break
+            except json.JSONDecodeError:
+                pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        s.close()
+    return 0 if (seen_end or not args.until_end) else 1
+
+
+def cmd_wait_for_ready(args):
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        try:
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            s.connect(args.socket)
+            f = s.makefile("rw", encoding="utf-8", newline="\n")
+            f.write(json.dumps({"cmd": "ping"}) + "\n")
+            f.flush()
+            line = f.readline()
+            s.close()
+            if line and json.loads(line).get("ok"):
+                print(line.strip())
+                return 0
+        except OSError:
+            pass
+        time.sleep(0.1)
+    print(f"dtexl_client: daemon not ready after {args.timeout}s",
+          file=sys.stderr)
+    return 2
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--socket", default=DEFAULT_SOCKET,
+                    help="daemon socket path "
+                         f"(default: {DEFAULT_SOCKET})")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ping")
+
+    sp = sub.add_parser("submit")
+    sp.add_argument("--job", help="label (default: daemon-assigned)")
+    sp.add_argument("--bench", help="benchmark alias (e.g. SoD)")
+    sp.add_argument("--scene", help=".dscene file instead of a bench")
+    sp.add_argument("--frames", type=int, default=1)
+    sp.add_argument("--preset", choices=["baseline", "dtexl"])
+    sp.add_argument("--deadline-ms", type=float, default=0.0)
+    sp.add_argument("--retry-max", type=int, default=None)
+    sp.add_argument("--option", action="append", metavar="K=V",
+                    help="config override, repeatable")
+    sp.add_argument("--wait", action="store_true",
+                    help="poll until the job is terminal; exit 3 if "
+                         "it ends in any state but done")
+    sp.add_argument("--poll-s", type=float, default=0.2)
+    sp.add_argument("--admit-retries", type=int, default=20,
+                    help="times to honour retry_after_ms on a full "
+                         "queue before giving up")
+
+    st = sub.add_parser("status")
+    st.add_argument("--job")
+
+    cp = sub.add_parser("cancel")
+    cp.add_argument("--job", required=True)
+
+    gp = sub.add_parser("gc")
+    gp.add_argument("--age", type=float, default=0.0,
+                    help="minimum checkpoint age in seconds")
+
+    sub.add_parser("drain")
+    sub.add_parser("shutdown")
+
+    sb = sub.add_parser("subscribe")
+    sb.add_argument("--until-end", action="store_true",
+                    help="exit once run_end streams past")
+
+    wr = sub.add_parser("wait-for-ready")
+    wr.add_argument("--timeout", type=float, default=15.0)
+
+    args = ap.parse_args()
+    if args.command == "submit":
+        sys.exit(cmd_submit(args))
+    if args.command == "subscribe":
+        sys.exit(cmd_subscribe(args))
+    if args.command == "wait-for-ready":
+        sys.exit(cmd_wait_for_ready(args))
+    sys.exit(cmd_simple(args))
+
+
+if __name__ == "__main__":
+    main()

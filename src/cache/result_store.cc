@@ -1,10 +1,13 @@
 #include "cache/result_store.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "common/fault_inject.hh"
 #include "common/log.hh"
+#include "common/retry.hh"
 #include "common/sim_error.hh"
 #include "common/stat_registry.hh"
 #include "obs/event_bus.hh"
@@ -12,6 +15,23 @@
 namespace dtexl {
 
 namespace {
+
+/**
+ * Retry schedule for the store's own filesystem writes. Short and
+ * local: three tries, tens of milliseconds — enough to ride out
+ * EINTR-class blips without stalling a worker behind a genuinely dead
+ * disk.
+ */
+const RetryPolicy &
+fsRetryPolicy()
+{
+    static const RetryPolicy policy{/*attempts=*/3,
+                                    /*baseDelayMs=*/10,
+                                    /*maxDelayMs=*/200,
+                                    /*jitterPct=*/25,
+                                    /*seed=*/0x7ca9};
+    return policy;
+}
 
 /** Frame magics as little-endian u64s, spelled from the characters. */
 constexpr std::uint64_t
@@ -320,14 +340,14 @@ ResultStore::store(const ResultKey &key,
         file.u8(b);
     file.u64(sum);
 
-    try {
+    // Retry transient failures before giving up: losing a cached
+    // result to one EINTR wastes the whole recompute. Still best
+    // effort after that — an unwritable cache never fails the job
+    // whose result it was trying to keep. (Non-transient SimErrors
+    // can't escape atomicWriteFile, which only throws Io.)
+    retryTransient(fsRetryPolicy(), "result cache store", [&] {
         atomicWriteFile(entryPath(key), file.data());
-    } catch (const SimError &e) {
-        // Best effort: an unwritable cache never fails the job whose
-        // result it was trying to keep.
-        warn("result cache: cannot store entry for %s (%s)",
-             key.hex().c_str(), e.what());
-    }
+    });
 }
 
 void
@@ -351,12 +371,61 @@ ResultStore::appendManifest(const ResultKey &key, const char *status,
     }
 
     std::lock_guard<std::mutex> lock(manifestMu);
-    std::FILE *f = std::fopen(manifestPath().c_str(), "a");
-    if (!f)
-        return;  // best effort, like store()
-    std::fprintf(f, "%s %s %s\n", key.hex().c_str(), status,
-                 label.c_str());
-    std::fclose(f);
+    retryTransient(fsRetryPolicy(), "cache manifest append", [&] {
+        std::FILE *f = std::fopen(manifestPath().c_str(), "a");
+        if (!f)
+            throwIoError("cannot open '%s' for append",
+                         manifestPath().c_str());
+        std::fprintf(f, "%s %s %s\n", key.hex().c_str(), status,
+                     label.c_str());
+        std::fclose(f);
+    });  // best effort after the retries, like store()
+}
+
+CheckpointGcReport
+pruneStaleCheckpoints(const std::string &dir,
+                      std::uint64_t minAgeSeconds)
+{
+    namespace fs = std::filesystem;
+    CheckpointGcReport report;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        warn("cache gc: cannot scan '%s' (%s)", dir.c_str(),
+             ec.message().c_str());
+        return report;
+    }
+    for (const fs::directory_entry &entry : it) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("ckpt-", 0) != 0 ||
+            name.size() < 9 /* "ckpt-.bin" */ ||
+            name.compare(name.size() - 4, 4, ".bin") != 0)
+            continue;
+        ++report.scanned;
+        std::error_code fec;
+        const auto mtime = fs::last_write_time(entry.path(), fec);
+        if (fec)
+            continue;  // raced with a concurrent delete
+        const auto age =
+            std::chrono::duration_cast<std::chrono::seconds>(now -
+                                                             mtime)
+                .count();
+        if (age < 0 ||
+            static_cast<std::uint64_t>(age) < minAgeSeconds)
+            continue;
+        std::uintmax_t size = fs::file_size(entry.path(), fec);
+        if (fec)
+            size = 0;
+        if (!fs::remove(entry.path(), fec) || fec) {
+            warn("cache gc: cannot remove '%s' (%s)",
+                 entry.path().c_str(), fec.message().c_str());
+            continue;
+        }
+        ++report.removed;
+        report.bytes += size;
+    }
+    return report;
 }
 
 ResultCache &

@@ -124,13 +124,16 @@ class ResultStore
     std::optional<CachedResult> lookup(const ResultKey &key) const;
 
     /**
-     * Atomically commit @p result under @p key. I/O failures are
-     * logged and swallowed: an unwritable cache must never fail the
-     * simulation that produced the result.
+     * Atomically commit @p result under @p key. Transient I/O failures
+     * are retried with backoff (common/retry.hh — a single EINTR/blip
+     * must not discard a result that took minutes to compute); a
+     * persistently unwritable cache is then logged and swallowed: it
+     * must never fail the simulation that produced the result.
      */
     void store(const ResultKey &key, const CachedResult &result) const;
 
-    /** Append one "key status label" line to manifest.log. */
+    /** Append one "key status label" line to manifest.log (retried
+     *  like store(), then best-effort). */
     void appendManifest(const ResultKey &key, const char *status,
                         const std::string &label) const;
 
@@ -146,6 +149,29 @@ class ResultStore
     std::string dir_;
     mutable std::mutex manifestMu;
 };
+
+// ---- Checkpoint garbage collection --------------------------------
+
+/** What pruneStaleCheckpoints() scanned and removed. */
+struct CheckpointGcReport
+{
+    std::uint64_t scanned = 0;  ///< ckpt-*.bin files seen
+    std::uint64_t removed = 0;  ///< files unlinked
+    std::uint64_t bytes = 0;    ///< bytes reclaimed
+};
+
+/**
+ * Remove `ckpt-<hex>.bin` files under @p dir older than @p minAge
+ * seconds (by mtime). Checkpoints are consumed (deleted) when their
+ * job completes, so anything left is either in flight — protected by
+ * the age guard, since a live job refreshes its checkpoint every
+ * --checkpoint-every frames — or leaked by a crash path. minAge 0
+ * prunes everything (an idle store). Exposed as `--cache-gc=AGE` on
+ * the CLIs and the `gc` daemon command. Never throws; per-file errors
+ * are warn()-logged and skipped.
+ */
+CheckpointGcReport pruneStaleCheckpoints(const std::string &dir,
+                                         std::uint64_t minAgeSeconds);
 
 // ---- Process-global cache configuration ---------------------------
 

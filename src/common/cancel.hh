@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cooperative cancellation token, checked by runJob() at frame
+ * boundaries (core/engine.cc) and flipped by dtexld's control plane.
+ *
+ * Two request levels, because the daemon needs to distinguish "the
+ * user killed this job" from "the process is draining":
+ *  - Cancel:    the job is abandoned; its checkpoint is NOT refreshed
+ *               (the job will never resume) and the daemon marks it
+ *               terminally cancelled.
+ *  - Interrupt: the job should stop at the next frame boundary but
+ *               stay resumable — a checkpoint is written when armed,
+ *               and a restart (or retry) continues from it.
+ *
+ * Both unwind through SimError{ErrorKind::Cancelled}, so the existing
+ * fault-isolation machinery (crash-free per-job catch, EventBus
+ * job_error, exit codes) handles them with no new control flow.
+ */
+
+#ifndef DTEXL_COMMON_CANCEL_HH
+#define DTEXL_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace dtexl {
+
+class CancelToken
+{
+  public:
+    enum class State : std::uint32_t
+    {
+        Run = 0,
+        Interrupt = 1,  ///< stop at frame boundary, stay resumable
+        Cancel = 2,     ///< stop at frame boundary, terminal
+    };
+
+    /** Request terminal cancellation (wins over Interrupt). */
+    void
+    requestCancel()
+    {
+        state_.store(static_cast<std::uint32_t>(State::Cancel),
+                     std::memory_order_relaxed);
+    }
+
+    /** Request a resumable stop; never downgrades a Cancel. */
+    void
+    requestInterrupt()
+    {
+        std::uint32_t expected =
+            static_cast<std::uint32_t>(State::Run);
+        state_.compare_exchange_strong(
+            expected, static_cast<std::uint32_t>(State::Interrupt),
+            std::memory_order_relaxed);
+    }
+
+    State
+    state() const
+    {
+        return static_cast<State>(
+            state_.load(std::memory_order_relaxed));
+    }
+
+    bool requested() const { return state() != State::Run; }
+
+    /** Back to Run (a fresh retry attempt of the same record). */
+    void
+    reset()
+    {
+        state_.store(static_cast<std::uint32_t>(State::Run),
+                     std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint32_t> state_{0};
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_COMMON_CANCEL_HH

@@ -15,6 +15,7 @@ toString(FaultSite site)
       case FaultSite::DropMemCompletion: return "drop-mem-completion";
       case FaultSite::CacheTruncate: return "cache-truncate";
       case FaultSite::CkptFlipByte: return "ckpt-flip-byte";
+      case FaultSite::FrameIoFail: return "frame-io-fail";
       case FaultSite::kNumSites: break;
     }
     return "unknown";
@@ -32,7 +33,8 @@ faultSiteFromString(const std::string &name)
     throwUserError(
         "unknown fault site '%s' (one of scene-truncate, "
         "scene-corrupt-token, config-mis-size, barrier-credit-leak, "
-        "drop-mem-completion, cache-truncate, ckpt-flip-byte)",
+        "drop-mem-completion, cache-truncate, ckpt-flip-byte, "
+        "frame-io-fail)",
         name.c_str());
 }
 
@@ -44,9 +46,11 @@ FaultInject::global()
 }
 
 void
-FaultInject::arm(FaultSite site, std::uint32_t count)
+FaultInject::arm(FaultSite site, std::uint32_t count,
+                 std::uint32_t skipFirst)
 {
     const auto i = static_cast<std::size_t>(site);
+    skips_[i].store(skipFirst, std::memory_order_relaxed);
     const std::uint32_t prev =
         shots_[i].exchange(count, std::memory_order_relaxed);
     if (prev == 0 && count > 0)
@@ -60,6 +64,7 @@ FaultInject::disarmAll()
 {
     for (std::size_t i = 0; i < kSites; ++i) {
         shots_[i].store(0, std::memory_order_relaxed);
+        skips_[i].store(0, std::memory_order_relaxed);
         fired_[i].store(0, std::memory_order_relaxed);
     }
     armed_.store(0, std::memory_order_relaxed);
@@ -69,6 +74,17 @@ bool
 FaultInject::fireSlow(FaultSite site)
 {
     const auto i = static_cast<std::size_t>(site);
+    // Consume a skip first: the site stays armed (shots untouched) but
+    // this evaluation passes unharmed.
+    std::uint32_t s = skips_[i].load(std::memory_order_relaxed);
+    while (s > 0) {
+        if (skips_[i].compare_exchange_weak(s, s - 1,
+                                            std::memory_order_relaxed)) {
+            if (shots_[i].load(std::memory_order_relaxed) > 0)
+                return false;
+            break;  // skips without shots are inert; fall through
+        }
+    }
     // Claim one shot; CAS so concurrent hooks can't over-fire.
     std::uint32_t n = shots_[i].load(std::memory_order_relaxed);
     while (n > 0) {

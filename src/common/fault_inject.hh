@@ -38,6 +38,7 @@ enum class FaultSite : std::uint32_t
     DropMemCompletion,  ///< a texture read's fill never completes
     CacheTruncate,      ///< result-cache entry truncated on disk
     CkptFlipByte,       ///< checkpoint file suffers a bit flip
+    FrameIoFail,        ///< transient I/O error at a frame boundary
     kNumSites,
 };
 
@@ -59,8 +60,16 @@ class FaultInject
   public:
     static FaultInject &global();
 
-    /** Arm @p site to fire on its next @p count hook evaluations. */
-    void arm(FaultSite site, std::uint32_t count = 1);
+    /**
+     * Arm @p site to fire on @p count hook evaluations after first
+     * letting @p skipFirst evaluations pass unharmed. The skip window
+     * makes multi-phase scenarios expressible: "fail the SECOND frame
+     * boundary" arms (FrameIoFail, 1, 1), which is how CI proves
+     * retry-resumes-from-checkpoint (the first boundary must survive
+     * long enough to write the checkpoint the retry resumes from).
+     */
+    void arm(FaultSite site, std::uint32_t count = 1,
+             std::uint32_t skipFirst = 0);
 
     /** Disarm every site (tests call this in teardown). */
     void disarmAll();
@@ -89,6 +98,7 @@ class FaultInject
     /** Number of sites with shots remaining (0 == fully disarmed). */
     std::atomic<std::uint32_t> armed_{0};
     std::atomic<std::uint32_t> shots_[kSites] = {};
+    std::atomic<std::uint32_t> skips_[kSites] = {};
     std::atomic<std::uint64_t> fired_[kSites] = {};
 };
 
@@ -96,9 +106,10 @@ class FaultInject
 class ScopedFault
 {
   public:
-    explicit ScopedFault(FaultSite site, std::uint32_t count = 1)
+    explicit ScopedFault(FaultSite site, std::uint32_t count = 1,
+                         std::uint32_t skipFirst = 0)
     {
-        FaultInject::global().arm(site, count);
+        FaultInject::global().arm(site, count, skipFirst);
     }
     ~ScopedFault() { FaultInject::global().disarmAll(); }
     ScopedFault(const ScopedFault &) = delete;

@@ -1,0 +1,87 @@
+#include "common/retry.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace dtexl {
+
+namespace {
+
+/** splitmix64: the standard 64-bit finalizer (public domain). */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint32_t
+backoffDelayMs(const RetryPolicy &policy, std::uint32_t retryIndex)
+{
+    // base * 2^retryIndex, saturating both the shift and the product.
+    std::uint64_t delay = policy.baseDelayMs;
+    if (retryIndex >= 32)
+        delay = policy.maxDelayMs;
+    else
+        delay <<= retryIndex;
+    if (delay > policy.maxDelayMs)
+        delay = policy.maxDelayMs;
+    if (delay == 0 || policy.jitterPct == 0)
+        return static_cast<std::uint32_t>(delay);
+
+    // Deterministic jitter in [-pct, +pct] percent of the delay.
+    const std::uint64_t h =
+        splitmix64(policy.seed ^ (0x5bd1e995ull * (retryIndex + 1)));
+    const std::uint32_t pct = policy.jitterPct > 100 ? 100
+                                                     : policy.jitterPct;
+    const std::int64_t span =
+        static_cast<std::int64_t>(delay) * pct / 100;
+    const std::int64_t offset =
+        span > 0 ? static_cast<std::int64_t>(h % (2 * span + 1)) - span
+                 : 0;
+    std::int64_t jittered = static_cast<std::int64_t>(delay) + offset;
+    if (jittered < 1)
+        jittered = 1;
+    return static_cast<std::uint32_t>(jittered);
+}
+
+bool
+isTransientErrorKind(ErrorKind kind)
+{
+    return kind == ErrorKind::Io || kind == ErrorKind::Watchdog;
+}
+
+bool
+retryTransient(const RetryPolicy &policy, const char *what,
+               const std::function<void()> &op)
+{
+    const std::uint32_t tries = policy.attempts == 0 ? 1
+                                                     : policy.attempts;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        try {
+            op();
+            return true;
+        } catch (const SimError &e) {
+            if (!isTransientErrorKind(e.kind()))
+                throw;
+            if (attempt + 1 >= tries) {
+                warn("%s: giving up after %u attempt(s): %s", what,
+                     tries, e.what());
+                return false;
+            }
+            const std::uint32_t delay = backoffDelayMs(policy, attempt);
+            warn("%s: transient failure (%s); retry %u/%u in %u ms",
+                 what, e.what(), attempt + 1, tries - 1, delay);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+    }
+}
+
+} // namespace dtexl

@@ -19,6 +19,7 @@ toString(ErrorKind kind)
       case ErrorKind::Io: return "io";
       case ErrorKind::Watchdog: return "watchdog";
       case ErrorKind::Internal: return "internal";
+      case ErrorKind::Cancelled: return "cancelled";
     }
     return "unknown";
 }
@@ -35,6 +36,8 @@ exitCodeFor(ErrorKind kind)
         return kExitWatchdog;
       case ErrorKind::Internal:
         return kExitInternal;
+      case ErrorKind::Cancelled:
+        return kExitInterrupted;
     }
     return kExitInternal;
 }

@@ -12,6 +12,10 @@
  *    hung simulation; the error carries a pipeline-state dump.
  *  - ErrorKind::Internal   — a simulator invariant was violated
  *    (panic()/dtexl_assert): a DTexL bug, never a user error.
+ *  - ErrorKind::Cancelled  — the job was stopped on purpose at a frame
+ *    boundary: a cancel/interrupt token (common/cancel.hh), a drain
+ *    signal (common/signals.hh), or a per-job deadline. Not a defect;
+ *    exits with the conventional interrupted-process code 130.
  *
  * All kinds are thrown as SimError so the batch driver can isolate a
  * failing job (core/engine.hh) and the CLIs can exit with a distinct,
@@ -36,6 +40,7 @@ enum class ErrorKind
     Io,
     Watchdog,
     Internal,
+    Cancelled,
 };
 
 /** Human-readable kind name ("user-input", "watchdog", ...). */
@@ -51,6 +56,8 @@ inline constexpr int kExitInternal = 3;
 inline constexpr int kExitPartialBatch = 4;
 /** The forward-progress watchdog fired (crash report written). */
 inline constexpr int kExitWatchdog = 5;
+/** Stopped by signal/cancel/deadline (128 + SIGINT, the shell idiom). */
+inline constexpr int kExitInterrupted = 130;
 
 /** Exit code a process should use for a failure of @p kind. */
 int exitCodeFor(ErrorKind kind);

@@ -8,8 +8,10 @@
 
 #include "cache/checkpoint.hh"
 #include "cache/result_store.hh"
+#include "common/fault_inject.hh"
 #include "common/log.hh"
 #include "common/serial.hh"
+#include "common/signals.hh"
 #include "common/sim_error.hh"
 #include "common/trace.hh"
 #include "obs/event_bus.hh"
@@ -224,7 +226,53 @@ runJob(const BatchJob &job, StatRegistry *registry,
                                                job.label);
                 }
             }
+            // Cooperative interruption, polled at frame boundaries
+            // only: a hung frame is the watchdog's jurisdiction, so a
+            // deadline/cancel can never tear a frame mid-render.
+            auto interruptReason = [&]() -> const char * {
+                if (job.cancel) {
+                    const CancelToken::State st = job.cancel->state();
+                    if (st == CancelToken::State::Cancel)
+                        return "cancel requested";
+                    if (st == CancelToken::State::Interrupt)
+                        return "interrupt requested";
+                }
+                if (job.stopOnDrain && drainRequested())
+                    return "drain signal received";
+                if (job.deadlineMs > 0.0) {
+                    const double elapsed =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    if (elapsed >= job.deadlineMs)
+                        return "deadline exceeded";
+                }
+                return nullptr;
+            };
             for (std::uint32_t f = start; f < n; ++f) {
+                if (const char *why = interruptReason()) {
+                    // A terminal cancel will never resume, so its
+                    // checkpoint is not refreshed; every other stop
+                    // keeps completed frames resumable.
+                    const bool terminal =
+                        job.cancel && job.cancel->state() ==
+                                          CancelToken::State::Cancel;
+                    if (ckpt_armed && !terminal && f > start) {
+                        session.saveCheckpoint(ckpt_path, key);
+                        if (EventBus::armed()) {
+                            RunEvent ev(EventKind::JobCheckpoint,
+                                        job.label);
+                            ev.u64("frames_done", f);
+                            EventBus::global().emit(std::move(ev));
+                        }
+                    }
+                    char msg[128];
+                    std::snprintf(msg, sizeof(msg),
+                                  "%s at frame boundary %u of %u",
+                                  why, f, n);
+                    throw SimError(ErrorKind::Cancelled, msg,
+                                   job.label);
+                }
                 if (f == 0)
                     session.renderFrame();
                 else
@@ -239,6 +287,12 @@ runJob(const BatchJob &job, StatRegistry *registry,
                         EventBus::global().emit(std::move(ev));
                     }
                 }
+                // Transient-I/O fault site, evaluated after the
+                // checkpoint write: CI arms it with a one-boundary
+                // skip to prove retry resumes from the checkpoint.
+                if (FaultInject::global().fire(FaultSite::FrameIoFail))
+                    throwIoError("injected frame I/O failure after "
+                                 "frame %u", f);
             }
             res.frames = session.history();
             if (const ExecDomainSet *doms =
@@ -315,7 +369,38 @@ runJob(const BatchJob &job, StatRegistry *registry,
     return res;
 }
 
+/**
+ * Result for a job skipped because a drain was requested before it
+ * started. Emitted as a job_error so the ledger's run_end totals stay
+ * consistent: every submitted job terminates in exactly one of
+ * job_complete or job_error.
+ */
+BatchResult
+skippedResult(const BatchJob &job, std::uint32_t worker)
+{
+    BatchResult res;
+    res.label = job.label;
+    res.worker = worker;
+    res.ok = false;
+    res.errorKind = ErrorKind::Cancelled;
+    res.error = "cancelled: drain requested before start";
+    if (EventBus::armed()) {
+        RunEvent ev(EventKind::JobError, job.label);
+        ev.str("kind", toString(ErrorKind::Cancelled))
+            .str("error", res.error);
+        EventBus::global().emit(std::move(ev));
+    }
+    return res;
+}
+
 } // namespace
+
+BatchResult
+runSingleJob(const BatchJob &job, StatRegistry *registry,
+             std::uint32_t worker)
+{
+    return runJob(job, registry, worker);
+}
 
 std::vector<BatchResult>
 runBatch(const std::vector<BatchJob> &jobs, unsigned numWorkers,
@@ -324,6 +409,12 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned numWorkers,
     std::vector<BatchResult> results(jobs.size());
     if (jobs.empty())
         return results;
+
+    // First Ctrl-C/SIGTERM = cooperative drain (the frame-boundary
+    // checks in runJob stop in-flight jobs, unstarted jobs are
+    // skipped, the process exits 130); second = force exit. No-op if
+    // a driver (dtexld) installed its own escalation first.
+    installDrainHandlers(/*forceExitAt=*/2);
 
     // Announce the whole batch up front, in submission order, so the
     // progress meter knows its denominators before any job starts.
@@ -341,8 +432,11 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned numWorkers,
         workers = static_cast<unsigned>(jobs.size());
 
     if (workers == 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] = runJob(jobs[i], registry, 0);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            results[i] = drainRequested()
+                             ? skippedResult(jobs[i], 0)
+                             : runJob(jobs[i], registry, 0);
+        }
         reportCacheTraffic();
         return results;
     }
@@ -361,7 +455,9 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned numWorkers,
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= jobs.size())
                     return;
-                results[i] = runJob(jobs[i], registry, w);
+                results[i] = drainRequested()
+                                 ? skippedResult(jobs[i], w)
+                                 : runJob(jobs[i], registry, w);
             }
         });
     }
@@ -377,15 +473,22 @@ batchExitCode(const std::vector<BatchResult> &results)
 {
     std::size_t failed = 0;
     int first_code = kExitSuccess;
+    bool interrupted = false;
     for (const BatchResult &r : results) {
         if (r.ok)
             continue;
+        if (r.errorKind == ErrorKind::Cancelled)
+            interrupted = true;
         if (failed == 0)
             first_code = exitCodeFor(r.errorKind);
         ++failed;
     }
     if (failed == 0)
         return kExitSuccess;
+    // A cancelled job means the run was interrupted (signal, deadline
+    // or explicit cancel): 130 beats the partial-batch bookkeeping.
+    if (interrupted)
+        return kExitInterrupted;
     if (failed == results.size())
         return first_code;
     return kExitPartialBatch;

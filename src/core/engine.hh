@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cache/result_key.hh"
+#include "common/cancel.hh"
 #include "common/config.hh"
 #include "common/sim_error.hh"
 #include "common/stat_registry.hh"
@@ -105,6 +106,29 @@ struct BatchJob
     std::function<const Scene &(std::uint32_t frame)> scene;
     /** Successive frames rendered with warm caches. */
     std::uint32_t frames = 1;
+    /**
+     * Optional cooperative cancellation token, polled at every frame
+     * boundary (must outlive the batch). A Cancel/Interrupt request
+     * stops the job with SimError{Cancelled}; Interrupt (and drain
+     * signals) additionally refresh the job's checkpoint when
+     * checkpointing is armed, so the job resumes instead of restarting.
+     */
+    const CancelToken *cancel = nullptr;
+    /**
+     * Per-job wall-clock deadline in milliseconds (0 = none), measured
+     * from job pickup and enforced at frame boundaries — a hung frame
+     * is the watchdog's jurisdiction, this catches too-many-slow-frames.
+     * Expiry stops the job with SimError{Cancelled}.
+     */
+    double deadlineMs = 0.0;
+    /**
+     * Stop at the next frame boundary once a process-level drain
+     * signal arrives (common/signals.hh). The CLI batch drivers keep
+     * the default; dtexld sets false because it escalates drains
+     * itself — its first signal lets in-flight jobs finish, and its
+     * second interrupts them through their CancelTokens instead.
+     */
+    bool stopOnDrain = true;
 };
 
 /** Result of one BatchJob, in submission order. */
@@ -162,10 +186,24 @@ std::vector<BatchResult> runBatch(const std::vector<BatchJob> &jobs,
                                   StatRegistry *registry = nullptr);
 
 /**
+ * Run ONE job on the calling thread with the full runBatch() per-job
+ * machinery — cache lookup, checkpoint resume, frame-boundary
+ * cancel/deadline/drain checks, fault isolation, EventBus lifecycle —
+ * but without the batch framing (no job_submit emission, no drain
+ * handler installation, no batch cache summary). This is dtexld's
+ * execution primitive: the daemon owns admission, retry and submission
+ * events itself, so it must be able to run exactly one attempt.
+ */
+BatchResult runSingleJob(const BatchJob &job, StatRegistry *registry,
+                         std::uint32_t worker);
+
+/**
  * Exit code for a finished batch: kExitSuccess when every job
- * succeeded; the first failure's own code when every job failed (a
- * systematic error, e.g. one bad config fanned over all jobs);
- * kExitPartialBatch when failures and successes mix.
+ * succeeded; kExitInterrupted (130) when any job was cancelled —
+ * an interrupted run, whatever else happened — else the first
+ * failure's own code when every job failed (a systematic error, e.g.
+ * one bad config fanned over all jobs); kExitPartialBatch when
+ * failures and successes mix.
  */
 int batchExitCode(const std::vector<BatchResult> &results);
 

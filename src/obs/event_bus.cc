@@ -132,10 +132,14 @@ struct ProgressMeter
 
 struct EventBus::Impl
 {
+    using Tap =
+        std::function<void(std::uint64_t, const std::string &)>;
+
     std::mutex mu;
     std::condition_variable drainedCv;
     std::unique_ptr<Channel<RunEvent>> chan;
     std::thread writer;
+    std::shared_ptr<const Tap> tap;
     FILE *out = nullptr;
     std::string ledgerPath;
     bool progress = false;
@@ -204,7 +208,14 @@ struct EventBus::Impl
                 .u64("cache_hits", meter.cacheHits);
         }
 
-        if (out) {
+        // Snapshot the tap under the lock; invoke it outside so a slow
+        // subscriber can't deadlock against setTap().
+        std::shared_ptr<const Tap> tapLocal;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            tapLocal = tap;
+        }
+        if (out || tapLocal) {
             std::string text = "{";
             if (line.kind == EventKind::RunStart)
                 text += "\"schema\":\"dtexl-events-v1\",";
@@ -222,10 +233,17 @@ struct EventBus::Impl
             for (const RunEvent::Field &f : line.fields)
                 text += ",\"" + jsonEscape(f.key) + "\":" + f.json;
             text += "}\n";
-            std::fwrite(text.data(), 1, text.size(), out);
-            // Per-line flush: the ledger stays valid JSONL up to the
-            // last event even when the process dies hard.
-            std::fflush(out);
+            if (out) {
+                std::fwrite(text.data(), 1, text.size(), out);
+                // Per-line flush: the ledger stays valid JSONL up to
+                // the last event even when the process dies hard.
+                std::fflush(out);
+            }
+            // After the file write: a tap sees only lines that are
+            // already on disk, so file replay + live stream splice
+            // seamlessly on seq.
+            if (tapLocal)
+                (*tapLocal)(seq, text);
         }
         ++seq;
 
@@ -380,11 +398,22 @@ EventBus::finish()
 }
 
 void
+EventBus::setTap(
+    std::function<void(std::uint64_t seq, const std::string &line)> tap)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.tap = tap ? std::make_shared<const Impl::Tap>(std::move(tap))
+                 : nullptr;
+}
+
+void
 EventBus::resetForTests()
 {
     finish();
     Impl &im = impl();
     std::lock_guard<std::mutex> lk(im.mu);
+    im.tap = nullptr;
     im.ledgerPath.clear();
     im.progress = false;
     im.runStartDone = false;

@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "obs/run_event.hh"
@@ -104,6 +105,19 @@ class EventBus
      * and close the ledger. Idempotent; armed() is false afterwards.
      */
     void finish();
+
+    /**
+     * Event-forwarding hook (dtexld's `subscribe`): @p tap receives
+     * every rendered ledger line with its seq, on the writer thread,
+     * after the line is on disk — so a tap observes exactly the file's
+     * content and order, and seq lets a late subscriber splice a file
+     * replay with the live stream without duplicates. The tap must not
+     * emit events (it runs downstream of the queue) and should be
+     * fast; it serializes the ledger. Null clears.
+     */
+    void setTap(
+        std::function<void(std::uint64_t seq, const std::string &line)>
+            tap);
 
     /** finish() plus full state reset so a test can re-arm the bus. */
     void resetForTests();

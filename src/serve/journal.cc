@@ -1,0 +1,133 @@
+#include "serve/journal.hh"
+
+#include <fstream>
+
+#include "common/log.hh"
+#include "common/sim_error.hh"
+
+namespace dtexl {
+
+std::vector<JobSpec>
+JobJournal::loadPending(const std::string &path)
+{
+    std::vector<JobSpec> pending;
+    std::ifstream in(path);
+    if (!in.is_open())
+        return pending;
+
+    // Submission order matters for recovery fairness, so keep a
+    // vector and mark completions instead of erasing.
+    std::vector<bool> done;
+    std::string line;
+    std::size_t lineNo = 0;
+    bool sawJunk = false;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        JsonValue v;
+        std::string err;
+        if (!parseJson(line, v, err)) {
+            // A crash can shear exactly one line: the last. Junk
+            // earlier than that means the file was damaged some other
+            // way — recover what parses, but say so.
+            if (in.peek() != std::ifstream::traits_type::eof())
+                warn("journal %s line %zu unreadable (%s); skipped",
+                     path.c_str(), lineNo, err.c_str());
+            sawJunk = true;
+            continue;
+        }
+        const std::string op = v.str("op");
+        if (op == "submit") {
+            const JsonValue *specv = v.find("spec");
+            JobSpec spec;
+            std::string serr;
+            if (!specv || !parseJobSpec(*specv, spec, serr)) {
+                warn("journal %s line %zu: bad spec (%s); skipped",
+                     path.c_str(), lineNo, serr.c_str());
+                continue;
+            }
+            pending.push_back(std::move(spec));
+            done.push_back(false);
+        } else if (op == "done") {
+            const std::string label = v.str("job");
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                if (!done[i] && pending[i].label == label) {
+                    done[i] = true;
+                    break;
+                }
+            }
+        } else {
+            warn("journal %s line %zu: unknown op '%s'; skipped",
+                 path.c_str(), lineNo, op.c_str());
+        }
+    }
+    (void)sawJunk;
+
+    std::vector<JobSpec> out;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (!done[i])
+            out.push_back(std::move(pending[i]));
+    }
+    return out;
+}
+
+void
+JobJournal::reset(const std::vector<JobSpec> &pending)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f)
+        throwIoError("cannot open job journal '%s'", path_.c_str());
+    f_ = f;
+    for (const JobSpec &spec : pending) {
+        JsonWriter w;
+        w.str("op", "submit").raw("spec", renderJobSpec(spec));
+        const std::string line = w.finish();
+        std::fwrite(line.data(), 1, line.size(), f_);
+    }
+    std::fflush(f_);
+}
+
+void
+JobJournal::appendLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (!f_)
+        return;
+    std::fwrite(line.data(), 1, line.size(), f_);
+    // Per-line flush: the whole point is surviving a hard death.
+    std::fflush(f_);
+}
+
+void
+JobJournal::recordSubmit(const JobSpec &spec)
+{
+    JsonWriter w;
+    w.str("op", "submit").raw("spec", renderJobSpec(spec));
+    appendLine(w.finish());
+}
+
+void
+JobJournal::recordDone(const std::string &label, const char *state)
+{
+    JsonWriter w;
+    w.str("op", "done").str("job", label).str("state", state);
+    appendLine(w.finish());
+}
+
+void
+JobJournal::close()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+} // namespace dtexl

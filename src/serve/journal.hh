@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Crash-recovery journal for dtexld: an append-only JSONL file under
+ * the daemon's state directory recording every admitted job and every
+ * terminal outcome, so a daemon that dies hard (OOM-kill, power loss)
+ * can re-queue exactly the jobs that were still owed a result.
+ *
+ * Two line shapes:
+ *
+ *   {"op":"submit","spec":{...JobSpec...}}
+ *   {"op":"done","job":"<label>","state":"done|failed|cancelled|..."}
+ *
+ * A job is *pending* when its submit line has no matching done line.
+ * Interrupted jobs (drain checkpoint-stop) deliberately get no done
+ * line — staying pending IS the recovery contract. Each line is
+ * fflush()ed as written; loadPending() tolerates a torn final line
+ * (the one write a crash can shear) and warns on anything malformed
+ * earlier. On startup the daemon compacts the journal down to the
+ * still-pending specs before appending to it again.
+ */
+
+#ifndef DTEXL_SERVE_JOURNAL_HH
+#define DTEXL_SERVE_JOURNAL_HH
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job_table.hh"
+
+namespace dtexl {
+
+class JobJournal
+{
+  public:
+    explicit JobJournal(std::string path) : path_(std::move(path)) {}
+    ~JobJournal() { close(); }
+
+    JobJournal(const JobJournal &) = delete;
+    JobJournal &operator=(const JobJournal &) = delete;
+
+    /**
+     * Read @p path and return the specs still owed a result, in
+     * submission order. Missing file = empty. Never throws: recovery
+     * must not prevent a daemon from starting — a corrupt line is
+     * warn()-logged and skipped, a torn tail silently tolerated.
+     */
+    static std::vector<JobSpec> loadPending(const std::string &path);
+
+    /**
+     * Truncate the journal to exactly @p pending submit lines (startup
+     * compaction after recovery) and leave it open for appending.
+     * Throws SimError{Io} when the state directory is unwritable —
+     * a daemon that cannot journal cannot honour its durability
+     * contract, so this is fatal at startup.
+     */
+    void reset(const std::vector<JobSpec> &pending);
+
+    /** Append one submit line (fflushed before returning). */
+    void recordSubmit(const JobSpec &spec);
+
+    /** Append one done line (fflushed before returning). */
+    void recordDone(const std::string &label, const char *state);
+
+    void close();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void appendLine(const std::string &line);
+
+    std::string path_;
+    std::FILE *f_ = nullptr;
+    std::mutex mu;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_SERVE_JOURNAL_HH

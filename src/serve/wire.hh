@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Line-framed JSON wire format for the dtexld control socket.
+ *
+ * Every request and response on the Unix-domain socket is exactly one
+ * JSON object on one '\n'-terminated line (JSONL, same framing as the
+ * event ledger), so the protocol needs no length prefixes and a shell
+ * user can drive the daemon with `nc -U`. This header provides the
+ * three pieces the daemon and its tests need:
+ *
+ *  - JsonValue / parseJson(): a small recursive-descent parser for one
+ *    request line, tolerant of whitespace, strict about everything
+ *    else (trailing junk after the value is an error — a second
+ *    request must live on its own line);
+ *  - typed accessors that read optional object members with defaults,
+ *    so command handlers stay short;
+ *  - JsonWriter: an append-only object builder for responses, reusing
+ *    jsonEscape() from common/trace.hh so string escaping matches the
+ *    ledger's.
+ *
+ * See DESIGN.md "Service daemon (dtexld)" for the protocol grammar.
+ */
+
+#ifndef DTEXL_SERVE_WIRE_HH
+#define DTEXL_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtexl {
+
+/** One parsed JSON value (tree-owning; copies are deep). */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;                ///< Kind::String payload
+    std::vector<JsonValue> items;    ///< Kind::Array payload
+    /** Kind::Object payload, insertion-ordered (duplicates kept). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** First member named @p key, or null when absent / not object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member @p key as a string; @p dflt when absent or not string. */
+    std::string str(const std::string &key,
+                    const std::string &dflt = "") const;
+
+    /** Member @p key as a number; @p dflt when absent or not number. */
+    double num(const std::string &key, double dflt = 0.0) const;
+
+    /** Member @p key as a bool; @p dflt when absent or not bool. */
+    bool flag(const std::string &key, bool dflt = false) const;
+};
+
+/**
+ * Parse @p text (one request line) into @p out. Returns false and
+ * fills @p err with a position-tagged message on malformed input;
+ * never throws — a bad request must produce an error *response*, not
+ * kill the connection handler.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &err);
+
+/**
+ * Append-only JSON object builder for one response line. Values are
+ * rendered immediately into an internal buffer; finish() closes the
+ * object and appends the line terminator. Number formatting matches
+ * the ledger writer (integers raw, doubles with 3 decimals) so the
+ * two streams read alike.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() : buf("{") {}
+
+    JsonWriter &str(const char *key, const std::string &value);
+    JsonWriter &u64(const char *key, std::uint64_t value);
+    JsonWriter &i64(const char *key, std::int64_t value);
+    JsonWriter &f64(const char *key, double value);
+    JsonWriter &boolean(const char *key, bool value);
+    /** Append @p json verbatim (pre-rendered array/object value). */
+    JsonWriter &raw(const char *key, const std::string &json);
+
+    /** Close the object; returns the '\n'-terminated line. */
+    std::string finish();
+
+  private:
+    void sep(const char *key);
+
+    std::string buf;
+    bool first = true;
+};
+
+} // namespace dtexl
+
+#endif // DTEXL_SERVE_WIRE_HH

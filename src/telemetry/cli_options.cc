@@ -115,6 +115,30 @@ CommonCliOptions::tryParse(const std::string &arg)
         resumeFlag = true;
         return true;
     }
+    if (arg.rfind("--cache-gc=", 0) == 0) {
+        // AGE in seconds, or with a unit suffix: 90, 30s, 15m, 2h, 7d.
+        const std::string value = arg.substr(11);
+        char *end = nullptr;
+        const unsigned long long n =
+            std::strtoull(value.c_str(), &end, 10);
+        std::uint64_t scale = 1;
+        if (end != value.c_str() && end[0] != '\0' && end[1] == '\0') {
+            switch (*end) {
+              case 's': scale = 1; break;
+              case 'm': scale = 60; break;
+              case 'h': scale = 3600; break;
+              case 'd': scale = 86400; break;
+              default: scale = 0; break;
+            }
+        } else if (end == value.c_str() || *end != '\0') {
+            scale = 0;
+        }
+        if (scale == 0)
+            throwUserError("--cache-gc must be an age like 90, 30s, "
+                           "15m, 2h or 7d, got '%s'", value.c_str());
+        cacheGcAge = static_cast<std::uint64_t>(n) * scale;
+        return true;
+    }
     if (arg.rfind("--events=", 0) == 0) {
         eventsPath = arg.substr(9);
         if (eventsPath.empty())
@@ -132,13 +156,30 @@ CommonCliOptions::tryParse(const std::string &arg)
         std::exit(kExitSuccess);
     }
     if (arg.rfind("--inject-fault=", 0) == 0) {
-        // SITE or SITE:COUNT. faultSiteFromString() throws a user
-        // error listing the legal site names on junk.
+        // SITE[:COUNT[@SKIP]]: fire COUNT times after letting the
+        // first SKIP hook evaluations pass. faultSiteFromString()
+        // throws a user error listing the legal site names on junk.
         std::string spec = arg.substr(15);
         std::uint32_t count = 1;
+        std::uint32_t skip = 0;
         const std::size_t colon = spec.find(':');
         if (colon != std::string::npos) {
-            const std::string num = spec.substr(colon + 1);
+            std::string num = spec.substr(colon + 1);
+            const std::size_t at = num.find('@');
+            if (at != std::string::npos) {
+                const std::string skip_str = num.substr(at + 1);
+                char *send = nullptr;
+                const unsigned long s =
+                    std::strtoul(skip_str.c_str(), &send, 10);
+                if (send == skip_str.c_str() || *send != '\0' ||
+                    s > 1'000'000) {
+                    throwUserError("--inject-fault skip must be in "
+                                   "[0, 1000000], got '%s'",
+                                   skip_str.c_str());
+                }
+                skip = static_cast<std::uint32_t>(s);
+                num.resize(at);
+            }
             char *end = nullptr;
             const unsigned long n =
                 std::strtoul(num.c_str(), &end, 10);
@@ -150,7 +191,8 @@ CommonCliOptions::tryParse(const std::string &arg)
             count = static_cast<std::uint32_t>(n);
             spec.resize(colon);
         }
-        FaultInject::global().arm(faultSiteFromString(spec), count);
+        FaultInject::global().arm(faultSiteFromString(spec), count,
+                                  skip);
         return true;
     }
     return false;
@@ -186,6 +228,21 @@ CommonCliOptions::applyThreadKnobs(GpuConfig &cfg) const
     // knobs once per variant).
     ResultCache::global().configure(cacheDir, cacheMode,
                                     checkpointEvery, resumeFlag);
+
+    // --cache-gc: prune leaked checkpoints before the run touches the
+    // store. The age guard protects live checkpoints of a concurrent
+    // daemon sharing the directory.
+    if (cacheGcAge != kCacheGcUnset) {
+        if (cacheDir.empty())
+            throwUserError("--cache-gc requires --cache-dir=DIR");
+        const CheckpointGcReport gc =
+            pruneStaleCheckpoints(cacheDir, cacheGcAge);
+        inform("cache gc: removed %llu of %llu checkpoint file(s), "
+               "%llu byte(s) reclaimed",
+               static_cast<unsigned long long>(gc.removed),
+               static_cast<unsigned long long>(gc.scanned),
+               static_cast<unsigned long long>(gc.bytes));
+    }
 
     // Resolve --simd before the ledger opens so run_start records the
     // dispatch mode the run actually uses (the config digest excludes
@@ -285,6 +342,10 @@ CommonCliOptions::helpText()
         "checkpoints\n"
         "                      (bit-identical to an uninterrupted "
         "run)\n"
+        "  --cache-gc=AGE      prune ckpt-*.bin files in --cache-dir "
+        "older than\n"
+        "                      AGE (90, 30s, 15m, 2h, 7d; 0 = all) "
+        "before the run\n"
         "  --events=FILE       append-only JSONL run-event ledger "
         "(schema\n"
         "                      dtexl-events-v1; validate/summarize "
@@ -294,15 +355,17 @@ CommonCliOptions::helpText()
         "frames,\n"
         "                      frames/s, ETA, cache hits)\n"
         "  --version           print the build fingerprint and exit\n"
-        "  --inject-fault=SITE[:N]\n"
-        "                      arm a fault-injection site for its next "
-        "N hook\n"
-        "                      evaluations (testing/CI; sites: "
-        "scene-truncate,\n"
-        "                      scene-corrupt-token, config-mis-size,\n"
+        "  --inject-fault=SITE[:N[@SKIP]]\n"
+        "                      arm a fault-injection site for N hook "
+        "evaluations\n"
+        "                      after SKIP unharmed ones (testing/CI; "
+        "sites:\n"
+        "                      scene-truncate, scene-corrupt-token, "
+        "config-mis-size,\n"
         "                      barrier-credit-leak, "
         "drop-mem-completion,\n"
-        "                      cache-truncate, ckpt-flip-byte)\n";
+        "                      cache-truncate, ckpt-flip-byte, "
+        "frame-io-fail)\n";
 }
 
 } // namespace dtexl

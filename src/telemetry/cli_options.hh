@@ -70,6 +70,14 @@ struct CommonCliOptions
     std::uint32_t checkpointEvery = 0;
     /** --resume: resume interrupted jobs from their checkpoints. */
     bool resumeFlag = false;
+    /** --cache-gc=AGE value meaning "not given". */
+    static constexpr std::uint64_t kCacheGcUnset = ~0ull;
+    /**
+     * --cache-gc=AGE: prune ckpt-*.bin files in --cache-dir older than
+     * AGE (seconds, or with an s/m/h/d suffix; 0 = all) before the
+     * run. Applied by applyThreadKnobs() after the cache is armed.
+     */
+    std::uint64_t cacheGcAge = kCacheGcUnset;
     /** --events=FILE: JSONL run-event ledger (dtexl-events-v1). */
     std::string eventsPath;
     /** --progress: live jobs/frames/ETA line on stderr. */

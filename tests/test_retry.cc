@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Retry-policy tests (see DESIGN.md "Service daemon"): the backoff
+ * schedule must be a pure deterministic function of (policy, attempt)
+ * so daemon retry timing is reproducible across restarts; jitter must
+ * stay inside its advertised band; and retryTransient() must retry
+ * exactly the transient error kinds — an Io hiccup deserves another
+ * try, a config error retries identically forever and must propagate
+ * on the first throw.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/retry.hh"
+#include "common/sim_error.hh"
+
+namespace dtexl {
+namespace {
+
+RetryPolicy
+noJitter()
+{
+    RetryPolicy p;
+    p.baseDelayMs = 100;
+    p.maxDelayMs = 1000;
+    p.jitterPct = 0;
+    return p;
+}
+
+TEST(Retry, BackoffDoublesAndSaturates)
+{
+    const RetryPolicy p = noJitter();
+    EXPECT_EQ(backoffDelayMs(p, 0), 100u);
+    EXPECT_EQ(backoffDelayMs(p, 1), 200u);
+    EXPECT_EQ(backoffDelayMs(p, 2), 400u);
+    EXPECT_EQ(backoffDelayMs(p, 3), 800u);
+    EXPECT_EQ(backoffDelayMs(p, 4), 1000u) << "must cap at maxDelayMs";
+    EXPECT_EQ(backoffDelayMs(p, 31), 1000u);
+    // Shift widths past 63 are UB if computed naively; the saturation
+    // path must make huge attempt indices safe.
+    EXPECT_EQ(backoffDelayMs(p, 1000), 1000u);
+}
+
+TEST(Retry, ZeroBaseMeansZeroDelay)
+{
+    RetryPolicy p = noJitter();
+    p.baseDelayMs = 0;
+    EXPECT_EQ(backoffDelayMs(p, 0), 0u);
+    EXPECT_EQ(backoffDelayMs(p, 7), 0u);
+}
+
+TEST(Retry, JitterIsDeterministicPerSeed)
+{
+    RetryPolicy p;
+    p.baseDelayMs = 100;
+    p.maxDelayMs = 10000;
+    p.jitterPct = 25;
+    p.seed = 0x1234;
+
+    // Same (policy, index) twice: identical — the schedule is pure.
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(backoffDelayMs(p, i), backoffDelayMs(p, i))
+            << "retry " << i;
+
+    // A different seed should decorrelate at least one step of the
+    // schedule (that is the point of the jitter).
+    RetryPolicy q = p;
+    q.seed = 0x9999;
+    bool differs = false;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        differs = differs || backoffDelayMs(p, i) != backoffDelayMs(q, i);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Retry, JitterStaysInsideBand)
+{
+    RetryPolicy p;
+    p.baseDelayMs = 100;
+    p.maxDelayMs = 100000;
+    p.jitterPct = 25;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        p.seed = seed;
+        for (std::uint32_t i = 0; i < 6; ++i) {
+            const std::uint64_t nominal =
+                std::uint64_t{p.baseDelayMs} << i;
+            const std::uint32_t d = backoffDelayMs(p, i);
+            EXPECT_GE(d, nominal - nominal / 4) << "seed " << seed;
+            EXPECT_LE(d, nominal + nominal / 4) << "seed " << seed;
+        }
+    }
+}
+
+TEST(Retry, TransientKindsAreIoAndWatchdog)
+{
+    EXPECT_TRUE(isTransientErrorKind(ErrorKind::Io));
+    EXPECT_TRUE(isTransientErrorKind(ErrorKind::Watchdog));
+    EXPECT_FALSE(isTransientErrorKind(ErrorKind::UserInput));
+    EXPECT_FALSE(isTransientErrorKind(ErrorKind::Config));
+    EXPECT_FALSE(isTransientErrorKind(ErrorKind::Internal));
+    EXPECT_FALSE(isTransientErrorKind(ErrorKind::Cancelled));
+}
+
+RetryPolicy
+fastPolicy(std::uint32_t attempts)
+{
+    RetryPolicy p;
+    p.attempts = attempts;
+    p.baseDelayMs = 1;
+    p.maxDelayMs = 2;
+    p.jitterPct = 0;
+    return p;
+}
+
+TEST(Retry, TransientFailureRetriesUntilSuccess)
+{
+    int calls = 0;
+    const bool ok = retryTransient(fastPolicy(3), "flaky", [&] {
+        if (++calls < 3)
+            throwIoError("transient blip %d", calls);
+    });
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(calls, 3) << "two failures then success within budget";
+}
+
+TEST(Retry, ExhaustedTransientReturnsFalseWithoutThrowing)
+{
+    int calls = 0;
+    const bool ok = retryTransient(fastPolicy(3), "doomed", [&] {
+        ++calls;
+        throwIoError("always down");
+    });
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(calls, 3) << "policy.attempts bounds the total tries";
+}
+
+TEST(Retry, NonTransientPropagatesImmediately)
+{
+    int calls = 0;
+    EXPECT_THROW(retryTransient(fastPolicy(5), "misconfigured",
+                                [&] {
+                                    ++calls;
+                                    throwUserError("bad flag");
+                                }),
+                 SimError);
+    EXPECT_EQ(calls, 1)
+        << "a deterministic error must not burn retry attempts";
+}
+
+TEST(Retry, SuccessFirstTryNeverRetries)
+{
+    int calls = 0;
+    EXPECT_TRUE(retryTransient(fastPolicy(5), "healthy",
+                               [&] { ++calls; }));
+    EXPECT_EQ(calls, 1);
+}
+
+} // namespace
+} // namespace dtexl

@@ -1,0 +1,682 @@
+/**
+ * @file
+ * Service-daemon tests (see DESIGN.md "Service daemon (dtexld)"),
+ * bottom-up: the wire codec (every request is attacker-supplied text),
+ * JobSpec validation, the crash-recovery journal including torn-tail
+ * tolerance, the job table, and then a real Daemon on a temp Unix
+ * socket — submit/status round trips, queue-full backpressure,
+ * cancel of queued and running jobs, deadline expiry, command drain,
+ * and journal-driven restart recovery. Signal handlers stay
+ * uninstalled (installSignals=false); drains are driven through the
+ * same requestDrain() path the handlers use. The whole file runs under
+ * ThreadSanitizer in CI to police the daemon's locking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/signals.hh"
+#include "core/dtexl.hh"
+#include "serve/daemon.hh"
+#include "serve/job_table.hh"
+#include "serve/journal.hh"
+#include "serve/wire.hh"
+
+namespace dtexl {
+namespace {
+
+// ---- wire codec ---------------------------------------------------
+
+JsonValue
+mustParse(const std::string &text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(parseJson(text, v, err)) << text << ": " << err;
+    return v;
+}
+
+TEST(Wire, ParsesScalarsAndNesting)
+{
+    JsonValue v = mustParse(
+        R"({"s":"hi","n":-2.5,"t":true,"f":false,"z":null,)"
+        R"("a":[1,2,3],"o":{"k":"v"}})");
+    EXPECT_EQ(v.str("s"), "hi");
+    EXPECT_DOUBLE_EQ(v.num("n"), -2.5);
+    EXPECT_TRUE(v.flag("t"));
+    EXPECT_FALSE(v.flag("f", true));
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items[1].number, 2.0);
+    const JsonValue *o = v.find("o");
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(o->str("k"), "v");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_EQ(v.str("missing", "dflt"), "dflt");
+}
+
+TEST(Wire, DecodesEscapesAndSurrogatePairs)
+{
+    JsonValue v = mustParse(
+        R"({"e":"a\"b\\c\nd\tA","u":"😀"})");
+    EXPECT_EQ(v.str("e"), "a\"b\\c\nd\tA");
+    EXPECT_EQ(v.str("u"), "\xf0\x9f\x98\x80"); // U+1F600 in UTF-8
+}
+
+TEST(Wire, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string err;
+    const char *bad[] = {
+        "",                        // empty
+        "{",                       // truncated object
+        R"({"a":1,})",             // trailing comma
+        R"({"a" 1})",              // missing colon
+        R"({"a":1} x)",            // trailing junk
+        R"("un\qoted")",           // unknown escape
+        R"({"s":"\ud800"})",       // unpaired surrogate
+        "{\"s\":\"raw\tctl\"}",    // raw control char in string
+        "nulle",                   // bad literal
+        "--1",                     // malformed number
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(parseJson(text, v, err)) << "accepted: " << text;
+        EXPECT_FALSE(err.empty());
+    }
+    // Depth bomb: must fail cleanly, not overflow the stack.
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_FALSE(parseJson(deep, v, err));
+}
+
+TEST(Wire, WriterRoundTripsThroughParser)
+{
+    JsonWriter w;
+    w.str("cmd", "submit")
+        .str("esc", "a\"b\\c\nd")
+        .u64("big", 9007199254740993ull)
+        .i64("neg", -42)
+        .f64("ms", 1.5)
+        .boolean("flag", true);
+    const std::string line = w.finish();
+    EXPECT_EQ(line.back(), '\n');
+    JsonValue v = mustParse(line.substr(0, line.size() - 1));
+    EXPECT_EQ(v.str("cmd"), "submit");
+    EXPECT_EQ(v.str("esc"), "a\"b\\c\nd");
+    EXPECT_DOUBLE_EQ(v.num("neg"), -42.0);
+    EXPECT_DOUBLE_EQ(v.num("ms"), 1.5);
+    EXPECT_TRUE(v.flag("flag"));
+}
+
+// ---- JobSpec ------------------------------------------------------
+
+TEST(JobSpec, ParsesFullSubmit)
+{
+    JsonValue v = mustParse(
+        R"({"job":"j1","bench":"SWa","frames":4,"preset":"dtexl",)"
+        R"("deadline_ms":1500,"retry_max":2,)"
+        R"("options":[{"k":"width","v":"256"},{"k":"hiz","v":"1"}]})");
+    JobSpec spec;
+    std::string err;
+    ASSERT_TRUE(parseJobSpec(v, spec, err)) << err;
+    EXPECT_EQ(spec.label, "j1");
+    EXPECT_EQ(spec.bench, "SWa");
+    EXPECT_EQ(spec.frames, 4u);
+    EXPECT_EQ(spec.preset, "dtexl");
+    EXPECT_DOUBLE_EQ(spec.deadlineMs, 1500.0);
+    EXPECT_EQ(spec.retryMax, 2);
+    ASSERT_EQ(spec.options.size(), 2u);
+    EXPECT_EQ(spec.options[0].first, "width");
+    EXPECT_EQ(spec.options[1].second, "1");
+}
+
+TEST(JobSpec, RejectsInvalidSubmits)
+{
+    JobSpec spec;
+    std::string err;
+    const char *bad[] = {
+        R"({})",                                   // no bench, no scene
+        R"({"bench":"SWa","scene":"x.dscene"})",   // both
+        R"({"bench":"SWa","frames":0})",           // zero frames
+        R"({"bench":"SWa","frames":2.5})",         // fractional frames
+        R"({"bench":"SWa","frames":1000000})",     // absurd frames
+        R"({"bench":"SWa","deadline_ms":-1})",     // negative deadline
+        R"({"bench":"SWa","retry_max":1000})",     // absurd retries
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(parseJobSpec(mustParse(text), spec, err))
+            << "accepted: " << text;
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+TEST(JobSpec, RendersRoundTrip)
+{
+    JobSpec spec;
+    spec.label = "weird \"name\"";
+    spec.bench = "SWa";
+    spec.frames = 7;
+    spec.deadlineMs = 250.0;
+    spec.retryMax = 5;
+    spec.options = {{"width", "256"}, {"grouping", "CG-square"}};
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(parseJobSpec(mustParse(renderJobSpec(spec)), back, err))
+        << err;
+    EXPECT_EQ(back.label, spec.label);
+    EXPECT_EQ(back.bench, spec.bench);
+    EXPECT_EQ(back.frames, spec.frames);
+    EXPECT_DOUBLE_EQ(back.deadlineMs, spec.deadlineMs);
+    EXPECT_EQ(back.retryMax, spec.retryMax);
+    ASSERT_EQ(back.options.size(), 2u);
+    EXPECT_EQ(back.options[1].second, "CG-square");
+}
+
+// ---- journal ------------------------------------------------------
+
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/dtexl_serve_XXXXXX";
+        dir_ = ::mkdtemp(tmpl);
+        EXPECT_FALSE(dir_.empty());
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+    const std::string &path() const { return dir_; }
+
+  private:
+    std::string dir_;
+};
+
+JobSpec
+benchSpec(const std::string &label, std::uint32_t frames = 1)
+{
+    JobSpec spec;
+    spec.label = label;
+    spec.bench = "SWa";
+    spec.frames = frames;
+    return spec;
+}
+
+TEST(Journal, PendingIsSubmitMinusDone)
+{
+    TempDir tmp;
+    const std::string path = tmp.path() + "/jobs.journal";
+    {
+        JobJournal j(path);
+        j.reset({});
+        j.recordSubmit(benchSpec("a"));
+        j.recordSubmit(benchSpec("b", 3));
+        j.recordSubmit(benchSpec("c"));
+        j.recordDone("a", "done");
+        j.recordDone("c", "failed");
+    }
+    const std::vector<JobSpec> pending = JobJournal::loadPending(path);
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].label, "b");
+    EXPECT_EQ(pending[0].frames, 3u);
+}
+
+TEST(Journal, MissingFileIsEmptyAndTornTailTolerated)
+{
+    TempDir tmp;
+    const std::string path = tmp.path() + "/jobs.journal";
+    EXPECT_TRUE(JobJournal::loadPending(path).empty());
+    {
+        JobJournal j(path);
+        j.reset({});
+        j.recordSubmit(benchSpec("a"));
+        j.recordSubmit(benchSpec("b"));
+    }
+    // Shear the final line the way a crash mid-write would.
+    std::string text;
+    {
+        std::ifstream in(path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    std::ofstream(path, std::ios::trunc)
+        << text.substr(0, text.size() - 12);
+    const std::vector<JobSpec> pending = JobJournal::loadPending(path);
+    ASSERT_EQ(pending.size(), 1u) << "torn tail must drop only itself";
+    EXPECT_EQ(pending[0].label, "a");
+}
+
+TEST(Journal, ResetCompactsToPending)
+{
+    TempDir tmp;
+    const std::string path = tmp.path() + "/jobs.journal";
+    {
+        JobJournal j(path);
+        j.reset({});
+        for (int i = 0; i < 10; ++i)
+            j.recordSubmit(benchSpec("j" + std::to_string(i)));
+        for (int i = 0; i < 9; ++i)
+            j.recordDone("j" + std::to_string(i), "done");
+    }
+    std::vector<JobSpec> pending = JobJournal::loadPending(path);
+    ASSERT_EQ(pending.size(), 1u);
+    {
+        JobJournal j(path);
+        j.reset(pending); // startup compaction
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 1u) << "compaction must drop settled history";
+    pending = JobJournal::loadPending(path);
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].label, "j9");
+}
+
+// ---- job table ----------------------------------------------------
+
+TEST(JobTableTest, InsertFindDuplicateErase)
+{
+    JobTable table;
+    GpuConfig cfg;
+    JobRecord *a = table.insert(benchSpec("a"), cfg);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(table.insert(benchSpec("a"), cfg), nullptr)
+        << "duplicate labels must be rejected";
+    JobRecord *b = table.insert(benchSpec("b"), cfg);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(table.find("a"), a);
+    EXPECT_EQ(table.size(), 2u);
+
+    // Pointer stability across growth (workers hold raw pointers).
+    for (int i = 0; i < 100; ++i)
+        table.insert(benchSpec("grow" + std::to_string(i)), cfg);
+    EXPECT_EQ(table.find("a"), a);
+    EXPECT_EQ(table.all().front(), a);
+
+    table.erase("a");
+    EXPECT_EQ(table.find("a"), nullptr);
+    JobRecord *a2 = table.insert(benchSpec("a"), cfg);
+    EXPECT_NE(a2, nullptr) << "an erased label is reusable";
+}
+
+TEST(JobTableTest, TerminalStates)
+{
+    EXPECT_FALSE(jobStateTerminal(JobState::Queued));
+    EXPECT_FALSE(jobStateTerminal(JobState::Running));
+    EXPECT_FALSE(jobStateTerminal(JobState::RetryWait));
+    EXPECT_TRUE(jobStateTerminal(JobState::Done));
+    EXPECT_TRUE(jobStateTerminal(JobState::Failed));
+    EXPECT_TRUE(jobStateTerminal(JobState::Cancelled));
+    EXPECT_TRUE(jobStateTerminal(JobState::Expired));
+    EXPECT_FALSE(jobStateTerminal(JobState::Interrupted))
+        << "Interrupted re-queues on restart; it must not be terminal";
+}
+
+// ---- daemon end-to-end --------------------------------------------
+
+/** Minimal blocking client for one request/response round trip. */
+class TestClient
+{
+  public:
+    static std::string
+    rpc(const std::string &socketPath, const std::string &request)
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            return "";
+        }
+        std::string line = request;
+        line += '\n';
+        EXPECT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(line.size()));
+        std::string resp;
+        char c;
+        while (::read(fd, &c, 1) == 1 && c != '\n')
+            resp += c;
+        ::close(fd);
+        return resp;
+    }
+};
+
+/**
+ * A Daemon on its own thread over a temp socket. The fixture waits
+ * for the socket to answer ping before the test body runs, and the
+ * test must end with drain() (command drain => exit code 0).
+ */
+class DaemonFixture
+{
+  public:
+    explicit DaemonFixture(DaemonConfig partial = {})
+        : cfg_(std::move(partial))
+    {
+        resetDrainForTests();
+        cfg_.stateDir = tmp_.path();
+        cfg_.socketPath = tmp_.path() + "/d.sock";
+        cfg_.installSignals = false;
+        cfg_.baseCfg = makeBaselineConfig();
+        cfg_.baseCfg.screenWidth = 256;
+        cfg_.baseCfg.screenHeight = 128;
+        cfg_.baseCfg.validate();
+        daemon_ = std::make_unique<Daemon>(cfg_);
+        thread_ = std::thread([this] { exitCode_ = daemon_->run(); });
+        waitReady();
+    }
+
+    ~DaemonFixture()
+    {
+        if (thread_.joinable())
+            drain(); // joins internally
+        resetDrainForTests();
+    }
+
+    std::string
+    rpc(const std::string &request)
+    {
+        return TestClient::rpc(cfg_.socketPath, request);
+    }
+
+    JsonValue
+    rpcJson(const std::string &request)
+    {
+        const std::string resp = rpc(request);
+        JsonValue v;
+        std::string err;
+        EXPECT_TRUE(parseJson(resp, v, err))
+            << request << " -> " << resp << ": " << err;
+        return v;
+    }
+
+    /** Poll `status` until @p label reaches @p state (or timeout). */
+    bool
+    waitForState(const std::string &label, const std::string &state,
+                 int timeoutMs = 30000)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeoutMs);
+        while (std::chrono::steady_clock::now() < deadline) {
+            JsonValue v = rpcJson(
+                R"({"cmd":"status","job":")" + label + R"("})");
+            const JsonValue *st = v.find("status");
+            if (st && st->str("state") == state)
+                return true;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        return false;
+    }
+
+    JsonValue
+    drain()
+    {
+        JsonValue report = rpcJson(R"({"cmd":"drain"})");
+        if (thread_.joinable())
+            thread_.join();
+        return report;
+    }
+
+    /** Join without a drain command (signal-initiated drains). */
+    void
+    join()
+    {
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    int exitCode() const { return exitCode_; }
+    const std::string &stateDir() const { return tmp_.path(); }
+
+  private:
+    void
+    waitReady()
+    {
+        for (int i = 0; i < 2000; ++i) {
+            const std::string r = rpc(R"({"cmd":"ping"})");
+            if (r.find("\"ok\":true") != std::string::npos)
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        FAIL() << "daemon never became ready";
+    }
+
+    TempDir tmp_;
+    DaemonConfig cfg_;
+    std::unique_ptr<Daemon> daemon_;
+    std::thread thread_;
+    int exitCode_ = -1;
+};
+
+TEST(ServeDaemon, SubmitRunsToDoneAndReportsStatus)
+{
+    DaemonFixture d;
+    JsonValue sub = d.rpcJson(
+        R"({"cmd":"submit","job":"j1","bench":"SWa","frames":2})");
+    EXPECT_TRUE(sub.flag("ok")) << "submit rejected";
+    EXPECT_EQ(sub.str("job"), "j1");
+    ASSERT_TRUE(d.waitForState("j1", "done"));
+
+    JsonValue v = d.rpcJson(R"({"cmd":"status","job":"j1"})");
+    const JsonValue *st = v.find("status");
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->str("state"), "done");
+    EXPECT_DOUBLE_EQ(st->num("frames_done"), 2.0);
+    EXPECT_DOUBLE_EQ(st->num("attempts"), 1.0);
+    EXPECT_GT(st->num("cycles"), 0.0);
+
+    JsonValue report = d.drain();
+    EXPECT_TRUE(report.flag("drained"));
+    EXPECT_DOUBLE_EQ(report.num("done"), 1.0);
+    EXPECT_EQ(d.exitCode(), 0) << "command drain exits 0";
+}
+
+TEST(ServeDaemon, RejectsMalformedAndUnknownRequests)
+{
+    DaemonFixture d;
+    EXPECT_NE(d.rpc("this is not json").find("\"ok\":false"),
+              std::string::npos);
+    EXPECT_NE(d.rpc(R"({"cmd":"frobnicate"})").find("\"ok\":false"),
+              std::string::npos);
+    EXPECT_NE(d.rpc(R"({"cmd":"submit"})").find("\"ok\":false"),
+              std::string::npos)
+        << "submit without bench or scene must be rejected";
+    EXPECT_NE(
+        d.rpc(R"({"cmd":"submit","bench":"NoSuchBench"})")
+            .find("\"ok\":false"),
+        std::string::npos)
+        << "unknown bench alias must be rejected at admission";
+    EXPECT_NE(d.rpc(R"({"cmd":"status","job":"ghost"})")
+                  .find("\"ok\":false"),
+              std::string::npos);
+    EXPECT_NE(d.rpc(R"({"cmd":"gc"})").find("\"ok\":false"),
+              std::string::npos)
+        << "gc without an armed cache must say so, not crash";
+}
+
+TEST(ServeDaemon, QueueFullSubmitsGetRetryAfter)
+{
+    DaemonConfig dc;
+    dc.workers = 1;
+    dc.queueDepth = 1;
+    DaemonFixture d(dc);
+
+    // Occupy the only worker with a long job, then fill the queue.
+    EXPECT_TRUE(
+        d.rpcJson(
+             R"({"cmd":"submit","job":"long","bench":"SWa","frames":50})")
+            .flag("ok"));
+    ASSERT_TRUE(d.waitForState("long", "running"));
+    EXPECT_TRUE(
+        d.rpcJson(R"({"cmd":"submit","job":"q1","bench":"SWa"})")
+            .flag("ok"));
+
+    JsonValue rejected =
+        d.rpcJson(R"({"cmd":"submit","job":"q2","bench":"SWa"})");
+    EXPECT_FALSE(rejected.flag("ok"));
+    EXPECT_GT(rejected.num("retry_after_ms"), 0.0)
+        << "a full queue must advertise backpressure, not block";
+    EXPECT_NE(d.rpc(R"({"cmd":"status","job":"q2"})")
+                  .find("\"ok\":false"),
+              std::string::npos)
+        << "a rejected submit must leave no record behind";
+
+    // Cancel the stuffing jobs so the drain is quick.
+    EXPECT_TRUE(d.rpcJson(R"({"cmd":"cancel","job":"q1"})").flag("ok"));
+    EXPECT_TRUE(
+        d.rpcJson(R"({"cmd":"cancel","job":"long"})").flag("ok"));
+    ASSERT_TRUE(d.waitForState("long", "cancelled"));
+
+    JsonValue report = d.drain();
+    EXPECT_DOUBLE_EQ(report.num("cancelled"), 2.0);
+}
+
+TEST(ServeDaemon, CancelQueuedAndRunningJobs)
+{
+    DaemonConfig dc;
+    dc.workers = 1;
+    DaemonFixture d(dc);
+
+    EXPECT_TRUE(
+        d.rpcJson(
+             R"({"cmd":"submit","job":"run","bench":"SWa","frames":50})")
+            .flag("ok"));
+    ASSERT_TRUE(d.waitForState("run", "running"));
+    EXPECT_TRUE(
+        d.rpcJson(R"({"cmd":"submit","job":"park","bench":"SWa"})")
+            .flag("ok"));
+
+    // Queued: cancel takes effect immediately, no worker involved.
+    EXPECT_TRUE(
+        d.rpcJson(R"({"cmd":"cancel","job":"park"})").flag("ok"));
+    ASSERT_TRUE(d.waitForState("park", "cancelled"));
+
+    // Running: cooperative — the attempt unwinds at a frame boundary.
+    EXPECT_TRUE(
+        d.rpcJson(R"({"cmd":"cancel","job":"run"})").flag("ok"));
+    ASSERT_TRUE(d.waitForState("run", "cancelled"));
+
+    // Cancelling a terminal job is an error, not a state change.
+    JsonValue again = d.rpcJson(R"({"cmd":"cancel","job":"run"})");
+    EXPECT_FALSE(again.flag("ok"));
+
+    d.drain();
+}
+
+TEST(ServeDaemon, DeadlineExpiresLongJob)
+{
+    DaemonFixture d;
+    EXPECT_TRUE(d.rpcJson(R"({"cmd":"submit","job":"slow",)"
+                          R"("bench":"SWa","frames":50,)"
+                          R"("deadline_ms":1,"retry_max":1})")
+                    .flag("ok"));
+    ASSERT_TRUE(d.waitForState("slow", "expired"));
+    JsonValue v = d.rpcJson(R"({"cmd":"status","job":"slow"})");
+    const JsonValue *st = v.find("status");
+    ASSERT_NE(st, nullptr);
+    EXPECT_LT(st->num("frames_done"), 50.0)
+        << "the deadline must cut the job short";
+    JsonValue report = d.drain();
+    EXPECT_DOUBLE_EQ(report.num("expired"), 1.0);
+}
+
+TEST(ServeDaemon, RestartRecoversJournaledJobs)
+{
+    TempDir tmp;
+    // A daemon that died hard: submits journaled, no done lines.
+    {
+        JobJournal j(tmp.path() + "/jobs.journal");
+        j.reset({});
+        j.recordSubmit(benchSpec("owed-1", 2));
+        j.recordSubmit(benchSpec("owed-2"));
+    }
+
+    resetDrainForTests();
+    DaemonConfig dc;
+    dc.stateDir = tmp.path();
+    dc.socketPath = tmp.path() + "/d.sock";
+    dc.installSignals = false;
+    dc.baseCfg = makeBaselineConfig();
+    dc.baseCfg.screenWidth = 256;
+    dc.baseCfg.screenHeight = 128;
+    dc.baseCfg.validate();
+
+    Daemon daemon(dc);
+    int exitCode = -1;
+    std::thread t([&] { exitCode = daemon.run(); });
+    auto rpc = [&](const std::string &req) {
+        return TestClient::rpc(dc.socketPath, req);
+    };
+    for (int i = 0; i < 2000; ++i) {
+        if (rpc(R"({"cmd":"ping"})").find("\"ok\":true") !=
+            std::string::npos)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    // Both owed jobs must already be in the table (recovered), and
+    // eventually done — without any client re-submitting them.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    bool allDone = false;
+    while (!allDone && std::chrono::steady_clock::now() < deadline) {
+        const std::string s1 = rpc(R"({"cmd":"status","job":"owed-1"})");
+        const std::string s2 = rpc(R"({"cmd":"status","job":"owed-2"})");
+        allDone = s1.find("\"state\":\"done\"") != std::string::npos &&
+                  s2.find("\"state\":\"done\"") != std::string::npos;
+        if (!allDone)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_TRUE(allDone) << "recovered jobs must run to completion";
+
+    rpc(R"({"cmd":"drain"})");
+    t.join();
+    EXPECT_EQ(exitCode, 0);
+    resetDrainForTests();
+
+    // Settled: a further restart owes nothing.
+    EXPECT_TRUE(
+        JobJournal::loadPending(tmp.path() + "/jobs.journal").empty());
+}
+
+TEST(ServeDaemon, SignalDrainExitsInterrupted)
+{
+    DaemonFixture d;
+    EXPECT_TRUE(d.rpcJson(R"({"cmd":"submit","job":"j","bench":"SWa"})")
+                    .flag("ok"));
+    ASSERT_TRUE(d.waitForState("j", "done"));
+    // A real SIGTERM lands in a handler that calls requestDrain();
+    // driving it directly exercises the same path minus the handler.
+    // No drain *command* is sent — that would mark the drain as
+    // command-initiated and change the exit code.
+    requestDrain();
+    d.join();
+    EXPECT_EQ(d.exitCode(), kExitInterrupted)
+        << "signal-initiated drains must exit 130";
+}
+
+} // namespace
+} // namespace dtexl
